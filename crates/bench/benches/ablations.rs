@@ -1,0 +1,126 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! the CART candidate-threshold budget, the ADWIN cut-check clock, the
+//! KNN-imputation reference cap, and the kdq-tree bootstrap budget.
+//! Each group sweeps the knob so regressions in the chosen defaults are
+//! visible.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use oeb_drift::{Adwin, BatchDriftDetector, KdqTreeDetector};
+use oeb_linalg::Matrix;
+use oeb_preprocess::{Imputer, KnnImputer};
+use oeb_tree::{DecisionTree, TreeConfig, TreeTask};
+
+fn labelled(n: usize, d: usize) -> (Matrix, Vec<f64>) {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..d).map(|j| ((i * (j + 7)) % 101) as f64).collect())
+        .collect();
+    let ys: Vec<f64> = rows
+        .iter()
+        .map(|r| f64::from(r.iter().sum::<f64>() > 50.0 * d as f64))
+        .collect();
+    (Matrix::from_rows(&rows), ys)
+}
+
+/// CART fit cost vs the quantile-threshold budget (default 32).
+fn bench_cart_thresholds(c: &mut Criterion) {
+    let (xs, ys) = labelled(1024, 8);
+    let mut group = c.benchmark_group("ablation_cart_thresholds");
+    group.sample_size(20);
+    for thresholds in [8usize, 32, 128] {
+        group.bench_function(format!("max_thresholds_{thresholds}"), |b| {
+            b.iter(|| {
+                DecisionTree::fit(
+                    &xs,
+                    &ys,
+                    TreeTask::Classification { n_classes: 2 },
+                    &TreeConfig {
+                        max_thresholds: thresholds,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// ADWIN insert cost vs how the cut-check clock amortises the scan.
+fn bench_adwin_stream(c: &mut Criterion) {
+    let items: Vec<f64> = (0..8192).map(|i| ((i * 29) % 83) as f64 / 83.0).collect();
+    let mut group = c.benchmark_group("ablation_adwin_delta");
+    for delta in [0.3, 0.002] {
+        group.bench_function(format!("delta_{delta}"), |b| {
+            b.iter_batched(
+                || Adwin::new(delta),
+                |mut a| {
+                    for &x in &items {
+                        std::hint::black_box(a.insert(x));
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// KNN imputation cost vs the harness's reference-row cap (default 512).
+fn bench_knn_reference_cap(c: &mut Criterion) {
+    let window = {
+        let (mut xs, _) = labelled(256, 8);
+        for r in (0..xs.rows()).step_by(5) {
+            xs[(r, 3)] = f64::NAN;
+        }
+        xs
+    };
+    let mut group = c.benchmark_group("ablation_knn_reference_cap");
+    group.sample_size(20);
+    for cap in [128usize, 512, 2048] {
+        let (reference, _) = labelled(cap, 8);
+        group.bench_function(format!("reference_{cap}"), |b| {
+            b.iter(|| {
+                let mut w = window.clone();
+                KnnImputer { k: 2 }.impute(&mut w, &reference);
+                std::hint::black_box(w)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// kdq-tree detector cost vs the bootstrap budget (default 40).
+fn bench_kdq_bootstrap(c: &mut Criterion) {
+    let (w1, _) = labelled(512, 6);
+    let (w2, _) = labelled(512, 6);
+    let mut group = c.benchmark_group("ablation_kdq_bootstrap");
+    group.sample_size(10);
+    for bootstrap in [10usize, 40, 160] {
+        group.bench_function(format!("bootstrap_{bootstrap}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut det = KdqTreeDetector::new(32, bootstrap, 0.99, 1);
+                    det.update(&w1);
+                    det
+                },
+                |mut det| std::hint::black_box(det.update(&w2)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Plot generation and long measurement windows dominate wall-clock
+    // on small machines; the numeric report is what the repro records.
+    config = Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_cart_thresholds,
+    bench_adwin_stream,
+    bench_knn_reference_cap,
+    bench_kdq_bootstrap
+}
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Drift-detector kernels — the inner loop of the §4.3 statistics
+//! pipeline (Table 3 / Figure 2 inputs): one window update per batch
+//! detector, one item per streaming detector.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use oeb_drift::{
+    Adwin, BatchDriftDetector, Cdbd, ConceptDriftDetector, Ddm, Eddm, Hdddm, HddmA,
+    KdqTreeDetector, KsDetector, PcaCd,
+};
+use oeb_linalg::Matrix;
+
+fn windows(n_windows: usize, rows: usize, d: usize) -> Vec<Matrix> {
+    (0..n_windows)
+        .map(|w| {
+            let rows: Vec<Vec<f64>> = (0..rows)
+                .map(|i| {
+                    (0..d)
+                        .map(|j| ((i * 7 + j * 13 + w * 3) % 89) as f64 / 89.0)
+                        .collect()
+                })
+                .collect();
+            Matrix::from_rows(&rows)
+        })
+        .collect()
+}
+
+fn bench_batch_detectors(c: &mut Criterion) {
+    let ws = windows(8, 256, 8);
+    let mut group = c.benchmark_group("batch_drift_window");
+    group.sample_size(20);
+    group.bench_function("HDDDM", |b| {
+        b.iter_batched(
+            Hdddm::default,
+            |mut det| {
+                for w in &ws {
+                    std::hint::black_box(det.update(w));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("kdq-tree", |b| {
+        b.iter_batched(
+            KdqTreeDetector::default,
+            |mut det| {
+                for w in &ws {
+                    std::hint::black_box(det.update(w));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("PCA-CD", |b| {
+        b.iter_batched(
+            PcaCd::default,
+            |mut det| {
+                for w in &ws {
+                    std::hint::black_box(det.update(w));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("KS-per-column", |b| {
+        b.iter_batched(
+            || KsDetector::new(0.05),
+            |mut det| {
+                for w in &ws {
+                    std::hint::black_box(det.update(&w.col(0)));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("CDBD-per-column", |b| {
+        b.iter_batched(
+            Cdbd::default,
+            |mut det| {
+                for w in &ws {
+                    std::hint::black_box(det.update(&w.col(0)));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_streaming_detectors(c: &mut Criterion) {
+    let items: Vec<f64> = (0..4096).map(|i| ((i * 31) % 97) as f64 / 97.0).collect();
+    let mut group = c.benchmark_group("streaming_drift_4096_items");
+    group.bench_function("ADWIN", |b| {
+        b.iter_batched(
+            || Adwin::new(0.002),
+            |mut det| {
+                for &x in &items {
+                    std::hint::black_box(det.insert(x));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("HDDM-A", |b| {
+        b.iter_batched(
+            HddmA::default,
+            |mut det| {
+                for &x in &items {
+                    std::hint::black_box(det.update(x));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("DDM", |b| {
+        b.iter_batched(
+            Ddm::new,
+            |mut det| {
+                for &x in &items {
+                    std::hint::black_box(det.update(f64::from(x > 0.7)));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("EDDM", |b| {
+        b.iter_batched(
+            Eddm::new,
+            |mut det| {
+                for &x in &items {
+                    std::hint::black_box(det.update(f64::from(x > 0.7)));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Plot generation and long measurement windows dominate wall-clock
+    // on small machines; the numeric report is what the repro records.
+    config = Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_batch_detectors, bench_streaming_detectors
+}
+criterion_main!(benches);

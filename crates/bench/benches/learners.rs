@@ -1,0 +1,80 @@
+//! Per-window learner kernels — the inner loop behind Tables 4, 5, 6, 9
+//! and 10: train one window and predict one window for each of the ten
+//! algorithms, on a standardized ELECTRICITY-like window.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use oeb_core::{Algorithm, LearnerConfig};
+use oeb_linalg::Matrix;
+use oeb_tabular::Task;
+
+fn window(n: usize, d: usize, classes: usize) -> (Matrix, Vec<f64>) {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| ((i * (j + 3)) % 97) as f64 / 97.0 - 0.5)
+                .collect()
+        })
+        .collect();
+    let ys: Vec<f64> = rows
+        .iter()
+        .map(|r| {
+            let s: f64 = r.iter().sum();
+            (((s * 10.0).abs() as usize) % classes) as f64
+        })
+        .collect();
+    (Matrix::from_rows(&rows), ys)
+}
+
+fn bench_train_window(c: &mut Criterion) {
+    let (xs, ys) = window(512, 8, 2);
+    let task = Task::Classification { n_classes: 2 };
+    let mut group = c.benchmark_group("train_window");
+    group.sample_size(10);
+    for alg in Algorithm::all() {
+        group.bench_function(alg.name(), |b| {
+            b.iter_batched(
+                || {
+                    alg.make(task, xs.cols(), &LearnerConfig::default())
+                        .expect("classification supports all algorithms")
+                },
+                |mut learner| learner.train_window(&xs, &ys),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict_window(c: &mut Criterion) {
+    let (xs, ys) = window(512, 8, 2);
+    let task = Task::Classification { n_classes: 2 };
+    let mut group = c.benchmark_group("predict_window");
+    for alg in Algorithm::all() {
+        let mut learner = alg
+            .make(task, xs.cols(), &LearnerConfig::default())
+            .expect("classification supports all algorithms");
+        learner.train_window(&xs, &ys);
+        group.bench_function(alg.name(), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for r in 0..xs.rows() {
+                    acc += learner.predict(std::hint::black_box(xs.row(r)));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Plot generation and long measurement windows dominate wall-clock
+    // on small machines; the numeric report is what the repro records.
+    config = Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_train_window, bench_predict_window
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Outlier-detector kernels — the per-window cost behind Figure 8,
+//! Figure 16 and the anomaly columns of Table 3: fit + score one window
+//! under ECOD and IForest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oeb_linalg::Matrix;
+use oeb_outlier::{Ecod, IForestConfig, IsolationForest};
+
+fn window(rows: usize, d: usize) -> Matrix {
+    let rows: Vec<Vec<f64>> = (0..rows)
+        .map(|i| {
+            (0..d)
+                .map(|j| ((i * 17 + j * 29) % 101) as f64 / 101.0)
+                .collect()
+        })
+        .collect();
+    Matrix::from_rows(&rows)
+}
+
+fn bench_ecod(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecod");
+    for rows in [256usize, 1024] {
+        let w = window(rows, 8);
+        group.bench_function(format!("fit_score_{rows}x8"), |b| {
+            b.iter(|| {
+                let model = Ecod::fit(std::hint::black_box(&w));
+                std::hint::black_box(model.score_all(&w))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_iforest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iforest");
+    group.sample_size(20);
+    for rows in [256usize, 1024] {
+        let w = window(rows, 8);
+        group.bench_function(format!("fit_score_{rows}x8"), |b| {
+            b.iter(|| {
+                let model = IsolationForest::fit(
+                    std::hint::black_box(&w),
+                    &IForestConfig {
+                        n_trees: 25,
+                        ..Default::default()
+                    },
+                );
+                std::hint::black_box(model.score_all(&w))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Plot generation and long measurement windows dominate wall-clock
+    // on small machines; the numeric report is what the repro records.
+    config = Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_ecod, bench_iforest
+}
+criterion_main!(benches);

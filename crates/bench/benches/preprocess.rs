@@ -1,0 +1,103 @@
+//! Preprocessing kernels — the per-window cost behind Figure 14 and the
+//! §4.3 pipeline: one-hot encoding, the four imputers, and first-window
+//! scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oeb_linalg::Matrix;
+use oeb_preprocess::{
+    Imputer, KnnImputer, MeanImputer, OneHotEncoder, RegressionImputer, StandardScaler,
+    ZeroImputer,
+};
+use oeb_tabular::{Column, Field, Schema, Table};
+
+fn table(rows: usize) -> Table {
+    let schema = Schema::new(vec![
+        Field::numeric("a"),
+        Field::numeric("b"),
+        Field::categorical("c", &["x", "y", "z", "w"]),
+    ]);
+    Table::new(
+        schema,
+        vec![
+            Column::Numeric((0..rows).map(|i| (i % 37) as f64).collect()),
+            Column::Numeric(
+                (0..rows)
+                    .map(|i| if i % 9 == 0 { f64::NAN } else { (i % 13) as f64 })
+                    .collect(),
+            ),
+            Column::Categorical((0..rows).map(|i| Some((i % 4) as u32)).collect()),
+        ],
+    )
+}
+
+fn holey_matrix(rows: usize, d: usize) -> Matrix {
+    let data: Vec<Vec<f64>> = (0..rows)
+        .map(|i| {
+            (0..d)
+                .map(|j| {
+                    if (i * d + j) % 11 == 0 {
+                        f64::NAN
+                    } else {
+                        ((i * 3 + j * 7) % 23) as f64
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Matrix::from_rows(&data)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let t = table(1024);
+    let enc = OneHotEncoder::fit(&t, &[0, 1, 2]);
+    c.bench_function("onehot_encode_1024x3", |b| {
+        b.iter(|| std::hint::black_box(enc.encode_all(&t)))
+    });
+}
+
+fn bench_imputers(c: &mut Criterion) {
+    let reference = holey_matrix(512, 8);
+    let window = holey_matrix(256, 8);
+    let mut group = c.benchmark_group("impute_256x8");
+    let imputers: Vec<(&str, Box<dyn Imputer>)> = vec![
+        ("knn_k2", Box::new(KnnImputer { k: 2 })),
+        ("knn_k20", Box::new(KnnImputer { k: 20 })),
+        ("regression", Box::new(RegressionImputer::default())),
+        ("mean", Box::new(MeanImputer)),
+        ("zero", Box::new(ZeroImputer)),
+    ];
+    for (name, imp) in &imputers {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut w = window.clone();
+                imp.impute(&mut w, &reference);
+                std::hint::black_box(w)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaler(c: &mut Criterion) {
+    let reference = holey_matrix(512, 8);
+    let scaler = StandardScaler::fit(&reference);
+    c.bench_function("scale_512x8", |b| {
+        b.iter(|| {
+            let mut w = reference.clone();
+            scaler.transform(&mut w);
+            std::hint::black_box(w)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Plot generation and long measurement windows dominate wall-clock
+    // on small machines; the numeric report is what the repro records.
+    config = Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_encode, bench_imputers, bench_scaler
+}
+criterion_main!(benches);

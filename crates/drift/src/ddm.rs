@@ -1,0 +1,274 @@
+//! DDM (Drift Detection Method) — Gama et al., SBIA 2004 — and
+//! EDDM (Early Drift Detection Method) — Baena-García et al., 2006.
+//!
+//! Both monitor a model's error stream via statistical process control:
+//! DDM tracks the error rate's mean + deviation against its historical
+//! minimum; EDDM tracks the *distance between consecutive errors*, making
+//! it more sensitive to gradual drifts.
+
+use crate::state::{ConceptDriftDetector, DriftState};
+
+/// DDM: drift when `p + s > p_min + 3 s_min`, warning at `2 s_min`.
+#[derive(Debug, Clone)]
+pub struct Ddm {
+    n: usize,
+    p: f64,
+    p_min: f64,
+    s_min: f64,
+    /// Minimum observations before the detector may fire.
+    min_samples: usize,
+}
+
+impl Default for Ddm {
+    fn default() -> Self {
+        Ddm::new()
+    }
+}
+
+impl Ddm {
+    /// Creates a DDM detector with the standard 30-sample warm-up.
+    pub fn new() -> Ddm {
+        Ddm {
+            n: 0,
+            p: 1.0,
+            p_min: f64::INFINITY,
+            s_min: f64::INFINITY,
+            min_samples: 30,
+        }
+    }
+}
+
+impl ConceptDriftDetector for Ddm {
+    fn update(&mut self, error: f64) -> DriftState {
+        let error = error.clamp(0.0, 1.0);
+        self.n += 1;
+        // Incremental mean of the (possibly fractional) error indicator.
+        self.p += (error - self.p) / self.n as f64;
+        let s = (self.p * (1.0 - self.p) / self.n as f64).max(0.0).sqrt();
+
+        if self.n < self.min_samples {
+            return DriftState::Stable;
+        }
+        if self.p + s < self.p_min + self.s_min {
+            self.p_min = self.p;
+            self.s_min = s;
+        }
+        let level = self.p + s;
+        if level > self.p_min + 3.0 * self.s_min {
+            let state = DriftState::Drift;
+            self.reset();
+            state
+        } else if level > self.p_min + 2.0 * self.s_min {
+            DriftState::Warning
+        } else {
+            DriftState::Stable
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = Ddm::new();
+    }
+
+    fn name(&self) -> &'static str {
+        "DDM"
+    }
+}
+
+/// EDDM: monitors the mean distance between consecutive errors. Drift when
+/// `(p' + 2 s') / (p'_max + 2 s'_max) < 0.90`, warning below `0.95`.
+#[derive(Debug, Clone)]
+pub struct Eddm {
+    n_items: usize,
+    n_errors: usize,
+    last_error_at: Option<usize>,
+    /// Running mean of inter-error distance.
+    mean_dist: f64,
+    /// Running second moment for the distance.
+    var_acc: f64,
+    max_level: f64,
+    /// Errors required before the detector may fire (standard: 30).
+    min_errors: usize,
+}
+
+impl Default for Eddm {
+    fn default() -> Self {
+        Eddm::new()
+    }
+}
+
+impl Eddm {
+    /// Creates an EDDM detector with the standard thresholds.
+    pub fn new() -> Eddm {
+        Eddm {
+            n_items: 0,
+            n_errors: 0,
+            last_error_at: None,
+            mean_dist: 0.0,
+            var_acc: 0.0,
+            max_level: 0.0,
+            min_errors: 30,
+        }
+    }
+}
+
+impl ConceptDriftDetector for Eddm {
+    fn update(&mut self, error: f64) -> DriftState {
+        self.n_items += 1;
+        if error < 0.5 {
+            return DriftState::Stable;
+        }
+        // An error occurred: update the inter-error distance statistics
+        // (Welford).
+        if let Some(prev) = self.last_error_at {
+            let dist = (self.n_items - prev) as f64;
+            self.n_errors += 1;
+            let delta = dist - self.mean_dist;
+            self.mean_dist += delta / self.n_errors as f64;
+            self.var_acc += delta * (dist - self.mean_dist);
+        }
+        self.last_error_at = Some(self.n_items);
+
+        if self.n_errors < self.min_errors {
+            return DriftState::Stable;
+        }
+        let std = (self.var_acc / self.n_errors as f64).max(0.0).sqrt();
+        let level = self.mean_dist + 2.0 * std;
+        if level > self.max_level {
+            self.max_level = level;
+            return DriftState::Stable;
+        }
+        let ratio = level / self.max_level;
+        if ratio < 0.90 {
+            let state = DriftState::Drift;
+            self.reset();
+            state
+        } else if ratio < 0.95 {
+            DriftState::Warning
+        } else {
+            DriftState::Stable
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = Eddm::new();
+    }
+
+    fn name(&self) -> &'static str {
+        "EDDM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn error_stream(rng: &mut StdRng, rate: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| if rng.gen::<f64>() < rate { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    #[test]
+    fn ddm_quiet_on_constant_error_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ddm = Ddm::new();
+        let mut drifts = 0;
+        for e in error_stream(&mut rng, 0.2, 5000) {
+            if ddm.update(e).is_drift() {
+                drifts += 1;
+            }
+        }
+        assert!(drifts <= 1, "{drifts} false drifts");
+    }
+
+    #[test]
+    fn ddm_fires_on_error_rate_jump() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ddm = Ddm::new();
+        // DDM can fire spuriously very early (p_min ~ 0 right after the
+        // warm-up); tolerate at most one such event on the stable stream.
+        let mut stable_drifts = 0;
+        for e in error_stream(&mut rng, 0.1, 1000) {
+            if ddm.update(e).is_drift() {
+                stable_drifts += 1;
+            }
+        }
+        assert!(stable_drifts <= 1, "{stable_drifts} drifts while stable");
+        let mut fired = false;
+        for e in error_stream(&mut rng, 0.6, 500) {
+            if ddm.update(e).is_drift() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "DDM missed a 6x error-rate jump");
+    }
+
+    #[test]
+    fn ddm_warning_precedes_drift() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ddm = Ddm::new();
+        for e in error_stream(&mut rng, 0.1, 1000) {
+            ddm.update(e);
+        }
+        let mut saw_warning_before_drift = false;
+        let mut warned = false;
+        for e in error_stream(&mut rng, 0.5, 1000) {
+            match ddm.update(e) {
+                DriftState::Warning => warned = true,
+                DriftState::Drift => {
+                    saw_warning_before_drift = warned;
+                    break;
+                }
+                DriftState::Stable => {}
+            }
+        }
+        assert!(saw_warning_before_drift);
+    }
+
+    #[test]
+    fn eddm_fires_when_errors_cluster() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut eddm = Eddm::new();
+        // Sparse errors first (large inter-error distances).
+        for e in error_stream(&mut rng, 0.05, 3000) {
+            eddm.update(e);
+        }
+        // Then dense errors (distances collapse).
+        let mut fired = false;
+        for e in error_stream(&mut rng, 0.7, 1500) {
+            if eddm.update(e).is_drift() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "EDDM missed clustering errors");
+    }
+
+    #[test]
+    fn eddm_quiet_on_stationary_errors() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut eddm = Eddm::new();
+        let mut drifts = 0;
+        for e in error_stream(&mut rng, 0.3, 5000) {
+            if eddm.update(e).is_drift() {
+                drifts += 1;
+            }
+        }
+        assert!(drifts <= 1, "{drifts} false drifts");
+    }
+
+    #[test]
+    fn detectors_reset_cleanly() {
+        let mut ddm = Ddm::new();
+        ddm.update(1.0);
+        ddm.reset();
+        assert_eq!(ddm.n, 0);
+        let mut eddm = Eddm::new();
+        eddm.update(1.0);
+        eddm.reset();
+        assert_eq!(eddm.n_items, 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! ECDD — EWMA charts for concept drift detection, Ross, Adams, Tasoulis
+//! & Hand, Pattern Recognition Letters 2012.
+//!
+//! One of the 16 detectors surveyed in the paper's Table 8: an
+//! exponentially-weighted moving average of the Bernoulli error stream
+//! is compared against control limits derived from the estimated
+//! pre-change error rate. Warning at `L_w` sigma, drift at `L_d` sigma.
+
+use crate::state::{ConceptDriftDetector, DriftState};
+
+/// ECDD detector over a 0/1 error stream.
+#[derive(Debug, Clone)]
+pub struct Ecdd {
+    /// EWMA smoothing weight (the paper's recommended 0.2).
+    pub lambda: f64,
+    /// Drift control-limit multiplier.
+    pub drift_l: f64,
+    /// Warning control-limit multiplier (must be below `drift_l`).
+    pub warning_l: f64,
+    n: usize,
+    /// Running estimate of the pre-change error rate p0.
+    p_hat: f64,
+    /// The EWMA statistic.
+    z: f64,
+    /// Minimum observations before the chart can signal.
+    min_samples: usize,
+}
+
+impl Ecdd {
+    /// Creates an ECDD chart with the given control limits.
+    pub fn new(lambda: f64, drift_l: f64, warning_l: f64) -> Ecdd {
+        assert!(lambda > 0.0 && lambda <= 1.0, "lambda must be in (0, 1]");
+        assert!(warning_l < drift_l, "warning limit must precede drift");
+        Ecdd {
+            lambda,
+            drift_l,
+            warning_l,
+            n: 0,
+            p_hat: 0.0,
+            z: 0.0,
+            min_samples: 30,
+        }
+    }
+}
+
+impl Default for Ecdd {
+    fn default() -> Self {
+        // L values in the ballpark of the paper's ARL_0 = 400 tuning.
+        Ecdd::new(0.2, 3.5, 3.0)
+    }
+}
+
+impl ConceptDriftDetector for Ecdd {
+    fn update(&mut self, error: f64) -> DriftState {
+        let x = error.clamp(0.0, 1.0);
+        self.n += 1;
+        let n = self.n as f64;
+        // Incremental estimate of p0 and the EWMA statistic.
+        self.p_hat += (x - self.p_hat) / n;
+        self.z = (1.0 - self.lambda) * self.z + self.lambda * x;
+
+        if self.n < self.min_samples {
+            return DriftState::Stable;
+        }
+        // Variance of the EWMA of Bernoulli(p0) observations at time t:
+        // sigma_z^2 = p(1-p) * lambda/(2-lambda) * (1 - (1-lambda)^(2t)).
+        let p = self.p_hat;
+        let lam = self.lambda;
+        let var = p * (1.0 - p) * (lam / (2.0 - lam)) * (1.0 - (1.0 - lam).powi(2 * self.n as i32));
+        let sigma = var.max(0.0).sqrt();
+        if sigma <= 0.0 {
+            return DriftState::Stable;
+        }
+        if self.z > p + self.drift_l * sigma {
+            let state = DriftState::Drift;
+            self.reset();
+            state
+        } else if self.z > p + self.warning_l * sigma {
+            DriftState::Warning
+        } else {
+            DriftState::Stable
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = Ecdd::new(self.lambda, self.drift_l, self.warning_l);
+    }
+
+    fn name(&self) -> &'static str {
+        "ECDD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn bernoulli(rng: &mut StdRng, p: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| if rng.gen::<f64>() < p { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    #[test]
+    fn quiet_on_constant_error_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut det = Ecdd::default();
+        let mut drifts = 0;
+        for e in bernoulli(&mut rng, 0.2, 5000) {
+            if det.update(e).is_drift() {
+                drifts += 1;
+            }
+        }
+        // ARL_0-style tolerance: a few false alarms over 5000 items.
+        assert!(drifts <= 3, "{drifts} false alarms");
+    }
+
+    #[test]
+    fn fires_quickly_on_error_jump() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut det = Ecdd::default();
+        for e in bernoulli(&mut rng, 0.1, 1000) {
+            det.update(e);
+        }
+        let mut detected_at = None;
+        for (i, e) in bernoulli(&mut rng, 0.6, 500).into_iter().enumerate() {
+            if det.update(e).is_drift() {
+                detected_at = Some(i);
+                break;
+            }
+        }
+        let at = detected_at.expect("ECDD missed a 6x error jump");
+        assert!(at < 100, "detection too slow: {at} items");
+    }
+
+    #[test]
+    fn warning_zone_precedes_drift() {
+        // A mild error-rate increase crosses the warning zone before the
+        // drift limit (an abrupt 0 -> 1 flip can jump straight to drift).
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut det = Ecdd::default();
+        for e in bernoulli(&mut rng, 0.05, 1000) {
+            det.update(e);
+        }
+        let mut saw_warning = false;
+        let mut saw_drift = false;
+        for e in bernoulli(&mut rng, 0.35, 2000) {
+            match det.update(e) {
+                DriftState::Warning => saw_warning = true,
+                DriftState::Drift => {
+                    saw_drift = true;
+                    break;
+                }
+                DriftState::Stable => {}
+            }
+        }
+        assert!(saw_drift, "no drift on a 7x error increase");
+        assert!(saw_warning, "no warning before drift");
+    }
+
+    #[test]
+    fn reset_clears_the_chart() {
+        let mut det = Ecdd::default();
+        for _ in 0..100 {
+            det.update(1.0);
+        }
+        det.reset();
+        assert_eq!(det.n, 0);
+        assert_eq!(det.z, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "warning limit must precede drift")]
+    fn bad_limits_panic() {
+        let _ = Ecdd::new(0.2, 2.0, 3.0);
+    }
+}

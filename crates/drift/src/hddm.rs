@@ -1,0 +1,170 @@
+//! HDDM-A — Frías-Blanco et al., TKDE 2015: drift detection via
+//! Hoeffding's inequality on the difference between a cumulative average
+//! and the minimum cumulative average seen so far. A 1-D streaming
+//! data-drift detector (the paper's Table 8 lists HDDM as a 1-D numeric
+//! data-drift method).
+
+use crate::state::{ConceptDriftDetector, DriftState};
+
+/// HDDM with the A-test (averages). Input values are expected in `[0, 1]`;
+/// callers feeding raw data should normalise first (the statistics
+/// pipeline squashes each column through a tanh before streaming it in).
+#[derive(Debug, Clone)]
+pub struct HddmA {
+    /// Confidence for drift, e.g. 0.001.
+    drift_confidence: f64,
+    /// Confidence for warning, e.g. 0.005.
+    warning_confidence: f64,
+    n: usize,
+    sum: f64,
+    /// Cut point statistics: the minimum (mean + bound) prefix.
+    n_min: usize,
+    sum_min: f64,
+    bound_min: f64,
+}
+
+impl HddmA {
+    /// Creates a detector with the paper-standard confidences.
+    pub fn new(drift_confidence: f64, warning_confidence: f64) -> HddmA {
+        assert!(drift_confidence < warning_confidence);
+        HddmA {
+            drift_confidence,
+            warning_confidence,
+            n: 0,
+            sum: 0.0,
+            n_min: 0,
+            sum_min: 0.0,
+            bound_min: f64::INFINITY,
+        }
+    }
+
+    fn hoeffding_bound(n: f64, confidence: f64) -> f64 {
+        ((1.0 / (2.0 * n)) * (1.0 / confidence).ln()).sqrt()
+    }
+}
+
+impl Default for HddmA {
+    fn default() -> Self {
+        HddmA::new(0.001, 0.005)
+    }
+}
+
+impl ConceptDriftDetector for HddmA {
+    fn update(&mut self, value: f64) -> DriftState {
+        let value = value.clamp(0.0, 1.0);
+        self.n += 1;
+        self.sum += value;
+
+        let n = self.n as f64;
+        let mean = self.sum / n;
+        let bound = Self::hoeffding_bound(n, self.drift_confidence);
+
+        // Track the prefix with the smallest upper bound on its mean.
+        if self.n_min == 0 || mean + bound < self.sum_min / self.n_min as f64 + self.bound_min {
+            self.n_min = self.n;
+            self.sum_min = self.sum;
+            self.bound_min = bound;
+        }
+
+        if self.n_min == self.n || self.n - self.n_min < 5 {
+            return DriftState::Stable;
+        }
+
+        // Compare the post-minimum segment mean against the prefix mean.
+        let n_rest = (self.n - self.n_min) as f64;
+        let mean_min = self.sum_min / self.n_min as f64;
+        let mean_rest = (self.sum - self.sum_min) / n_rest;
+        let m = 1.0 / (1.0 / self.n_min as f64 + 1.0 / n_rest);
+
+        let eps_drift = ((1.0 / (2.0 * m)) * (1.0 / self.drift_confidence).ln()).sqrt();
+        let eps_warn = ((1.0 / (2.0 * m)) * (1.0 / self.warning_confidence).ln()).sqrt();
+        let diff = (mean_rest - mean_min).abs();
+
+        if diff > eps_drift {
+            let state = DriftState::Drift;
+            self.reset();
+            state
+        } else if diff > eps_warn {
+            DriftState::Warning
+        } else {
+            DriftState::Stable
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = HddmA::new(self.drift_confidence, self.warning_confidence);
+    }
+
+    fn name(&self) -> &'static str {
+        "HDDM-A"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn quiet_on_stationary_bernoulli() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut det = HddmA::default();
+        let mut drifts = 0;
+        for _ in 0..5000 {
+            let v = if rng.gen::<f64>() < 0.3 { 1.0 } else { 0.0 };
+            if det.update(v).is_drift() {
+                drifts += 1;
+            }
+        }
+        assert!(drifts <= 1, "{drifts} false drifts");
+    }
+
+    #[test]
+    fn detects_mean_shift() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut det = HddmA::default();
+        for _ in 0..2000 {
+            let v = if rng.gen::<f64>() < 0.2 { 1.0 } else { 0.0 };
+            det.update(v);
+        }
+        let mut fired = false;
+        for _ in 0..2000 {
+            let v = if rng.gen::<f64>() < 0.7 { 1.0 } else { 0.0 };
+            if det.update(v).is_drift() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "HDDM-A missed a 0.2 -> 0.7 shift");
+    }
+
+    #[test]
+    fn detects_continuous_mean_shift() {
+        let mut det = HddmA::default();
+        for i in 0..1000 {
+            det.update(0.3 + 0.01 * ((i % 7) as f64 - 3.0) / 3.0);
+        }
+        let mut fired = false;
+        for i in 0..1000 {
+            if det
+                .update(0.8 + 0.01 * ((i % 7) as f64 - 3.0) / 3.0)
+                .is_drift()
+            {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut det = HddmA::default();
+        for _ in 0..100 {
+            det.update(0.5);
+        }
+        det.reset();
+        assert_eq!(det.n, 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! kdq-tree drift detection — Dasu et al., Interface 2006.
+//!
+//! Builds a kdq-tree partition (a k-d tree with cyclic split dimensions
+//! and midpoint splits, stopping at a minimum cell count) over a reference
+//! window, then measures the KL divergence between the reference and the
+//! current window's leaf-occupancy distributions. The drift threshold is
+//! calibrated by bootstrap: resample pairs from the pooled data and take a
+//! high quantile of the resulting divergences.
+
+use crate::state::{BatchDriftDetector, DriftState};
+use oeb_linalg::{kl_divergence, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One node of the kdq-tree.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Leaf id used to index occupancy vectors.
+        id: usize,
+    },
+    Split {
+        dim: usize,
+        at: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// The fitted partition.
+#[derive(Debug, Clone)]
+struct KdqPartition {
+    root: Node,
+    n_leaves: usize,
+}
+
+impl KdqPartition {
+    /// Builds the partition over `data` with cyclic dimension splits at
+    /// bounding-box midpoints, stopping at `min_count` points or depth 12.
+    fn build(data: &Matrix, min_count: usize) -> KdqPartition {
+        let idx: Vec<usize> = (0..data.rows()).collect();
+        let d = data.cols();
+        let mut lo = vec![f64::INFINITY; d];
+        let mut hi = vec![f64::NEG_INFINITY; d];
+        for r in 0..data.rows() {
+            for (c, &x) in data.row(r).iter().enumerate() {
+                if x.is_finite() {
+                    lo[c] = lo[c].min(x);
+                    hi[c] = hi[c].max(x);
+                }
+            }
+        }
+        let mut n_leaves = 0;
+        let root = Self::split(data, &idx, 0, &lo, &hi, min_count, 12, &mut n_leaves);
+        KdqPartition { root, n_leaves }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn split(
+        data: &Matrix,
+        idx: &[usize],
+        depth: usize,
+        lo: &[f64],
+        hi: &[f64],
+        min_count: usize,
+        max_depth: usize,
+        n_leaves: &mut usize,
+    ) -> Node {
+        let d = data.cols();
+        if idx.len() <= min_count || depth >= max_depth || d == 0 {
+            let id = *n_leaves;
+            *n_leaves += 1;
+            return Node::Leaf { id };
+        }
+        let dim = depth % d;
+        if !(hi[dim] - lo[dim]).is_finite() || hi[dim] - lo[dim] < 1e-12 {
+            let id = *n_leaves;
+            *n_leaves += 1;
+            return Node::Leaf { id };
+        }
+        let at = (lo[dim] + hi[dim]) / 2.0;
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+            .iter()
+            .partition(|&&r| data[(r, dim)].is_finite() && data[(r, dim)] <= at);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            let id = *n_leaves;
+            *n_leaves += 1;
+            return Node::Leaf { id };
+        }
+        let mut hi_left = hi.to_vec();
+        hi_left[dim] = at;
+        let mut lo_right = lo.to_vec();
+        lo_right[dim] = at;
+        Node::Split {
+            dim,
+            at,
+            left: Box::new(Self::split(
+                data, &left_idx, depth + 1, lo, &hi_left, min_count, max_depth, n_leaves,
+            )),
+            right: Box::new(Self::split(
+                data, &right_idx, depth + 1, &lo_right, hi, min_count, max_depth, n_leaves,
+            )),
+        }
+    }
+
+    /// Leaf id of a point.
+    fn leaf_of(&self, row: &[f64]) -> usize {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { id } => return *id,
+                Node::Split {
+                    dim,
+                    at,
+                    left,
+                    right,
+                } => {
+                    node = if row[*dim].is_finite() && row[*dim] <= *at {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Leaf-occupancy counts for a matrix.
+    fn occupancy(&self, data: &Matrix) -> Vec<f64> {
+        let mut counts = vec![0.0; self.n_leaves];
+        for r in 0..data.rows() {
+            counts[self.leaf_of(data.row(r))] += 1.0;
+        }
+        counts
+    }
+}
+
+/// kdq-tree batch drift detector.
+#[derive(Debug, Clone)]
+pub struct KdqTreeDetector {
+    /// Minimum points per leaf.
+    pub min_leaf: usize,
+    /// Bootstrap resamples used to calibrate the drift threshold.
+    pub bootstrap: usize,
+    /// Quantile of the bootstrap divergence distribution (e.g. 0.99).
+    pub quantile: f64,
+    seed: u64,
+    reference: Option<Matrix>,
+}
+
+impl KdqTreeDetector {
+    /// Creates a detector with the given leaf size and bootstrap settings.
+    pub fn new(min_leaf: usize, bootstrap: usize, quantile: f64, seed: u64) -> KdqTreeDetector {
+        KdqTreeDetector {
+            min_leaf,
+            bootstrap,
+            quantile,
+            seed,
+            reference: None,
+        }
+    }
+}
+
+impl Default for KdqTreeDetector {
+    fn default() -> Self {
+        // 0x6b6471 = ASCII "kdq".
+        KdqTreeDetector::new(32, 40, 0.99, 0x6b_64_71)
+    }
+}
+
+impl BatchDriftDetector for KdqTreeDetector {
+    fn update(&mut self, window: &Matrix) -> DriftState {
+        let Some(reference) = self.reference.take() else {
+            self.reference = Some(window.clone());
+            return DriftState::Stable;
+        };
+        // Partition on the reference; measure KL(ref || window).
+        let partition = KdqPartition::build(&reference, self.min_leaf);
+        let p_ref = partition.occupancy(&reference);
+        let p_new = partition.occupancy(window);
+        let observed = kl_divergence(&p_ref, &p_new);
+
+        // Bootstrap: pool both windows, resample two pseudo-windows of the
+        // original sizes, and record their divergence.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let pooled: Vec<Vec<f64>> = (0..reference.rows())
+            .map(|r| reference.row(r).to_vec())
+            .chain((0..window.rows()).map(|r| window.row(r).to_vec()))
+            .collect();
+        let n_ref = reference.rows();
+        let n_new = window.rows();
+        let mut divergences = Vec::with_capacity(self.bootstrap);
+        for _ in 0..self.bootstrap {
+            let a: Vec<Vec<f64>> = (0..n_ref)
+                .map(|_| pooled[rng.gen_range(0..pooled.len())].clone())
+                .collect();
+            let b: Vec<Vec<f64>> = (0..n_new)
+                .map(|_| pooled[rng.gen_range(0..pooled.len())].clone())
+                .collect();
+            let ma = Matrix::from_rows(&a);
+            let mb = Matrix::from_rows(&b);
+            divergences.push(kl_divergence(&partition.occupancy(&ma), &partition.occupancy(&mb)));
+        }
+        let threshold = oeb_linalg::quantile(&divergences, self.quantile);
+        let warn_threshold = oeb_linalg::quantile(&divergences, self.quantile * 0.95);
+
+        let state = if observed > threshold {
+            DriftState::Drift
+        } else if observed > warn_threshold {
+            DriftState::Warning
+        } else {
+            DriftState::Stable
+        };
+        // Slide the reference to the current window.
+        self.reference = Some(window.clone());
+        state
+    }
+
+    fn reset(&mut self) {
+        self.reference = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "kdq-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian_window(rng: &mut StdRng, mean: f64, n: usize, d: usize) -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                (0..d)
+                    .map(|_| {
+                        let u1: f64 = rng.gen::<f64>().max(1e-12);
+                        let u2: f64 = rng.gen();
+                        mean + (-2.0 * u1.ln()).sqrt()
+                            * (std::f64::consts::TAU * u2).cos()
+                    })
+                    .collect()
+            })
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn partition_occupancy_sums_to_row_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = gaussian_window(&mut rng, 0.0, 500, 3);
+        let p = KdqPartition::build(&w, 32);
+        let occ = p.occupancy(&w);
+        assert!((occ.iter().sum::<f64>() - 500.0).abs() < 1e-9);
+        assert!(p.n_leaves > 1);
+    }
+
+    #[test]
+    fn quiet_on_same_distribution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut det = KdqTreeDetector::new(32, 40, 0.99, 99);
+        let mut drifts = 0;
+        for _ in 0..12 {
+            if det
+                .update(&gaussian_window(&mut rng, 0.0, 400, 3))
+                .is_drift()
+            {
+                drifts += 1;
+            }
+        }
+        assert!(drifts <= 1, "{drifts} false drifts");
+    }
+
+    #[test]
+    fn detects_mean_shift() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut det = KdqTreeDetector::new(32, 40, 0.99, 7);
+        det.update(&gaussian_window(&mut rng, 0.0, 400, 3));
+        let state = det.update(&gaussian_window(&mut rng, 2.5, 400, 3));
+        assert!(state.is_drift());
+    }
+
+    #[test]
+    fn constant_data_does_not_panic() {
+        let mut det = KdqTreeDetector::default();
+        let w = Matrix::from_rows(&vec![vec![1.0, 1.0]; 100]);
+        det.update(&w);
+        let s = det.update(&w);
+        assert!(!s.is_drift());
+    }
+}

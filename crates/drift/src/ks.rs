@@ -1,0 +1,124 @@
+//! Kolmogorov–Smirnov batch drift detector.
+//!
+//! A 1-D two-sample KS test between the current window and a reference
+//! window, with drift declared at `p < alpha` (the paper uses
+//! `p = 0.05`). On drift the reference slides to the current window, so
+//! the detector tracks regime changes rather than cumulative divergence.
+
+use crate::state::DriftState;
+use oeb_linalg::{ks_p_value, ks_statistic};
+
+/// Per-column KS drift detector.
+#[derive(Debug, Clone)]
+pub struct KsDetector {
+    /// Significance level for drift (paper default 0.05).
+    pub alpha: f64,
+    reference: Option<Vec<f64>>,
+}
+
+impl KsDetector {
+    /// Creates a KS detector at significance `alpha`.
+    pub fn new(alpha: f64) -> KsDetector {
+        assert!(alpha > 0.0 && alpha < 1.0);
+        KsDetector {
+            alpha,
+            reference: None,
+        }
+    }
+
+    /// Feeds the next window of one column (non-finite values are
+    /// ignored). The first window becomes the reference.
+    pub fn update(&mut self, column: &[f64]) -> DriftState {
+        let clean: Vec<f64> = column.iter().copied().filter(|x| x.is_finite()).collect();
+        match &self.reference {
+            None => {
+                self.reference = Some(clean);
+                DriftState::Stable
+            }
+            Some(reference) => {
+                if reference.is_empty() || clean.is_empty() {
+                    self.reference = Some(clean);
+                    return DriftState::Stable;
+                }
+                let d = ks_statistic(reference, &clean);
+                let p = ks_p_value(d, reference.len(), clean.len());
+                if p < self.alpha {
+                    self.reference = Some(clean);
+                    DriftState::Drift
+                } else {
+                    DriftState::Stable
+                }
+            }
+        }
+    }
+
+    /// Clears the reference.
+    pub fn reset(&mut self) {
+        self.reference = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_window(rng: &mut StdRng, lo: f64, hi: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|_| lo + rng.gen::<f64>() * (hi - lo)).collect()
+    }
+
+    #[test]
+    fn stable_on_identical_distribution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut det = KsDetector::new(0.01);
+        let mut drifts = 0;
+        for _ in 0..30 {
+            let w = uniform_window(&mut rng, 0.0, 1.0, 300);
+            if det.update(&w).is_drift() {
+                drifts += 1;
+            }
+        }
+        assert!(drifts <= 1, "{drifts} false drifts");
+    }
+
+    #[test]
+    fn detects_shifted_distribution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut det = KsDetector::new(0.05);
+        det.update(&uniform_window(&mut rng, 0.0, 1.0, 500));
+        let state = det.update(&uniform_window(&mut rng, 0.5, 1.5, 500));
+        assert!(state.is_drift());
+    }
+
+    #[test]
+    fn reference_slides_after_drift() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut det = KsDetector::new(0.05);
+        det.update(&uniform_window(&mut rng, 0.0, 1.0, 500));
+        assert!(det
+            .update(&uniform_window(&mut rng, 2.0, 3.0, 500))
+            .is_drift());
+        // The new regime is now the reference: no further drift.
+        assert!(!det
+            .update(&uniform_window(&mut rng, 2.0, 3.0, 500))
+            .is_drift());
+    }
+
+    #[test]
+    fn nan_values_are_ignored() {
+        let mut det = KsDetector::new(0.05);
+        let mut w: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        w[10] = f64::NAN;
+        det.update(&w);
+        let w2: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        assert!(!det.update(&w2).is_drift());
+    }
+
+    #[test]
+    fn empty_windows_are_tolerated() {
+        let mut det = KsDetector::new(0.05);
+        assert_eq!(det.update(&[]), DriftState::Stable);
+        assert_eq!(det.update(&[1.0, 2.0]), DriftState::Stable);
+    }
+}

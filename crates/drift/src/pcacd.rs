@@ -1,0 +1,263 @@
+//! PCA-CD — Qahtan et al., KDD 2015: change detection for
+//! multidimensional streams by projecting onto leading principal
+//! components, estimating per-component densities, and monitoring a
+//! divergence statistic with a Page–Hinkley test.
+//!
+//! The paper's pipeline uses the first two principal components (§4.3).
+
+use crate::state::{BatchDriftDetector, DriftState};
+use oeb_linalg::{kl_divergence, Histogram, Matrix, Pca};
+
+/// Page–Hinkley cumulative-change test over a scalar statistic.
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    /// Minimal magnitude of change to accumulate.
+    pub delta: f64,
+    /// Detection threshold on the accumulated deviation.
+    pub lambda: f64,
+    n: usize,
+    mean: f64,
+    cum: f64,
+    min_cum: f64,
+}
+
+impl PageHinkley {
+    /// Creates a Page–Hinkley test.
+    pub fn new(delta: f64, lambda: f64) -> PageHinkley {
+        PageHinkley {
+            delta,
+            lambda,
+            n: 0,
+            mean: 0.0,
+            cum: 0.0,
+            min_cum: 0.0,
+        }
+    }
+
+    /// Feeds one observation; true when the accumulated positive deviation
+    /// exceeds `lambda`.
+    pub fn update(&mut self, x: f64) -> bool {
+        self.n += 1;
+        self.mean += (x - self.mean) / self.n as f64;
+        self.cum += x - self.mean - self.delta;
+        self.min_cum = self.min_cum.min(self.cum);
+        if self.cum - self.min_cum > self.lambda {
+            self.reset();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clears accumulated state.
+    pub fn reset(&mut self) {
+        self.n = 0;
+        self.mean = 0.0;
+        self.cum = 0.0;
+        self.min_cum = 0.0;
+    }
+}
+
+/// The fitted reference: the PCA basis, per-component histogram
+/// ranges, and per-component reference probabilities.
+type FittedReference = (Pca, Vec<(f64, f64)>, Vec<Vec<f64>>);
+
+/// PCA-CD batch drift detector.
+#[derive(Debug, Clone)]
+pub struct PcaCd {
+    /// Number of leading components monitored (paper default 2).
+    pub n_components: usize,
+    bins: usize,
+    ph: PageHinkley,
+    fitted: Option<FittedReference>,
+}
+
+impl PcaCd {
+    /// Creates a PCA-CD detector monitoring `n_components` components.
+    pub fn new(n_components: usize, lambda: f64) -> PcaCd {
+        PcaCd {
+            n_components,
+            bins: 16,
+            ph: PageHinkley::new(0.005, lambda),
+            fitted: None,
+        }
+    }
+
+    /// Fits the PCA and the reference per-component histograms.
+    fn fit_reference(&mut self, window: &Matrix) {
+        let clean = sanitize(window);
+        let pca = Pca::fit(&clean, self.n_components);
+        let proj = pca.transform(&clean);
+        let mut ranges = Vec::new();
+        let mut probs = Vec::new();
+        for c in 0..proj.cols() {
+            let col = proj.col(c);
+            let lo = col.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let (lo, hi) = if hi > lo { (lo, hi) } else { (lo, lo + 1.0) };
+            // Widen the range a little so new data stays in-range.
+            let pad = (hi - lo) * 0.25;
+            let (lo, hi) = (lo - pad, hi + pad);
+            ranges.push((lo, hi));
+            probs.push(Histogram::new(&col, self.bins, lo, hi).probabilities());
+        }
+        self.fitted = Some((pca, ranges, probs));
+    }
+}
+
+/// Replaces non-finite cells with the column mean so PCA stays defined.
+fn sanitize(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    let d = out.cols();
+    let mut sums = vec![0.0; d];
+    let mut counts = vec![0usize; d];
+    for r in 0..out.rows() {
+        for (c, &x) in out.row(r).iter().enumerate() {
+            if x.is_finite() {
+                sums[c] += x;
+                counts[c] += 1;
+            }
+        }
+    }
+    let means: Vec<f64> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(&s, &n)| if n > 0 { s / n as f64 } else { 0.0 })
+        .collect();
+    for r in 0..out.rows() {
+        for (c, x) in out.row_mut(r).iter_mut().enumerate() {
+            if !x.is_finite() {
+                *x = means[c];
+            }
+        }
+    }
+    out
+}
+
+impl Default for PcaCd {
+    fn default() -> Self {
+        PcaCd::new(2, 0.3)
+    }
+}
+
+impl BatchDriftDetector for PcaCd {
+    fn update(&mut self, window: &Matrix) -> DriftState {
+        if self.fitted.is_none() {
+            self.fit_reference(window);
+            return DriftState::Stable;
+        }
+        let (pca, ranges, ref_probs) = self.fitted.as_ref().expect("fitted above");
+        let clean = sanitize(window);
+        let proj = pca.transform(&clean);
+        // Average per-component KL divergence against the reference.
+        let mut div = 0.0;
+        let k = proj.cols().max(1);
+        for c in 0..proj.cols() {
+            let col = proj.col(c);
+            let (lo, hi) = ranges[c];
+            let h = Histogram::new(&col, self.bins, lo, hi);
+            div += kl_divergence(&ref_probs[c], &h.probabilities());
+        }
+        div /= k as f64;
+
+        if self.ph.update(div) {
+            // Refit on the new regime.
+            self.fit_reference(window);
+            DriftState::Drift
+        } else {
+            DriftState::Stable
+        }
+    }
+
+    fn reset(&mut self) {
+        self.fitted = None;
+        self.ph.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "PCA-CD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn window(rng: &mut StdRng, shift: f64, n: usize, d: usize) -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|j| rng.gen::<f64>() * (j + 1) as f64 + shift).collect())
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn page_hinkley_detects_upward_shift() {
+        let mut ph = PageHinkley::new(0.005, 1.0);
+        for _ in 0..200 {
+            assert!(!ph.update(0.1));
+        }
+        let mut fired = false;
+        for _ in 0..200 {
+            if ph.update(0.5) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired);
+    }
+
+    #[test]
+    fn page_hinkley_quiet_on_noise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ph = PageHinkley::new(0.01, 2.0);
+        let mut fires = 0;
+        for _ in 0..5000 {
+            if ph.update(rng.gen::<f64>() * 0.1) {
+                fires += 1;
+            }
+        }
+        assert!(fires <= 1, "{fires} false alarms");
+    }
+
+    #[test]
+    fn pcacd_quiet_then_fires_on_shift() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut det = PcaCd::default();
+        let mut early_drifts = 0;
+        for _ in 0..10 {
+            if det.update(&window(&mut rng, 0.0, 300, 4)).is_drift() {
+                early_drifts += 1;
+            }
+        }
+        assert!(early_drifts <= 1, "{early_drifts} false drifts");
+        let mut fired = false;
+        for _ in 0..6 {
+            if det.update(&window(&mut rng, 5.0, 300, 4)).is_drift() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "PCA-CD missed a large shift");
+    }
+
+    #[test]
+    fn sanitize_fills_nan_with_column_means() {
+        let m = Matrix::from_rows(&[vec![1.0, f64::NAN], vec![3.0, 4.0]]);
+        let s = sanitize(&m);
+        assert!(s.is_finite());
+        assert_eq!(s[(0, 1)], 4.0);
+    }
+
+    #[test]
+    fn reset_refits_on_next_window() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut det = PcaCd::default();
+        det.update(&window(&mut rng, 0.0, 100, 3));
+        det.reset();
+        assert!(det.fitted.is_none());
+        det.update(&window(&mut rng, 0.0, 100, 3));
+        assert!(det.fitted.is_some());
+    }
+}

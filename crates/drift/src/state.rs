@@ -1,0 +1,67 @@
+//! Shared detector state types.
+
+/// The tri-state output drift detectors report after each update,
+/// matching the warning/drift levels that DDM-family detectors expose and
+/// that the paper's statistics pipeline records ("drift and warning
+/// percentages", §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftState {
+    /// No evidence of drift.
+    Stable,
+    /// Early-warning zone: drift suspected but not confirmed.
+    Warning,
+    /// Drift confirmed.
+    Drift,
+}
+
+impl DriftState {
+    /// True for [`DriftState::Drift`].
+    pub fn is_drift(&self) -> bool {
+        matches!(self, DriftState::Drift)
+    }
+
+    /// True for [`DriftState::Warning`] or [`DriftState::Drift`].
+    pub fn is_warning_or_worse(&self) -> bool {
+        !matches!(self, DriftState::Stable)
+    }
+}
+
+/// A streaming concept-drift detector fed with a per-item error signal
+/// (0/1 misclassification indicator, or a bounded regression loss).
+pub trait ConceptDriftDetector {
+    /// Feeds one error observation; returns the detector state.
+    fn update(&mut self, error: f64) -> DriftState;
+
+    /// Clears all internal state.
+    fn reset(&mut self);
+
+    /// Detector name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A batch data-drift detector fed with successive windows of
+/// (already encoded and imputed) feature matrices.
+pub trait BatchDriftDetector {
+    /// Feeds the next window; returns the detector state for this window.
+    fn update(&mut self, window: &oeb_linalg::Matrix) -> DriftState;
+
+    /// Clears all internal state.
+    fn reset(&mut self);
+
+    /// Detector name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_predicates() {
+        assert!(DriftState::Drift.is_drift());
+        assert!(!DriftState::Warning.is_drift());
+        assert!(DriftState::Warning.is_warning_or_worse());
+        assert!(DriftState::Drift.is_warning_or_worse());
+        assert!(!DriftState::Stable.is_warning_or_worse());
+    }
+}

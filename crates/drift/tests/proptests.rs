@@ -1,0 +1,127 @@
+//! Property-based tests for the drift detectors: robustness over
+//! arbitrary streams (no panics, sane state), ADWIN window accounting,
+//! and detector reset semantics.
+
+use oeb_drift::{
+    Adwin, BatchDriftDetector, Cdbd, ConceptDriftDetector, Ddm, Eddm, Hdddm, HddmA,
+    KdqTreeDetector, KsDetector, PcaCd, PageHinkley,
+};
+use oeb_linalg::Matrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn adwin_window_never_exceeds_items_inserted(values in prop::collection::vec(0.0..1.0f64, 1..500)) {
+        let mut a = Adwin::new(0.002);
+        for (i, &v) in values.iter().enumerate() {
+            a.insert(v);
+            prop_assert!(a.window_len() <= i + 1);
+            prop_assert!(a.window_len() >= 1);
+            // The window mean stays within the value range.
+            prop_assert!(a.mean() >= -1e-9 && a.mean() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn adwin_mean_matches_recount_on_stable_stream(values in prop::collection::vec(0.4..0.6f64, 10..200)) {
+        // A narrow-band stream never cuts, so the ADWIN mean must equal
+        // the running arithmetic mean.
+        let mut a = Adwin::new(0.0001);
+        let mut sum = 0.0;
+        for (i, &v) in values.iter().enumerate() {
+            a.insert(v);
+            sum += v;
+            if a.window_len() == i + 1 {
+                let expected = sum / (i + 1) as f64;
+                prop_assert!((a.mean() - expected).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn concept_detectors_never_panic_and_reset_clean(errors in prop::collection::vec(0.0..1.0f64, 1..300)) {
+        let mut detectors: Vec<Box<dyn ConceptDriftDetector>> = vec![
+            Box::new(Ddm::new()),
+            Box::new(Eddm::new()),
+            Box::new(Adwin::new(0.002)),
+            Box::new(HddmA::default()),
+        ];
+        for det in &mut detectors {
+            for &e in &errors {
+                let _ = det.update(e);
+            }
+            det.reset();
+            // After reset, the first update never reports drift.
+            prop_assert!(!det.update(errors[0]).is_drift(), "{} drifted right after reset", det.name());
+        }
+    }
+
+    #[test]
+    fn batch_detectors_accept_arbitrary_windows(
+        data in prop::collection::vec(prop::collection::vec(-1e3..1e3f64, 12), 4..10)
+    ) {
+        // 4-10 windows of 4 rows x 3 cols each.
+        let windows: Vec<Matrix> = data
+            .chunks(1)
+            .map(|chunk| Matrix::from_vec(4, 3, chunk[0].clone()))
+            .collect();
+        let mut hdddm = Hdddm::default();
+        let mut kdq = KdqTreeDetector::new(2, 10, 0.99, 7);
+        let mut pcacd = PcaCd::default();
+        for w in &windows {
+            let _ = hdddm.update(w);
+            let _ = kdq.update(w);
+            let _ = pcacd.update(w);
+        }
+        // Reset restores the initial no-reference state: the next window
+        // is absorbed as reference without drift.
+        hdddm.reset();
+        prop_assert!(!hdddm.update(&windows[0]).is_drift());
+        kdq.reset();
+        prop_assert!(!kdq.update(&windows[0]).is_drift());
+        pcacd.reset();
+        prop_assert!(!pcacd.update(&windows[0]).is_drift());
+    }
+
+    #[test]
+    fn ks_detector_is_shift_invariant_in_decision(
+        base in prop::collection::vec(0.0..1.0f64, 20..80),
+        offset in -100.0..100.0f64,
+    ) {
+        // KS works on ranks: adding a constant to *both* windows cannot
+        // change the statistic, so detections agree.
+        let shifted: Vec<f64> = base.iter().map(|x| x + offset).collect();
+        let mut det_a = KsDetector::new(0.05);
+        let mut det_b = KsDetector::new(0.05);
+        det_a.update(&base);
+        det_b.update(&shifted);
+        let second: Vec<f64> = base.iter().rev().map(|x| x * 0.9).collect();
+        let second_shifted: Vec<f64> = second.iter().map(|x| x + offset).collect();
+        prop_assert_eq!(det_a.update(&second), det_b.update(&second_shifted));
+    }
+
+    #[test]
+    fn cdbd_handles_constant_batches(v in -10.0..10.0f64, n in 3usize..20) {
+        let mut det = Cdbd::default();
+        let batch = vec![v; 50];
+        let mut drifts = 0;
+        for _ in 0..n {
+            if det.update(&batch).is_drift() {
+                drifts += 1;
+            }
+        }
+        prop_assert_eq!(drifts, 0, "CDBD drifted on identical constant batches");
+    }
+
+    #[test]
+    fn page_hinkley_never_fires_below_delta(xs in prop::collection::vec(0.0..0.001f64, 10..200)) {
+        // All observations are below the minimum-change delta, so the
+        // cumulative statistic cannot reach lambda.
+        let mut ph = PageHinkley::new(0.01, 1.0);
+        for &x in &xs {
+            prop_assert!(!ph.update(x));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Jacobi eigenvalue decomposition for real symmetric matrices.
+//!
+//! The benchmark only needs eigendecompositions of covariance matrices
+//! (for PCA) whose dimension is the number of dataset features — at most a
+//! few hundred — so the classic cyclic Jacobi rotation method is more than
+//! fast enough and numerically very robust.
+
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition: `values[i]` corresponds to the
+/// unit-norm eigenvector stored in column `i` of `vectors`, sorted by
+/// descending eigenvalue.
+#[derive(Debug, Clone)]
+pub struct Eigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors as matrix columns, aligned with `values`.
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix using cyclic Jacobi
+/// rotations.
+///
+/// # Panics
+/// Panics if the matrix is not square.
+pub fn symmetric_eigen(m: &Matrix) -> Eigen {
+    assert_eq!(m.rows(), m.cols(), "eigendecomposition requires a square matrix");
+    let n = m.rows();
+    let mut a = m.clone();
+    let mut v = Matrix::identity(n);
+
+    let max_sweeps = 100;
+    for _ in 0..max_sweeps {
+        let off = off_diagonal_norm(&a);
+        if off < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                // Stable computation of the rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation G(p, q, theta) as A <- G^T A G.
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - s * akq;
+                    a[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - s * aqk;
+                    a[(q, k)] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a[(i, i)], i)).collect();
+    pairs.sort_by(|x, y| y.0.total_cmp(&x.0));
+
+    let values: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    Eigen { values, vectors }
+}
+
+fn off_diagonal_norm(a: &Matrix) -> f64 {
+    let n = a.rows();
+    let mut s = 0.0;
+    for p in 0..n {
+        for q in (p + 1)..n {
+            s += a[(p, q)] * a[(p, q)];
+        }
+    }
+    s.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::dot;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_its_entries() {
+        let mut m = Matrix::zeros(3, 3);
+        m[(0, 0)] = 3.0;
+        m[(1, 1)] = 1.0;
+        m[(2, 2)] = 2.0;
+        let e = symmetric_eigen(&m);
+        assert!(close(e.values[0], 3.0));
+        assert!(close(e.values[1], 2.0));
+        assert!(close(e.values[2], 1.0));
+    }
+
+    #[test]
+    fn two_by_two_known_decomposition() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = symmetric_eigen(&m);
+        assert!(close(e.values[0], 3.0));
+        assert!(close(e.values[1], 1.0));
+        // Leading eigenvector proportional to (1, 1)/sqrt(2).
+        let v0 = e.vectors.col(0);
+        assert!(close(v0[0].abs(), v0[1].abs()));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 2.0],
+        ]);
+        let e = symmetric_eigen(&m);
+        for i in 0..3 {
+            for j in 0..3 {
+                let vi = e.vectors.col(i);
+                let vj = e.vectors.col(j);
+                let d = dot(&vi, &vj);
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (d - expected).abs() < 1e-8,
+                    "columns {i},{j} dot = {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_av_equals_lambda_v() {
+        let m = Matrix::from_rows(&[
+            vec![5.0, 2.0, 1.0],
+            vec![2.0, 4.0, 0.0],
+            vec![1.0, 0.0, 3.0],
+        ]);
+        let e = symmetric_eigen(&m);
+        for i in 0..3 {
+            let v = e.vectors.col(i);
+            let av = m.matvec(&v);
+            for (x, y) in av.iter().zip(&v) {
+                assert!((x - e.values[i] * y).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 0.3, 0.1],
+            vec![0.3, 2.0, 0.4],
+            vec![0.1, 0.4, 3.0],
+        ]);
+        let e = symmetric_eigen(&m);
+        let trace = 1.0 + 2.0 + 3.0;
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+}

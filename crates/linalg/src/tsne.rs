@@ -1,0 +1,298 @@
+//! Exact t-SNE (t-distributed Stochastic Neighbor Embedding).
+//!
+//! The paper uses t-SNE to project preprocessed windows into 2D for the
+//! case-study visualisations (Figure 6). The exact O(n^2) formulation is
+//! used here; the case studies subsample windows to at most a couple of
+//! thousand points, where exact t-SNE is comfortably fast and avoids the
+//! approximation error of Barnes-Hut.
+
+use crate::matrix::{sq_dist, Matrix};
+use rand::Rng;
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TsneConfig {
+    /// Output dimensionality (2 for the paper's scatter plots).
+    pub dims: usize,
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of training.
+    pub exaggeration: f64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            dims: 2,
+            perplexity: 30.0,
+            iterations: 250,
+            learning_rate: 100.0,
+            exaggeration: 4.0,
+        }
+    }
+}
+
+/// Embeds the rows of `data` into `config.dims` dimensions.
+///
+/// Returns an `n x dims` matrix. For inputs with fewer than 4 rows the
+/// embedding is a small random jitter (t-SNE is meaningless there).
+pub fn tsne<R: Rng>(data: &Matrix, config: &TsneConfig, rng: &mut R) -> Matrix {
+    let n = data.rows();
+    let dims = config.dims;
+    let mut y = Matrix::zeros(n, dims);
+    for v in y.as_mut_slice() {
+        *v = rng.gen::<f64>() * 1e-2 - 5e-3;
+    }
+    if n < 4 {
+        return y;
+    }
+
+    let p = joint_probabilities(data, config.perplexity);
+    let mut gains = vec![1.0f64; n * dims];
+    let mut velocity = vec![0.0f64; n * dims];
+    let exaggeration_end = config.iterations / 4;
+
+    for iter in 0..config.iterations {
+        let exag = if iter < exaggeration_end {
+            config.exaggeration
+        } else {
+            1.0
+        };
+        let momentum = if iter < exaggeration_end { 0.5 } else { 0.8 };
+
+        // Student-t affinities in the embedding.
+        let mut num = vec![0.0f64; n * n];
+        let mut z = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let q = 1.0 / (1.0 + sq_dist(y.row(i), y.row(j)));
+                num[i * n + j] = q;
+                num[j * n + i] = q;
+                z += 2.0 * q;
+            }
+        }
+        let z = z.max(1e-12);
+
+        // Gradient: 4 * sum_j (p_ij - q_ij) q'_ij (y_i - y_j).
+        let mut grad = vec![0.0f64; n * dims];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let q = num[i * n + j] / z;
+                let mult = (exag * p[i * n + j] - q) * num[i * n + j];
+                for d in 0..dims {
+                    grad[i * dims + d] += 4.0 * mult * (y[(i, d)] - y[(j, d)]);
+                }
+            }
+        }
+
+        // Momentum update with adaptive gains.
+        for idx in 0..n * dims {
+            let same_sign = grad[idx].signum() == velocity[idx].signum();
+            gains[idx] = if same_sign {
+                (gains[idx] * 0.8).max(0.01)
+            } else {
+                gains[idx] + 0.2
+            };
+            velocity[idx] =
+                momentum * velocity[idx] - config.learning_rate * gains[idx] * grad[idx];
+        }
+        for i in 0..n {
+            for d in 0..dims {
+                y[(i, d)] += velocity[i * dims + d];
+            }
+        }
+
+        // Keep the embedding centred.
+        let means = y.col_means();
+        for i in 0..n {
+            for d in 0..dims {
+                y[(i, d)] -= means[d];
+            }
+        }
+    }
+    y
+}
+
+/// Symmetric joint probabilities P with per-point bandwidths found by binary
+/// search so each conditional distribution has the requested perplexity.
+fn joint_probabilities(data: &Matrix, perplexity: f64) -> Vec<f64> {
+    let n = data.rows();
+    let target_entropy = perplexity.max(2.0).ln();
+    let mut p = vec![0.0f64; n * n];
+
+    // Precompute pairwise squared distances.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = sq_dist(data.row(i), data.row(j));
+            d2[i * n + j] = d;
+            d2[j * n + i] = d;
+        }
+    }
+
+    let mut row = vec![0.0f64; n];
+    for i in 0..n {
+        // Binary search for beta = 1 / (2 sigma^2).
+        let mut beta = 1.0f64;
+        let mut beta_min = f64::NEG_INFINITY;
+        let mut beta_max = f64::INFINITY;
+        for _ in 0..50 {
+            let mut sum = 0.0;
+            for j in 0..n {
+                row[j] = if i == j {
+                    0.0
+                } else {
+                    (-beta * d2[i * n + j]).exp()
+                };
+                sum += row[j];
+            }
+            let sum = sum.max(1e-300);
+            // Shannon entropy of the conditional distribution.
+            let mut entropy = 0.0;
+            for j in 0..n {
+                if row[j] > 0.0 {
+                    let pj = row[j] / sum;
+                    entropy -= pj * pj.ln();
+                }
+            }
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_min = beta;
+                beta = if beta_max.is_finite() {
+                    (beta + beta_max) / 2.0
+                } else {
+                    beta * 2.0
+                };
+            } else {
+                beta_max = beta;
+                beta = if beta_min.is_finite() {
+                    (beta + beta_min) / 2.0
+                } else {
+                    beta / 2.0
+                };
+            }
+        }
+        let sum: f64 = row.iter().sum::<f64>().max(1e-300);
+        for j in 0..n {
+            p[i * n + j] = row[j] / sum;
+        }
+    }
+
+    // Symmetrise and normalise.
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = (p[i * n + j] + p[j * n + i]) / (2.0 * n as f64);
+            let v = v.max(1e-12);
+            p[i * n + j] = v;
+            p[j * n + i] = v;
+            total += 2.0 * v;
+        }
+    }
+    for v in &mut p {
+        *v /= total;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blobs(n_per: usize) -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..n_per {
+            let j = (i % 5) as f64 * 0.05;
+            rows.push(vec![0.0 + j, 0.0 - j, j]);
+        }
+        for i in 0..n_per {
+            let j = (i % 5) as f64 * 0.05;
+            rows.push(vec![20.0 + j, 20.0 - j, 20.0 + j]);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn output_shape_and_finiteness() {
+        let data = two_blobs(15);
+        let mut rng = StdRng::seed_from_u64(3);
+        let emb = tsne(&data, &TsneConfig::default(), &mut rng);
+        assert_eq!(emb.shape(), (30, 2));
+        assert!(emb.is_finite());
+    }
+
+    #[test]
+    fn separated_blobs_stay_separated() {
+        let data = two_blobs(20);
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = TsneConfig {
+            perplexity: 10.0,
+            iterations: 300,
+            ..Default::default()
+        };
+        let emb = tsne(&data, &cfg, &mut rng);
+        // Mean intra-blob distance should be well below the inter-blob
+        // centroid distance.
+        let centroid = |range: std::ops::Range<usize>| {
+            let mut c = vec![0.0; 2];
+            for i in range.clone() {
+                for d in 0..2 {
+                    c[d] += emb[(i, d)];
+                }
+            }
+            for d in 0..2 {
+                c[d] /= range.len() as f64;
+            }
+            c
+        };
+        let c0 = centroid(0..20);
+        let c1 = centroid(20..40);
+        let inter = crate::matrix::euclidean(&c0, &c1);
+        let mut intra = 0.0;
+        for i in 0..20 {
+            intra += crate::matrix::euclidean(emb.row(i), &c0);
+        }
+        intra /= 20.0;
+        assert!(
+            inter > 2.0 * intra,
+            "inter {inter} should exceed 2x intra {intra}"
+        );
+    }
+
+    #[test]
+    fn tiny_input_does_not_panic() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let emb = tsne(&data, &TsneConfig::default(), &mut rng);
+        assert_eq!(emb.shape(), (2, 2));
+    }
+
+    #[test]
+    fn embedding_is_centred() {
+        let data = two_blobs(10);
+        let mut rng = StdRng::seed_from_u64(8);
+        let emb = tsne(
+            &data,
+            &TsneConfig {
+                iterations: 50,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        for m in emb.col_means() {
+            assert!(m.abs() < 1e-9);
+        }
+    }
+}

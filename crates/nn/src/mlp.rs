@@ -1,0 +1,649 @@
+//! A multilayer perceptron with manual backpropagation and SGD, matching
+//! the paper's default architecture (§6.1): ReLU hidden layers of
+//! [32, 16, 8], linear output head, cross-entropy loss for classification
+//! and MSE for regression, learning rate 0.01, batch size 64.
+//!
+//! The trainer deliberately performs **no gradient clipping** by default:
+//! the paper's §5.3 finding that a single absurd cell can blow a neural
+//! network up (loss → ∞) is a behaviour this reproduction must preserve.
+
+use oeb_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The learning objective of the output head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Softmax + cross-entropy over `n` classes; targets are class indices.
+    CrossEntropy,
+    /// Mean squared error; output width 1, targets are values.
+    SquaredError,
+}
+
+/// One dense layer (row-major `out x in` weights).
+#[derive(Debug, Clone)]
+struct Layer {
+    w: Vec<f64>,
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Layer {
+        // He initialisation for the ReLU stack.
+        let scale = (2.0 / n_in as f64).sqrt();
+        let w = (0..n_in * n_out)
+            .map(|_| {
+                let u1: f64 = rng.gen::<f64>().max(1e-12);
+                let u2: f64 = rng.gen();
+                scale * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+            })
+            .collect();
+        Layer {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let mut z = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                z += wi * xi;
+            }
+            out.push(z);
+        }
+    }
+}
+
+/// Extra terms mixed into a training step.
+#[derive(Default)]
+pub struct TrainOpts<'a> {
+    /// EWC penalty: `(theta_star, fisher_diagonal, lambda)`. Adds
+    /// `lambda * F_i * (theta_i - theta*_i)` to the flat gradient.
+    pub ewc: Option<(&'a [f64], &'a [f64], f64)>,
+    /// LwF distillation: `(previous model, lambda)`. For classification a
+    /// temperature-2 soft-target KL; for regression an MSE pull toward the
+    /// previous model's outputs.
+    pub distill: Option<(&'a Mlp, f64)>,
+}
+
+/// The MLP model.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    /// Output objective.
+    pub objective: Objective,
+}
+
+impl Mlp {
+    /// Builds an MLP `input -> hidden... -> output` with He-initialised
+    /// ReLU hidden layers and a linear head.
+    pub fn new(
+        input: usize,
+        hidden: &[usize],
+        output: usize,
+        objective: Objective,
+        seed: u64,
+    ) -> Mlp {
+        assert!(input > 0 && output > 0, "degenerate layer sizes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sizes = vec![input];
+        sizes.extend_from_slice(hidden);
+        sizes.push(output);
+        let layers = sizes
+            .windows(2)
+            .map(|p| Layer::new(p[0], p[1], &mut rng))
+            .collect();
+        Mlp { layers, objective }
+    }
+
+    /// Number of scalar parameters.
+    pub fn n_params(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// Approximate in-memory size of the model state in bytes
+    /// (parameters at f64); used by the Table 6 reproduction.
+    pub fn memory_bytes(&self) -> usize {
+        self.n_params() * std::mem::size_of::<f64>()
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].n_in
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").n_out
+    }
+
+    /// Flattened copy of all parameters (weights then biases, per layer).
+    pub fn get_params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_params());
+        for l in &self.layers {
+            out.extend_from_slice(&l.w);
+            out.extend_from_slice(&l.b);
+        }
+        out
+    }
+
+    /// Restores parameters from a flat buffer produced by
+    /// [`Mlp::get_params`].
+    pub fn set_params(&mut self, flat: &[f64]) {
+        assert_eq!(flat.len(), self.n_params(), "parameter count mismatch");
+        let mut off = 0;
+        for l in &mut self.layers {
+            let wl = l.w.len();
+            l.w.copy_from_slice(&flat[off..off + wl]);
+            off += wl;
+            let bl = l.b.len();
+            l.b.copy_from_slice(&flat[off..off + bl]);
+            off += bl;
+        }
+    }
+
+    /// Forward pass returning the raw output (logits or regression value).
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if i + 1 < self.layers.len() {
+                for v in &mut next {
+                    *v = v.max(0.0);
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Activations of the last hidden layer (iCaRL's representation
+    /// space). For a network with no hidden layer this is the input.
+    pub fn hidden_repr(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for layer in &self.layers[..self.layers.len() - 1] {
+            layer.forward(&cur, &mut next);
+            for v in &mut next {
+                *v = v.max(0.0);
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Predicted class (argmax of logits).
+    pub fn predict_class(&self, x: &[f64]) -> usize {
+        let out = self.forward(x);
+        argmax(&out)
+    }
+
+    /// Per-sample loss under the objective.
+    pub fn loss(&self, x: &[f64], y: f64) -> f64 {
+        let out = self.forward(x);
+        match self.objective {
+            Objective::CrossEntropy => {
+                let p = softmax(&out);
+                let c = (y as usize).min(p.len() - 1);
+                -(p[c].max(1e-12)).ln()
+            }
+            Objective::SquaredError => {
+                let d = out[0] - y;
+                d * d
+            }
+        }
+    }
+
+    /// One SGD step on a mini-batch; returns the mean batch loss
+    /// (before the step, excluding penalty terms).
+    ///
+    /// `rows` selects the batch rows of `xs`/`ys`.
+    pub fn train_batch(
+        &mut self,
+        xs: &Matrix,
+        ys: &[f64],
+        rows: &[usize],
+        lr: f64,
+        opts: &TrainOpts<'_>,
+    ) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let mut grads: Vec<(Vec<f64>, Vec<f64>)> = self
+            .layers
+            .iter()
+            .map(|l| (vec![0.0; l.w.len()], vec![0.0; l.b.len()]))
+            .collect();
+        let mut total_loss = 0.0;
+
+        for &r in rows {
+            let x = xs.row(r);
+            let y = ys[r];
+            // Forward with cached pre- and post-activations.
+            let mut acts: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len() + 1);
+            acts.push(x.to_vec());
+            let mut cur = x.to_vec();
+            let mut next = Vec::new();
+            for (i, layer) in self.layers.iter().enumerate() {
+                layer.forward(&cur, &mut next);
+                if i + 1 < self.layers.len() {
+                    for v in &mut next {
+                        *v = v.max(0.0);
+                    }
+                }
+                acts.push(next.clone());
+                std::mem::swap(&mut cur, &mut next);
+            }
+            let out = acts.last().expect("output activation");
+
+            // Output-layer delta.
+            let mut delta: Vec<f64> = match self.objective {
+                Objective::CrossEntropy => {
+                    let p = softmax(out);
+                    let c = (y as usize).min(p.len() - 1);
+                    total_loss += -(p[c].max(1e-12)).ln();
+                    let mut d = p;
+                    d[c] -= 1.0;
+                    d
+                }
+                Objective::SquaredError => {
+                    let diff = out[0] - y;
+                    total_loss += diff * diff;
+                    vec![2.0 * diff]
+                }
+            };
+
+            // LwF distillation adds to the output delta.
+            if let Some((prev, lambda)) = &opts.distill {
+                let prev_out = prev.forward(x);
+                match self.objective {
+                    Objective::CrossEntropy => {
+                        const T: f64 = 2.0;
+                        let soft_cur = softmax(&out.iter().map(|v| v / T).collect::<Vec<_>>());
+                        let soft_prev =
+                            softmax(&prev_out.iter().map(|v| v / T).collect::<Vec<_>>());
+                        for ((d, &sc), &sp) in
+                            delta.iter_mut().zip(&soft_cur).zip(&soft_prev)
+                        {
+                            // d/dz of T^2 * CE(soft_prev, softmax(z/T)).
+                            *d += lambda * T * (sc - sp);
+                        }
+                    }
+                    Objective::SquaredError => {
+                        delta[0] += lambda * 2.0 * (out[0] - prev_out[0]);
+                    }
+                }
+            }
+
+            // Backward through the stack.
+            for li in (0..self.layers.len()).rev() {
+                let input = &acts[li];
+                let layer = &self.layers[li];
+                let (gw, gb) = &mut grads[li];
+                for o in 0..layer.n_out {
+                    let d = delta[o];
+                    gb[o] += d;
+                    let grow = &mut gw[o * layer.n_in..(o + 1) * layer.n_in];
+                    for (g, &xi) in grow.iter_mut().zip(input) {
+                        *g += d * xi;
+                    }
+                }
+                if li > 0 {
+                    let mut prev_delta = vec![0.0; layer.n_in];
+                    for o in 0..layer.n_out {
+                        let d = delta[o];
+                        let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
+                        for (pd, &wi) in prev_delta.iter_mut().zip(row) {
+                            *pd += d * wi;
+                        }
+                    }
+                    // ReLU mask of the layer input (which was an output of
+                    // the previous layer, already rectified).
+                    for (pd, &a) in prev_delta.iter_mut().zip(&acts[li]) {
+                        if a <= 0.0 {
+                            *pd = 0.0;
+                        }
+                    }
+                    delta = prev_delta;
+                }
+            }
+        }
+
+        let inv = 1.0 / rows.len() as f64;
+
+        // EWC penalty gradient on the flat parameter vector.
+        if let Some((theta_star, fisher, lambda)) = &opts.ewc {
+            let mut off = 0;
+            for (li, layer) in self.layers.iter().enumerate() {
+                let (gw, gb) = &mut grads[li];
+                for (i, g) in gw.iter_mut().enumerate() {
+                    *g += lambda * fisher[off + i] * (layer.w[i] - theta_star[off + i]) / inv;
+                }
+                off += layer.w.len();
+                for (i, g) in gb.iter_mut().enumerate() {
+                    *g += lambda * fisher[off + i] * (layer.b[i] - theta_star[off + i]) / inv;
+                }
+                off += layer.b.len();
+            }
+        }
+
+        // SGD update.
+        for (layer, (gw, gb)) in self.layers.iter_mut().zip(&grads) {
+            for (w, g) in layer.w.iter_mut().zip(gw) {
+                *w -= lr * g * inv;
+            }
+            for (b, g) in layer.b.iter_mut().zip(gb) {
+                *b -= lr * g * inv;
+            }
+        }
+        total_loss * inv
+    }
+
+    /// Diagonal Fisher information estimated from per-sample gradients of
+    /// the loss at the current parameters (EWC's importance weights).
+    pub fn fisher_diagonal(&self, xs: &Matrix, ys: &[f64], max_samples: usize) -> Vec<f64> {
+        let mut fisher = vec![0.0; self.n_params()];
+        let n = xs.rows().min(max_samples);
+        if n == 0 {
+            return fisher;
+        }
+        for r in 0..n {
+            let g = self.sample_gradient(xs.row(r), ys[r]);
+            for (f, gi) in fisher.iter_mut().zip(&g) {
+                *f += gi * gi;
+            }
+        }
+        for f in &mut fisher {
+            *f /= n as f64;
+        }
+        fisher
+    }
+
+    /// Flat gradient of the loss for a single sample.
+    fn sample_gradient(&self, x: &[f64], y: f64) -> Vec<f64> {
+        // Forward with caches.
+        let mut acts: Vec<Vec<f64>> = vec![x.to_vec()];
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if i + 1 < self.layers.len() {
+                for v in &mut next {
+                    *v = v.max(0.0);
+                }
+            }
+            acts.push(next.clone());
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let out = acts.last().expect("output");
+        let mut delta: Vec<f64> = match self.objective {
+            Objective::CrossEntropy => {
+                let mut p = softmax(out);
+                let c = (y as usize).min(p.len() - 1);
+                p[c] -= 1.0;
+                p
+            }
+            Objective::SquaredError => vec![2.0 * (out[0] - y)],
+        };
+        let mut flat = vec![0.0; self.n_params()];
+        // Compute layer offsets (weights then biases per layer).
+        let mut offsets = Vec::with_capacity(self.layers.len());
+        let mut off = 0;
+        for l in &self.layers {
+            offsets.push(off);
+            off += l.w.len() + l.b.len();
+        }
+        for li in (0..self.layers.len()).rev() {
+            let layer = &self.layers[li];
+            let input = &acts[li];
+            let base = offsets[li];
+            for o in 0..layer.n_out {
+                let d = delta[o];
+                for (i, &xi) in input.iter().enumerate() {
+                    flat[base + o * layer.n_in + i] = d * xi;
+                }
+                flat[base + layer.w.len() + o] = d;
+            }
+            if li > 0 {
+                let mut prev = vec![0.0; layer.n_in];
+                for o in 0..layer.n_out {
+                    let d = delta[o];
+                    let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
+                    for (p, &wi) in prev.iter_mut().zip(row) {
+                        *p += d * wi;
+                    }
+                }
+                for (p, &a) in prev.iter_mut().zip(&acts[li]) {
+                    if a <= 0.0 {
+                        *p = 0.0;
+                    }
+                }
+                delta = prev;
+            }
+        }
+        flat
+    }
+}
+
+/// Softmax with max-shift for stability.
+pub fn softmax(z: &[f64]) -> Vec<f64> {
+    let m = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        // Degenerate logits (the paper's exploding-NN scenario): a uniform
+        // distribution keeps downstream arithmetic defined.
+        return vec![1.0 / z.len() as f64; z.len()];
+    }
+    let exps: Vec<f64> = z.iter().map(|v| (v - m).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Index of the largest element (first on ties).
+pub fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<f64>) {
+        // A noisy XOR-ish separable problem.
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..400 {
+            let a = (i % 2) as f64;
+            let b = ((i / 2) % 2) as f64;
+            let jitter = ((i % 7) as f64 - 3.0) * 0.02;
+            rows.push(vec![a + jitter, b - jitter]);
+            ys.push(if (a + b) as usize % 2 == 1 { 1.0 } else { 0.0 });
+        }
+        (Matrix::from_rows(&rows), ys)
+    }
+
+    #[test]
+    fn learns_xor_classification() {
+        let (xs, ys) = xor_data();
+        let mut mlp = Mlp::new(2, &[16, 8], 2, Objective::CrossEntropy, 1);
+        let rows: Vec<usize> = (0..xs.rows()).collect();
+        for _ in 0..300 {
+            mlp.train_batch(&xs, &ys, &rows, 0.1, &TrainOpts::default());
+        }
+        let correct = (0..xs.rows())
+            .filter(|&r| mlp.predict_class(xs.row(r)) == ys[r] as usize)
+            .count();
+        assert!(correct > 380, "accuracy {correct}/400");
+    }
+
+    #[test]
+    fn learns_linear_regression() {
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 10) as f64 / 10.0, ((i / 10) % 10) as f64 / 10.0])
+            .collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - r[1]).collect();
+        let xs = Matrix::from_rows(&rows);
+        let mut mlp = Mlp::new(2, &[16], 1, Objective::SquaredError, 2);
+        let all: Vec<usize> = (0..xs.rows()).collect();
+        let mut last = f64::INFINITY;
+        for _ in 0..500 {
+            last = mlp.train_batch(&xs, &ys, &all, 0.05, &TrainOpts::default());
+        }
+        assert!(last < 0.02, "final loss {last}");
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let mlp = Mlp::new(3, &[4], 2, Objective::CrossEntropy, 3);
+        let p = mlp.get_params();
+        let mut other = Mlp::new(3, &[4], 2, Objective::CrossEntropy, 99);
+        other.set_params(&p);
+        assert_eq!(other.get_params(), p);
+        let x = [0.5, -0.2, 1.0];
+        assert_eq!(mlp.forward(&x), other.forward(&x));
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        // 3 inputs -> [32, 16, 8] -> 2 outputs:
+        // (3*32+32) + (32*16+16) + (16*8+8) + (8*2+2) = 128+528+136+18.
+        let mlp = Mlp::new(3, &[32, 16, 8], 2, Objective::CrossEntropy, 0);
+        assert_eq!(mlp.n_params(), 128 + 528 + 136 + 18);
+        assert_eq!(mlp.memory_bytes(), mlp.n_params() * 8);
+    }
+
+    #[test]
+    fn ewc_penalty_pulls_params_toward_anchor() {
+        let (xs, ys) = xor_data();
+        let mut free = Mlp::new(2, &[8], 2, Objective::CrossEntropy, 5);
+        let mut anchored = free.clone();
+        let anchor = free.get_params();
+        let fisher = vec![1.0; free.n_params()];
+        let rows: Vec<usize> = (0..64).collect();
+        for _ in 0..50 {
+            free.train_batch(&xs, &ys, &rows, 0.1, &TrainOpts::default());
+            anchored.train_batch(
+                &xs,
+                &ys,
+                &rows,
+                0.1,
+                &TrainOpts {
+                    ewc: Some((&anchor, &fisher, 10.0)),
+                    ..Default::default()
+                },
+            );
+        }
+        let drift_free: f64 = free
+            .get_params()
+            .iter()
+            .zip(&anchor)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        let drift_anchored: f64 = anchored
+            .get_params()
+            .iter()
+            .zip(&anchor)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(
+            drift_anchored < drift_free,
+            "anchored {drift_anchored} vs free {drift_free}"
+        );
+    }
+
+    #[test]
+    fn distillation_keeps_outputs_near_previous_model() {
+        let (xs, ys) = xor_data();
+        let teacher = Mlp::new(2, &[8], 2, Objective::CrossEntropy, 6);
+        let mut plain = teacher.clone();
+        let mut distilled = teacher.clone();
+        let rows: Vec<usize> = (0..64).collect();
+        for _ in 0..100 {
+            plain.train_batch(&xs, &ys, &rows, 0.1, &TrainOpts::default());
+            distilled.train_batch(
+                &xs,
+                &ys,
+                &rows,
+                0.1,
+                &TrainOpts {
+                    distill: Some((&teacher, 5.0)),
+                    ..Default::default()
+                },
+            );
+        }
+        // Output agreement with the teacher on fresh points.
+        let probe = [0.3, 0.7];
+        let t = softmax(&teacher.forward(&probe));
+        let p = softmax(&plain.forward(&probe));
+        let d = softmax(&distilled.forward(&probe));
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+        };
+        assert!(dist(&t, &d) < dist(&t, &p) + 1e-9);
+    }
+
+    #[test]
+    fn fisher_is_nonnegative_and_sized() {
+        let (xs, ys) = xor_data();
+        let mlp = Mlp::new(2, &[8], 2, Objective::CrossEntropy, 7);
+        let f = mlp.fisher_diagonal(&xs, &ys, 100);
+        assert_eq!(f.len(), mlp.n_params());
+        assert!(f.iter().all(|&v| v >= 0.0));
+        assert!(f.iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn hidden_repr_is_rectified() {
+        let mlp = Mlp::new(3, &[5, 4], 2, Objective::CrossEntropy, 8);
+        let h = mlp.hidden_repr(&[1.0, -1.0, 0.5]);
+        assert_eq!(h.len(), 4);
+        assert!(h.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn outlier_input_can_explode_regression_loss() {
+        // The §5.3 vulnerability: a single absurd input value drives the
+        // un-clipped network's loss to astronomical values.
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![(i % 8) as f64]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        let xs = Matrix::from_rows(&rows);
+        let mut mlp = Mlp::new(1, &[8], 1, Objective::SquaredError, 9);
+        let all: Vec<usize> = (0..64).collect();
+        for _ in 0..50 {
+            mlp.train_batch(&xs, &ys, &all, 0.01, &TrainOpts::default());
+        }
+        let sane_loss = mlp.loss(&[4.0], 4.0);
+        // One corrupted training batch with a 999,990 input.
+        let bad = Matrix::from_rows(&[vec![999_990.0]]);
+        mlp.train_batch(&bad, &[0.0], &[0], 0.01, &TrainOpts::default());
+        let post_loss = mlp.loss(&[4.0], 4.0);
+        assert!(
+            !post_loss.is_finite() || post_loss > sane_loss * 100.0,
+            "expected loss blow-up: before {sane_loss}, after {post_loss}"
+        );
+    }
+
+    #[test]
+    fn softmax_handles_nonfinite_logits() {
+        let p = softmax(&[f64::NAN, f64::INFINITY]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+    }
+}

@@ -1,0 +1,568 @@
+//! The prequential (test-then-train) evaluation harness (§6.1 of the
+//! paper).
+//!
+//! Per dataset: categorical features are one-hot encoded, missing values
+//! imputed (KNN k=2 by default), every dimension rescaled with the *first
+//! window's* statistics only, and then each window after the warm-up is
+//! first tested (error rate for classification, MSE on the z-scored
+//! target for regression) and then trained on. The final score averages
+//! the per-window losses. The harness also records wall-clock train/test
+//! time (Table 5 / Table 10) and peak model memory (Table 6).
+
+use crate::learners::{Algorithm, LearnerConfig, StreamLearner};
+use oeb_linalg::Matrix;
+use oeb_outlier::{flag_by_sigma, Ecod, IForestConfig, IsolationForest};
+use oeb_preprocess::{
+    Imputer, KnnImputer, MeanImputer, OneHotEncoder, RegressionImputer, StandardScaler,
+    TargetScaler, ZeroImputer,
+};
+use oeb_tabular::{StreamDataset, Task};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Which imputer fills missing values before testing/training (§6.6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ImputerChoice {
+    /// KNN imputer with the given `k` (paper default k=2).
+    Knn(usize),
+    /// Ridge-regression imputer.
+    Regression,
+    /// Column-mean filling.
+    Mean,
+    /// Zero filling.
+    Zero,
+}
+
+impl ImputerChoice {
+    fn build(&self) -> Box<dyn Imputer> {
+        match self {
+            ImputerChoice::Knn(k) => Box::new(KnnImputer { k: *k }),
+            ImputerChoice::Regression => Box::new(RegressionImputer::default()),
+            ImputerChoice::Mean => Box::new(MeanImputer),
+            ImputerChoice::Zero => Box::new(ZeroImputer),
+        }
+    }
+
+    /// Identifier used in reports.
+    pub fn name(&self) -> String {
+        match self {
+            ImputerChoice::Knn(k) => format!("knn(k={k})"),
+            ImputerChoice::Regression => "regression".into(),
+            ImputerChoice::Mean => "mean".into(),
+            ImputerChoice::Zero => "zero".into(),
+        }
+    }
+}
+
+/// Optional outlier removal before test and train (§6.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutlierRemoval {
+    /// Keep all samples.
+    None,
+    /// Remove samples ECOD flags at 3 sigma within the window.
+    Ecod,
+    /// Remove samples IForest flags at 3 sigma within the window.
+    IForest,
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Learner hyper-parameters.
+    pub learner: LearnerConfig,
+    /// Multiplier on the dataset's default window size (§6.4.2 sweeps
+    /// {0.25, 0.5, 1, 2, 4}).
+    pub window_factor: f64,
+    /// Missing-value imputer.
+    pub imputer: ImputerChoice,
+    /// Oracle imputation: impute with knowledge of the entire stream
+    /// (Figure 5's "Filling (oracle)"); the default imputes from the data
+    /// seen so far ("Filling (normal)").
+    pub oracle_imputation: bool,
+    /// Drop the `n` most-missing feature columns before encoding
+    /// (Figure 5's "Discard" variant).
+    pub discard_most_missing: usize,
+    /// Outlier removal mode.
+    pub outlier_removal: OutlierRemoval,
+    /// Shuffle the stream first (Figure 15's "no drift" baseline).
+    pub shuffle: bool,
+    /// Cap on rows kept as the imputation reference (compute bound).
+    pub reference_cap: usize,
+    /// Run seed (mixed into shuffling and learners).
+    pub seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            learner: LearnerConfig::default(),
+            window_factor: 1.0,
+            imputer: ImputerChoice::Knn(2),
+            oracle_imputation: false,
+            discard_most_missing: 0,
+            outlier_removal: OutlierRemoval::None,
+            shuffle: false,
+            reference_cap: 512,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of one prequential run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Per-window test loss (windows after the warm-up window, in order).
+    pub per_window_loss: Vec<f64>,
+    /// Mean of the per-window losses (NaN when a window diverged to NaN —
+    /// the paper reports such runs as N/A).
+    pub mean_loss: f64,
+    /// Wall-clock seconds spent training.
+    pub train_seconds: f64,
+    /// Wall-clock seconds spent testing.
+    pub test_seconds: f64,
+    /// Total items processed (tested + trained).
+    pub items: usize,
+    /// Items per second over train + test time.
+    pub throughput: f64,
+    /// Peak model memory in bytes.
+    pub memory_bytes: usize,
+}
+
+impl RunResult {
+    /// True when the run produced a finite, non-diverged mean loss.
+    pub fn is_valid(&self) -> bool {
+        self.mean_loss.is_finite() && self.mean_loss.abs() < crate::report::DIVERGED
+    }
+}
+
+/// Runs one `(dataset, algorithm)` pair through the prequential protocol.
+/// Returns `None` when the algorithm does not apply (ARF on regression).
+pub fn run_stream(
+    dataset: &StreamDataset,
+    algorithm: Algorithm,
+    config: &HarnessConfig,
+) -> Option<RunResult> {
+    let dataset = if config.shuffle {
+        let mut order: Vec<usize> = (0..dataset.n_rows()).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ SHUFFLE_SEED);
+        order.shuffle(&mut rng);
+        std::borrow::Cow::Owned(dataset.permuted(&order))
+    } else {
+        std::borrow::Cow::Borrowed(dataset)
+    };
+    let dataset: &StreamDataset = &dataset;
+
+    // Select the feature columns, possibly discarding the most-missing.
+    let mut feature_cols = dataset.feature_cols();
+    if config.discard_most_missing > 0 {
+        feature_cols.sort_by(|&a, &b| {
+            let ra = dataset.table.column(a).missing_ratio();
+            let rb = dataset.table.column(b).missing_ratio();
+            ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let keep = feature_cols
+            .len()
+            .saturating_sub(config.discard_most_missing)
+            .max(1);
+        feature_cols.truncate(keep);
+        feature_cols.sort_unstable();
+    }
+
+    let encoder = OneHotEncoder::fit(&dataset.table, &feature_cols);
+    let input_dim = encoder.width();
+    let windows = dataset.windows_scaled(config.window_factor);
+    if windows.len() < 2 {
+        return None;
+    }
+
+    let mut learner_cfg = config.learner.clone();
+    learner_cfg.seed = learner_cfg.seed.wrapping_add(config.seed);
+    let mut learner: Box<dyn StreamLearner> =
+        algorithm.make(dataset.task, input_dim, &learner_cfg)?;
+
+    let imputer = config.imputer.build();
+
+    // Oracle imputation reference: the whole encoded stream.
+    let oracle_reference = if config.oracle_imputation {
+        Some(encoder.encode_all(&dataset.table))
+    } else {
+        None
+    };
+
+    // Warm-up window fixes the scalers (§6.1: only first-window statistics
+    // are available at the start).
+    let mut reference_rows: Vec<Vec<f64>> = Vec::new();
+    let first = encoder.encode(&dataset.table, windows[0].clone());
+    push_reference(&mut reference_rows, &first, config.reference_cap);
+    let mut first_imputed = first;
+    impute_window(
+        imputer.as_ref(),
+        &mut first_imputed,
+        oracle_reference.as_ref(),
+        &reference_rows,
+    );
+    let scaler = StandardScaler::fit(&first_imputed);
+    let target_scaler = match dataset.task {
+        Task::Regression => {
+            let t: Vec<f64> = windows[0].clone().map(|r| dataset.target_at(r)).collect();
+            Some(TargetScaler::fit(&t))
+        }
+        Task::Classification { .. } => None,
+    };
+
+    let mut per_window_loss = Vec::with_capacity(windows.len() - 1);
+    let mut train_seconds = 0.0;
+    let mut test_seconds = 0.0;
+    let mut items = 0usize;
+    let mut memory_peak = 0usize;
+
+    for (k, range) in windows.iter().enumerate() {
+        let mut feats = encoder.encode(&dataset.table, range.clone());
+        impute_window(
+            imputer.as_ref(),
+            &mut feats,
+            oracle_reference.as_ref(),
+            &reference_rows,
+        );
+        if k > 0 {
+            push_reference(&mut reference_rows, &feats, config.reference_cap);
+        }
+        scaler.transform(&mut feats);
+        let mut targets: Vec<f64> = range.clone().map(|r| dataset.target_at(r)).collect();
+        if let Some(ts) = &target_scaler {
+            for t in &mut targets {
+                *t = ts.transform(*t);
+            }
+        }
+
+        // Optional outlier removal before test and train (§6.8).
+        let (feats, targets) = match config.outlier_removal {
+            OutlierRemoval::None => (feats, targets),
+            OutlierRemoval::Ecod => {
+                let scores = Ecod::fit(&feats).score_all(&feats);
+                retain_unflagged(feats, targets, &scores)
+            }
+            OutlierRemoval::IForest => {
+                let forest = IsolationForest::fit(
+                    &feats,
+                    &IForestConfig {
+                        n_trees: 25,
+                        seed: config.seed ^ k as u64,
+                        ..Default::default()
+                    },
+                );
+                let scores = forest.score_all(&feats);
+                retain_unflagged(feats, targets, &scores)
+            }
+        };
+        if feats.rows() == 0 {
+            continue;
+        }
+
+        if k > 0 {
+            // Test phase.
+            let start = Instant::now();
+            let mut loss = 0.0;
+            for r in 0..feats.rows() {
+                let pred = learner.predict(feats.row(r));
+                loss += match dataset.task {
+                    Task::Classification { .. } => f64::from(pred != targets[r]),
+                    Task::Regression => (pred - targets[r]).powi(2),
+                };
+            }
+            test_seconds += start.elapsed().as_secs_f64();
+            per_window_loss.push(loss / feats.rows() as f64);
+            items += feats.rows();
+        }
+
+        // Train phase.
+        let start = Instant::now();
+        learner.train_window(&feats, &targets);
+        train_seconds += start.elapsed().as_secs_f64();
+        items += feats.rows();
+        memory_peak = memory_peak.max(learner.memory_bytes());
+    }
+
+    let mean_loss = if per_window_loss.is_empty() {
+        f64::NAN
+    } else {
+        per_window_loss.iter().sum::<f64>() / per_window_loss.len() as f64
+    };
+    let elapsed = (train_seconds + test_seconds).max(1e-9);
+    Some(RunResult {
+        dataset: dataset.name.clone(),
+        algorithm: learner.name().to_string(),
+        per_window_loss,
+        mean_loss,
+        train_seconds,
+        test_seconds,
+        items,
+        throughput: items as f64 / elapsed,
+        memory_bytes: memory_peak,
+    })
+}
+
+/// Runs the same pair for several seeds; returns (mean, std) of the valid
+/// mean losses and the individual results. The paper repeats every
+/// experiment three times.
+pub fn run_seeds(
+    dataset_for_seed: impl Fn(u64) -> StreamDataset,
+    algorithm: Algorithm,
+    config: &HarnessConfig,
+    seeds: &[u64],
+) -> (Option<(f64, f64)>, Vec<RunResult>) {
+    let mut results = Vec::new();
+    for &seed in seeds {
+        let mut cfg = config.clone();
+        cfg.seed = seed;
+        let dataset = dataset_for_seed(seed);
+        if let Some(r) = run_stream(&dataset, algorithm, &cfg) {
+            results.push(r);
+        }
+    }
+    let losses: Vec<f64> = results
+        .iter()
+        .filter(|r| r.is_valid())
+        .map(|r| r.mean_loss)
+        .collect();
+    let summary = if losses.is_empty() {
+        None
+    } else {
+        Some((oeb_linalg::mean(&losses), oeb_linalg::std_dev(&losses)))
+    };
+    (summary, results)
+}
+
+fn impute_window(
+    imputer: &dyn Imputer,
+    window: &mut Matrix,
+    oracle: Option<&Matrix>,
+    reference_rows: &[Vec<f64>],
+) {
+    let has_missing = window.as_slice().iter().any(|x| !x.is_finite());
+    if !has_missing {
+        return;
+    }
+    match oracle {
+        Some(full) => imputer.impute(window, full),
+        None => {
+            let reference = if reference_rows.is_empty() {
+                window.clone()
+            } else {
+                Matrix::from_rows(reference_rows)
+            };
+            imputer.impute(window, &reference);
+        }
+    }
+}
+
+fn push_reference(reference: &mut Vec<Vec<f64>>, window: &Matrix, cap: usize) {
+    for r in 0..window.rows() {
+        reference.push(window.row(r).to_vec());
+    }
+    if reference.len() > cap {
+        let excess = reference.len() - cap;
+        reference.drain(..excess);
+    }
+}
+
+fn retain_unflagged(feats: Matrix, targets: Vec<f64>, scores: &[f64]) -> (Matrix, Vec<f64>) {
+    let flags = flag_by_sigma(scores, 3.0);
+    let keep: Vec<usize> = (0..feats.rows()).filter(|&r| !flags[r]).collect();
+    if keep.len() == feats.rows() {
+        return (feats, targets);
+    }
+    let rows: Vec<Vec<f64>> = keep.iter().map(|&r| feats.row(r).to_vec()).collect();
+    let ys: Vec<f64> = keep.iter().map(|&r| targets[r]).collect();
+    (Matrix::from_rows(&rows), ys)
+}
+
+/// Seed salt for the Figure 15 shuffled baseline (ASCII "shuf").
+const SHUFFLE_SEED: u64 = 0x73687566;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oeb_synth::{generate, registry_scaled};
+
+    fn small_dataset(kind: &str) -> StreamDataset {
+        let entries = registry_scaled(0.03);
+        let entry = entries
+            .iter()
+            .find(|e| match kind {
+                "clf" => e.spec.name == "Electricity Prices",
+                _ => e.spec.name == "Power Consumption of Tetouan City",
+            })
+            .unwrap();
+        generate(&entry.spec, 0)
+    }
+
+    #[test]
+    fn naive_dt_runs_prequentially_on_classification() {
+        let d = small_dataset("clf");
+        let r = run_stream(&d, Algorithm::NaiveDt, &HarnessConfig::default()).unwrap();
+        assert!(r.is_valid());
+        assert!(!r.per_window_loss.is_empty());
+        // Error rate bounded in [0, 1].
+        assert!(r.per_window_loss.iter().all(|&l| (0.0..=1.0).contains(&l)));
+        assert!(r.throughput > 0.0);
+        assert!(r.memory_bytes > 0);
+    }
+
+    #[test]
+    fn naive_dt_beats_chance_on_classification() {
+        let d = small_dataset("clf");
+        let r = run_stream(&d, Algorithm::NaiveDt, &HarnessConfig::default()).unwrap();
+        assert!(r.mean_loss < 0.5, "error rate {}", r.mean_loss);
+    }
+
+    #[test]
+    fn regression_run_produces_finite_mse() {
+        let d = small_dataset("reg");
+        let mut cfg = HarnessConfig::default();
+        cfg.learner.epochs = 3;
+        let r = run_stream(&d, Algorithm::NaiveNn, &cfg).unwrap();
+        assert!(r.is_valid(), "loss {}", r.mean_loss);
+    }
+
+    #[test]
+    fn arf_returns_none_on_regression() {
+        let d = small_dataset("reg");
+        assert!(run_stream(&d, Algorithm::Arf, &HarnessConfig::default()).is_none());
+    }
+
+    #[test]
+    fn shuffle_changes_the_window_losses() {
+        let d = small_dataset("clf");
+        let plain = run_stream(&d, Algorithm::NaiveDt, &HarnessConfig::default()).unwrap();
+        let shuffled = run_stream(
+            &d,
+            Algorithm::NaiveDt,
+            &HarnessConfig {
+                shuffle: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(plain.per_window_loss, shuffled.per_window_loss);
+    }
+
+    #[test]
+    fn outlier_removal_modes_run() {
+        let d = small_dataset("reg");
+        for mode in [OutlierRemoval::Ecod, OutlierRemoval::IForest] {
+            let mut cfg = HarnessConfig {
+                outlier_removal: mode,
+                ..Default::default()
+            };
+            cfg.learner.epochs = 2;
+            let r = run_stream(&d, Algorithm::NaiveDt, &cfg).unwrap();
+            assert!(r.is_valid());
+        }
+    }
+
+    #[test]
+    fn window_factor_changes_window_count() {
+        let d = small_dataset("clf");
+        let base = run_stream(&d, Algorithm::NaiveDt, &HarnessConfig::default()).unwrap();
+        let halved = run_stream(
+            &d,
+            Algorithm::NaiveDt,
+            &HarnessConfig {
+                window_factor: 0.5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(halved.per_window_loss.len() > base.per_window_loss.len());
+    }
+
+    #[test]
+    fn single_window_stream_returns_none() {
+        // Fewer than two windows means there is nothing to test on.
+        let entries = registry_scaled(0.03);
+        let entry = entries
+            .iter()
+            .find(|e| e.spec.name == "Electricity Prices")
+            .unwrap();
+        let mut spec = entry.spec.clone();
+        spec.default_window = spec.n_rows; // one giant window
+        let d = generate(&spec, 0);
+        assert!(run_stream(&d, Algorithm::NaiveDt, &HarnessConfig::default()).is_none());
+    }
+
+    #[test]
+    fn oracle_imputation_runs_and_differs_from_normal() {
+        let entries = registry_scaled(0.03);
+        let entry = entries
+            .iter()
+            .find(|e| e.spec.name == "Indian Cities Weather Delhi")
+            .unwrap();
+        let d = generate(&entry.spec, 0);
+        let mut cfg = HarnessConfig::default();
+        cfg.learner.epochs = 1;
+        let normal = run_stream(&d, Algorithm::NaiveDt, &cfg).unwrap();
+        let oracle = run_stream(
+            &d,
+            Algorithm::NaiveDt,
+            &HarnessConfig {
+                oracle_imputation: true,
+                ..cfg
+            },
+        )
+        .unwrap();
+        // High-missing stream: the fill values differ, so the losses do.
+        assert_ne!(normal.per_window_loss, oracle.per_window_loss);
+    }
+
+    #[test]
+    fn discarding_features_shrinks_the_input() {
+        let entries = registry_scaled(0.03);
+        let entry = entries
+            .iter()
+            .find(|e| e.spec.name == "Beijing Multi-Site Air-Quality Shunyi")
+            .unwrap();
+        let d = generate(&entry.spec, 0);
+        let mut cfg = HarnessConfig {
+            discard_most_missing: 3,
+            ..Default::default()
+        };
+        cfg.learner.epochs = 1;
+        let r = run_stream(&d, Algorithm::NaiveNn, &cfg).unwrap();
+        assert!(!r.per_window_loss.is_empty());
+    }
+
+    #[test]
+    fn imputer_names_match_configs() {
+        assert_eq!(ImputerChoice::Knn(2).name(), "knn(k=2)");
+        assert_eq!(ImputerChoice::Mean.name(), "mean");
+        assert_eq!(ImputerChoice::Zero.name(), "zero");
+        assert_eq!(ImputerChoice::Regression.name(), "regression");
+    }
+
+    #[test]
+    fn run_seeds_aggregates() {
+        let (summary, results) = run_seeds(
+            |seed| {
+                let entries = registry_scaled(0.03);
+                let entry = entries
+                    .iter()
+                    .find(|e| e.spec.name == "Electricity Prices")
+                    .unwrap();
+                generate(&entry.spec, seed)
+            },
+            Algorithm::NaiveDt,
+            &HarnessConfig::default(),
+            &[0, 1, 2],
+        );
+        assert_eq!(results.len(), 3);
+        let (mean, std) = summary.unwrap();
+        assert!(mean.is_finite() && std.is_finite());
+    }
+}

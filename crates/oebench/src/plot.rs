@@ -1,0 +1,273 @@
+//! Minimal SVG line charts for the figure artifacts.
+//!
+//! The `repro` harness renders the per-window curve figures (4, 5, 7, 8,
+//! 15, 16) as standalone SVG files next to their text/JSON artifacts, so
+//! the reproduction produces actual figures without any plotting
+//! dependency.
+
+/// One line series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Y values (X is the index). Non-finite values break the polyline.
+    pub values: Vec<f64>,
+}
+
+/// A simple line plot.
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series to draw.
+    pub series: Vec<Series>,
+    /// Vertical marker positions (drift windows, event windows).
+    pub markers: Vec<usize>,
+}
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 400.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 48.0;
+const PALETTE: [&str; 6] = [
+    "#2f6fde", "#d9552c", "#2d9a57", "#8e44ad", "#b8860b", "#555555",
+];
+
+impl LinePlot {
+    /// Creates an empty plot.
+    pub fn new(title: impl Into<String>) -> LinePlot {
+        LinePlot {
+            title: title.into(),
+            x_label: "window".into(),
+            y_label: "loss".into(),
+            series: Vec::new(),
+            markers: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn series(mut self, label: impl Into<String>, values: Vec<f64>) -> LinePlot {
+        self.series.push(Series {
+            label: label.into(),
+            values,
+        });
+        self
+    }
+
+    /// Adds vertical markers at the given x positions.
+    pub fn markers(mut self, positions: Vec<usize>) -> LinePlot {
+        self.markers = positions;
+        self
+    }
+
+    /// Renders the SVG document.
+    pub fn render(&self) -> String {
+        let n = self
+            .series
+            .iter()
+            .map(|s| s.values.len())
+            .max()
+            .unwrap_or(0);
+        let finite: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.values.iter())
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
+        let (y_lo, y_hi) = bounds(&finite);
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let x_of = |i: usize| -> f64 {
+            if n <= 1 {
+                MARGIN_L + plot_w / 2.0
+            } else {
+                MARGIN_L + plot_w * i as f64 / (n - 1) as f64
+            }
+        };
+        let y_of =
+            |v: f64| -> f64 { MARGIN_T + plot_h * (1.0 - (v - y_lo) / (y_hi - y_lo).max(1e-12)) };
+
+        let mut svg = String::new();
+        svg.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        ));
+        svg.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+        svg.push_str(&format!(
+            r#"<text x="{}" y="24" font-size="15" text-anchor="middle">{}</text>"#,
+            WIDTH / 2.0,
+            escape(&self.title)
+        ));
+
+        // Axes.
+        svg.push_str(&format!(
+            r##"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}" stroke="#333"/>"##,
+            HEIGHT - MARGIN_B
+        ));
+        svg.push_str(&format!(
+            r##"<line x1="{MARGIN_L}" y1="{0}" x2="{1}" y2="{0}" stroke="#333"/>"##,
+            HEIGHT - MARGIN_B,
+            WIDTH - MARGIN_R
+        ));
+        // Y ticks.
+        for t in 0..=4 {
+            let v = y_lo + (y_hi - y_lo) * t as f64 / 4.0;
+            let y = y_of(v);
+            svg.push_str(&format!(
+                r##"<line x1="{}" y1="{y}" x2="{MARGIN_L}" y2="{y}" stroke="#333"/>"##,
+                MARGIN_L - 4.0
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{}" y="{}" font-size="11" text-anchor="end">{}</text>"#,
+                MARGIN_L - 8.0,
+                y + 4.0,
+                fmt_tick(v)
+            ));
+        }
+        // Axis labels.
+        svg.push_str(&format!(
+            r#"<text x="{}" y="{}" font-size="12" text-anchor="middle">{}</text>"#,
+            WIDTH / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        ));
+        svg.push_str(&format!(
+            r#"<text x="16" y="{}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            HEIGHT / 2.0,
+            HEIGHT / 2.0,
+            escape(&self.y_label)
+        ));
+
+        // Event/drift markers.
+        for &m in &self.markers {
+            if m < n {
+                let x = x_of(m);
+                svg.push_str(&format!(
+                    r##"<line x1="{x}" y1="{MARGIN_T}" x2="{x}" y2="{}" stroke="#bbbbbb" stroke-dasharray="4 3"/>"##,
+                    HEIGHT - MARGIN_B
+                ));
+            }
+        }
+
+        // Series.
+        for (si, s) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            let mut path = String::new();
+            let mut pen_down = false;
+            for (i, &v) in s.values.iter().enumerate() {
+                if v.is_finite() {
+                    let cmd = if pen_down { 'L' } else { 'M' };
+                    path.push_str(&format!("{cmd}{:.1},{:.1} ", x_of(i), y_of(v.clamp(y_lo, y_hi))));
+                    pen_down = true;
+                } else {
+                    pen_down = false;
+                }
+            }
+            if !path.is_empty() {
+                svg.push_str(&format!(
+                    r#"<path d="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                    path.trim_end()
+                ));
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 16.0 * si as f64;
+            svg.push_str(&format!(
+                r#"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="3"/>"#,
+                WIDTH - MARGIN_R - 150.0,
+                WIDTH - MARGIN_R - 126.0
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{}" y="{}" font-size="11">{}</text>"#,
+                WIDTH - MARGIN_R - 120.0,
+                ly + 4.0,
+                escape(&s.label)
+            ));
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+fn bounds(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 1.0);
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if hi > lo {
+        let pad = (hi - lo) * 0.05;
+        (lo - pad, hi + pad)
+    } else {
+        (lo - 0.5, lo + 0.5)
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let svg = LinePlot::new("test & demo")
+            .series("a", vec![1.0, 2.0, 3.0])
+            .series("b", vec![3.0, 2.0, 1.0])
+            .render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("test &amp; demo"));
+        assert_eq!(svg.matches("<path").count(), 2);
+    }
+
+    #[test]
+    fn non_finite_values_break_the_line() {
+        let svg = LinePlot::new("gap")
+            .series("s", vec![1.0, f64::NAN, 3.0, 4.0])
+            .render();
+        // Two pen-down segments -> two M commands inside one path.
+        let path = svg.split("<path").nth(1).unwrap();
+        let d = path.split("d=\"").nth(1).unwrap().split('"').next().unwrap();
+        assert_eq!(d.matches('M').count(), 2);
+    }
+
+    #[test]
+    fn markers_draw_dashed_lines() {
+        let svg = LinePlot::new("m")
+            .series("s", vec![0.0; 10])
+            .markers(vec![2, 5, 99])
+            .render();
+        // The out-of-range marker (99) is skipped.
+        assert_eq!(svg.matches("stroke-dasharray").count(), 2);
+    }
+
+    #[test]
+    fn empty_plot_is_still_valid() {
+        let svg = LinePlot::new("empty").render();
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn constant_series_has_nonzero_range() {
+        let svg = LinePlot::new("const").series("s", vec![5.0; 8]).render();
+        assert!(svg.contains("<path"));
+        // Ticks around 5.0 (padded range 4.5..5.5).
+        assert!(svg.contains("4.50") || svg.contains("5.50"));
+    }
+}

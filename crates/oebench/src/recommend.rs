@@ -1,0 +1,155 @@
+//! The algorithm-recommendation decision tree of the paper's Figure 9,
+//! distilled from the 55-dataset sweep (§6.2): which algorithm to reach
+//! for given the task type and the stream's drift / anomaly / missing
+//! levels, plus the efficiency escape hatch of §6.3 (trees when time or
+//! memory is tight).
+
+use crate::learners::Algorithm;
+use oeb_synth::Level;
+
+/// A context the recommendation tree dispatches on.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// True for classification streams.
+    pub classification: bool,
+    /// Drift level of the stream.
+    pub drift: Level,
+    /// Anomaly level.
+    pub anomaly: Level,
+    /// Missing-value level.
+    pub missing: Level,
+    /// True when throughput or memory constraints dominate (§6.3).
+    pub resource_constrained: bool,
+}
+
+fn high(level: Level) -> bool {
+    matches!(level, Level::MediumHigh | Level::High)
+}
+
+/// Ranked algorithm recommendations for a scenario, first is best.
+///
+/// Encodes the paper's Figure 9 narrative:
+/// * tight time/memory budgets → DT or GBDT (§6.3);
+/// * classification, low anomaly → tree family (SEA-GBDT under high
+///   drift, SEA-DT otherwise);
+/// * classification, higher anomaly → iCaRL under high drift (exemplars
+///   mitigate forgetting), naive NN otherwise;
+/// * regression, high missing values → trees, with iCaRL as the NN
+///   alternative;
+/// * regression, low missing values → naive NN / SEA-NN.
+pub fn recommend(s: &Scenario) -> Vec<Algorithm> {
+    if s.resource_constrained {
+        return vec![Algorithm::NaiveDt, Algorithm::NaiveGbdt];
+    }
+    if s.classification {
+        if !high(s.anomaly) {
+            if high(s.drift) {
+                vec![Algorithm::SeaGbdt, Algorithm::NaiveGbdt, Algorithm::SeaDt]
+            } else {
+                vec![Algorithm::SeaDt, Algorithm::NaiveGbdt]
+            }
+        } else if high(s.drift) {
+            vec![Algorithm::Icarl, Algorithm::NaiveNn, Algorithm::SeaDt]
+        } else {
+            vec![Algorithm::NaiveNn, Algorithm::Icarl]
+        }
+    } else if high(s.missing) {
+        vec![Algorithm::SeaDt, Algorithm::Icarl, Algorithm::NaiveDt]
+    } else if high(s.drift) {
+        vec![Algorithm::NaiveNn, Algorithm::SeaNn, Algorithm::NaiveGbdt]
+    } else {
+        vec![Algorithm::NaiveNn, Algorithm::SeaNn]
+    }
+}
+
+/// Renders the whole decision tree as indented text (the Figure 9
+/// artifact of the `repro fig9` target).
+pub fn render_tree() -> String {
+    let mut out = String::new();
+    out.push_str("Algorithm recommendation (Figure 9)\n");
+    out.push_str("|- resource constrained? -> Naive-DT / Naive-GBDT\n");
+    out.push_str("|- classification\n");
+    out.push_str("|  |- anomaly low/medium-low\n");
+    out.push_str("|  |  |- drift high -> SEA-GBDT, Naive-GBDT, SEA-DT\n");
+    out.push_str("|  |  `- drift low  -> SEA-DT, Naive-GBDT\n");
+    out.push_str("|  `- anomaly medium-high/high\n");
+    out.push_str("|     |- drift high -> iCaRL, Naive-NN, SEA-DT\n");
+    out.push_str("|     `- drift low  -> Naive-NN, iCaRL\n");
+    out.push_str("`- regression\n");
+    out.push_str("   |- missing high -> SEA-DT, iCaRL, Naive-DT\n");
+    out.push_str("   |- drift high   -> Naive-NN, SEA-NN, Naive-GBDT\n");
+    out.push_str("   `- otherwise    -> Naive-NN, SEA-NN\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(classification: bool, drift: Level, anomaly: Level, missing: Level) -> Scenario {
+        Scenario {
+            classification,
+            drift,
+            anomaly,
+            missing,
+            resource_constrained: false,
+        }
+    }
+
+    #[test]
+    fn resource_constraints_always_pick_trees() {
+        let mut s = scenario(true, Level::High, Level::High, Level::High);
+        s.resource_constrained = true;
+        assert_eq!(recommend(&s), vec![Algorithm::NaiveDt, Algorithm::NaiveGbdt]);
+    }
+
+    #[test]
+    fn classification_low_anomaly_prefers_trees() {
+        let s = scenario(true, Level::Low, Level::Low, Level::Low);
+        assert!(!recommend(&s)[0].is_nn_based());
+    }
+
+    #[test]
+    fn classification_high_anomaly_high_drift_prefers_icarl() {
+        let s = scenario(true, Level::High, Level::High, Level::Low);
+        assert_eq!(recommend(&s)[0], Algorithm::Icarl);
+    }
+
+    #[test]
+    fn regression_low_missing_prefers_nn() {
+        let s = scenario(false, Level::Low, Level::Low, Level::Low);
+        assert_eq!(recommend(&s)[0], Algorithm::NaiveNn);
+    }
+
+    #[test]
+    fn regression_high_missing_prefers_trees() {
+        let s = scenario(false, Level::Low, Level::Low, Level::High);
+        assert_eq!(recommend(&s)[0], Algorithm::SeaDt);
+    }
+
+    #[test]
+    fn every_scenario_has_a_recommendation() {
+        for classification in [true, false] {
+            for drift in [Level::Low, Level::MediumLow, Level::MediumHigh, Level::High] {
+                for anomaly in [Level::Low, Level::High] {
+                    for missing in [Level::Low, Level::High] {
+                        let s = scenario(classification, drift, anomaly, missing);
+                        let recs = recommend(&s);
+                        assert!(!recs.is_empty());
+                        // ARF is never recommended (§6.3 excludes it).
+                        assert!(!recs.contains(&Algorithm::Arf));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rendered_tree_mentions_all_branches() {
+        let t = render_tree();
+        assert!(t.contains("classification"));
+        assert!(t.contains("regression"));
+        assert!(t.contains("iCaRL"));
+        assert!(t.contains("SEA-GBDT"));
+    }
+}

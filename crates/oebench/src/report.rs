@@ -1,0 +1,171 @@
+//! Plain-text table rendering and level assignment for the experiment
+//! reports: every `repro` target prints its paper artifact as an aligned
+//! ASCII table, and the Table 3/4/9 level labels (Low / Medium low /
+//! Medium high / High) are assigned by quartile across the dataset
+//! collection, mirroring how the paper buckets its per-dataset scores.
+
+use oeb_synth::Level;
+
+/// A simple aligned ASCII table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> TextTable {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let n = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..n {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                line.push_str(&" ".repeat(widths[c].saturating_sub(cell.len())));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Loss magnitude beyond which a run counts as diverged (the paper
+/// reports such runs as N/A; a z-scored loss of 1e9 carries no
+/// information beyond "the model exploded").
+pub const DIVERGED: f64 = 1e9;
+
+/// Formats `mean ± std` with three decimals, or `N/A` for non-finite or
+/// diverged means (the paper's convention for exploded runs).
+pub fn fmt_mean_std(mean: f64, std: f64) -> String {
+    if !mean.is_finite() || mean.abs() >= DIVERGED {
+        return "N/A".into();
+    }
+    format!("{mean:.3}±{std:.3}")
+}
+
+/// Formats an optional `(mean, std)` summary.
+pub fn fmt_summary(summary: Option<(f64, f64)>) -> String {
+    match summary {
+        Some((m, s)) => fmt_mean_std(m, s),
+        None => "N/A".into(),
+    }
+}
+
+/// Assigns Low / Medium low / Medium high / High labels by quartile of
+/// `values` across the collection (the paper's per-dataset level labels).
+pub fn assign_levels(values: &[f64]) -> Vec<Level> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let q1 = oeb_linalg::quantile(values, 0.25);
+    let q2 = oeb_linalg::quantile(values, 0.5);
+    let q3 = oeb_linalg::quantile(values, 0.75);
+    values
+        .iter()
+        .map(|&v| {
+            if v <= q1 {
+                Level::Low
+            } else if v <= q2 {
+                Level::MediumLow
+            } else if v <= q3 {
+                Level::MediumHigh
+            } else {
+                Level::High
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("long-name"));
+        // Columns align: "value"/"1"/"22" start at the same offset.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["only-one"]);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn mean_std_formatting() {
+        assert_eq!(fmt_mean_std(0.31415, 0.001), "0.314±0.001");
+        assert_eq!(fmt_mean_std(f64::NAN, 0.0), "N/A");
+        assert_eq!(fmt_summary(None), "N/A");
+    }
+
+    #[test]
+    fn quartile_levels() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let levels = assign_levels(&values);
+        assert_eq!(levels[0], Level::Low);
+        assert_eq!(levels[30], Level::MediumLow);
+        assert_eq!(levels[60], Level::MediumHigh);
+        assert_eq!(levels[99], Level::High);
+    }
+
+    #[test]
+    fn constant_values_are_all_low() {
+        let levels = assign_levels(&[0.5; 10]);
+        assert!(levels.iter().all(|&l| l == Level::Low));
+    }
+}

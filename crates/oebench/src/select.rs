@@ -1,0 +1,179 @@
+//! Representative-dataset selection (§4.4 of the paper).
+//!
+//! Each feature group (basic information, missing values, data drift,
+//! concept drift, outliers) is normalised across datasets and reduced to
+//! three dimensions by PCA so every perspective carries equal weight;
+//! the concatenated embeddings are clustered with K-Means (k = 5) and the
+//! dataset nearest each centroid is selected.
+
+use crate::stats::OeStats;
+use oeb_linalg::{kmeans, KMeansConfig, Matrix, Pca};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Output of the selection pipeline.
+#[derive(Debug, Clone)]
+pub struct SelectionResult {
+    /// Cluster index per dataset (aligned with the input order).
+    pub assignments: Vec<usize>,
+    /// Index of the representative dataset of each cluster.
+    pub representatives: Vec<usize>,
+    /// The reduced embedding each dataset was clustered in
+    /// (`n x (3 * groups)`).
+    pub embedding: Matrix,
+    /// Per-dataset 3-D coordinates per group, for the Figure 2 scatter
+    /// reproduction (group-major: `groups x n x 3`).
+    pub group_coords: Vec<Matrix>,
+}
+
+/// Z-scores each column across datasets (constant columns stay 0).
+fn normalise_columns(m: &mut Matrix) {
+    let means = m.col_means();
+    let stds = m.col_stds();
+    for r in 0..m.rows() {
+        for (c, x) in m.row_mut(r).iter_mut().enumerate() {
+            let s = if stds[c] > 1e-12 { stds[c] } else { 1.0 };
+            *x = (*x - means[c]) / s;
+        }
+    }
+}
+
+/// Runs the full selection pipeline over the extracted statistics.
+///
+/// # Panics
+/// Panics when fewer than `k` datasets are supplied.
+pub fn select_representatives(stats: &[OeStats], k: usize, seed: u64) -> SelectionResult {
+    assert!(stats.len() >= k, "need at least k={k} datasets");
+    let groups: Vec<Vec<Vec<f64>>> = vec![
+        stats.iter().map(OeStats::basic_features).collect(),
+        stats.iter().map(OeStats::missing_features).collect(),
+        stats.iter().map(OeStats::drift_features).collect(),
+        stats.iter().map(OeStats::concept_features).collect(),
+        stats.iter().map(OeStats::outlier_features).collect(),
+    ];
+
+    let n = stats.len();
+    let mut embedding_rows: Vec<Vec<f64>> = vec![Vec::with_capacity(15); n];
+    let mut group_coords = Vec::with_capacity(groups.len());
+    for group in &groups {
+        let mut m = Matrix::from_rows(group);
+        normalise_columns(&mut m);
+        let pca = Pca::fit(&m, 3);
+        let reduced = pca.transform(&m);
+        // Pad to exactly 3 dims when a group has fewer features.
+        let mut coords = Matrix::zeros(n, 3);
+        for r in 0..n {
+            for c in 0..reduced.cols().min(3) {
+                coords[(r, c)] = reduced[(r, c)];
+            }
+            embedding_rows[r].extend_from_slice(coords.row(r));
+        }
+        group_coords.push(coords);
+    }
+    let embedding = Matrix::from_rows(&embedding_rows);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let result = kmeans(
+        &embedding,
+        &KMeansConfig {
+            k,
+            n_init: 10,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let representatives: Vec<usize> = result
+        .representatives(&embedding)
+        .into_iter()
+        .map(|r| r.expect("k-means on >= k points leaves no empty cluster unfilled"))
+        .collect();
+    SelectionResult {
+        assignments: result.assignments,
+        representatives,
+        embedding,
+        group_coords,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::AvgMax;
+
+    /// Builds a synthetic stats record with controllable scores.
+    fn fake_stats(name: &str, missing: f64, drift: f64, anomaly: f64) -> OeStats {
+        OeStats {
+            name: name.into(),
+            n_rows: 10_000,
+            n_features: 10,
+            n_windows: 20,
+            classification: true,
+            missing_rows: missing,
+            missing_cols: missing,
+            missing_cells: missing,
+            drift_hdddm: drift,
+            drift_kdq: drift,
+            drift_pcacd: drift,
+            drift_ks: AvgMax { avg: drift, max: drift },
+            drift_cdbd: AvgMax { avg: drift, max: drift },
+            drift_adwin: AvgMax { avg: drift, max: drift },
+            drift_hddm: AvgMax { avg: drift, max: drift },
+            concept_ddm: drift,
+            concept_eddm: drift,
+            concept_adwin: drift,
+            concept_perm: drift,
+            anomaly_ecod: AvgMax { avg: anomaly, max: anomaly },
+            anomaly_iforest: AvgMax { avg: anomaly, max: anomaly },
+        }
+    }
+
+    fn corpus() -> Vec<OeStats> {
+        let mut v = Vec::new();
+        // Three well-separated families.
+        for i in 0..5 {
+            let eps = i as f64 * 0.01;
+            v.push(fake_stats(&format!("missing{i}"), 0.8 + eps, 0.0, 0.0));
+            v.push(fake_stats(&format!("drift{i}"), 0.0, 0.8 + eps, 0.0));
+            v.push(fake_stats(&format!("anomaly{i}"), 0.0, 0.0, 0.3 + eps));
+        }
+        v
+    }
+
+    #[test]
+    fn embedding_has_expected_shape() {
+        let stats = corpus();
+        let sel = select_representatives(&stats, 3, 1);
+        assert_eq!(sel.embedding.shape(), (15, 15));
+        assert_eq!(sel.group_coords.len(), 5);
+        assert_eq!(sel.group_coords[0].shape(), (15, 3));
+    }
+
+    #[test]
+    fn representatives_cover_distinct_clusters() {
+        let stats = corpus();
+        let sel = select_representatives(&stats, 3, 1);
+        assert_eq!(sel.representatives.len(), 3);
+        let mut reps = sel.representatives.clone();
+        reps.sort_unstable();
+        reps.dedup();
+        assert_eq!(reps.len(), 3, "duplicate representatives");
+    }
+
+    #[test]
+    fn families_cluster_together() {
+        let stats = corpus();
+        let sel = select_representatives(&stats, 3, 7);
+        // Datasets 0,3,6,9,12 are the "missing" family (indices 0 mod 3).
+        let family_cluster = sel.assignments[0];
+        for i in (0..15).step_by(3) {
+            assert_eq!(sel.assignments[i], family_cluster, "dataset {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn too_few_datasets_panics() {
+        let stats = vec![fake_stats("a", 0.0, 0.0, 0.0)];
+        let _ = select_representatives(&stats, 5, 0);
+    }
+}

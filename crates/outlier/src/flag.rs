@@ -1,0 +1,60 @@
+//! Window-level outlier flagging.
+//!
+//! The paper flags a sample as an outlier when its detector score exceeds
+//! three standard deviations above the window's mean score (§4.3), then
+//! records the average and maximum anomaly ratios across windows.
+
+/// Flags scores exceeding `mean + k * std` of the score vector.
+pub fn flag_by_sigma(scores: &[f64], k: f64) -> Vec<bool> {
+    if scores.is_empty() {
+        return Vec::new();
+    }
+    let mean = oeb_linalg::mean(scores);
+    let std = oeb_linalg::std_dev(scores);
+    let threshold = mean + k * std;
+    scores.iter().map(|&s| s > threshold).collect()
+}
+
+/// Fraction of flagged samples under the paper's 3-sigma rule.
+pub fn anomaly_ratio(scores: &[f64]) -> f64 {
+    let flags = flag_by_sigma(scores, 3.0);
+    if flags.is_empty() {
+        return 0.0;
+    }
+    flags.iter().filter(|&&f| f).count() as f64 / flags.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_only_the_extreme_scores() {
+        let mut scores = vec![1.0; 100];
+        scores[7] = 100.0;
+        let flags = flag_by_sigma(&scores, 3.0);
+        assert!(flags[7]);
+        assert_eq!(flags.iter().filter(|&&f| f).count(), 1);
+    }
+
+    #[test]
+    fn uniform_scores_flag_nothing() {
+        let scores = vec![2.0; 50];
+        assert!(flag_by_sigma(&scores, 3.0).iter().all(|&f| !f));
+        assert_eq!(anomaly_ratio(&scores), 0.0);
+    }
+
+    #[test]
+    fn ratio_counts_flags() {
+        let mut scores = vec![0.0; 98];
+        scores.extend([50.0, 60.0]);
+        let r = anomaly_ratio(&scores);
+        assert!((r - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_scores() {
+        assert!(flag_by_sigma(&[], 3.0).is_empty());
+        assert_eq!(anomaly_ratio(&[]), 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Isolation Forest — Liu, Ting & Zhou, ICDM 2008.
+//!
+//! Anomalies are isolated by fewer random axis-aligned splits than normal
+//! points. Each tree is built on a random subsample; the anomaly score is
+//! `2^(-E[h(x)] / c(psi))` where `h` is the path length and `c` the
+//! average unsuccessful-search length of a BST.
+
+use oeb_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A node of an isolation tree.
+#[derive(Debug, Clone)]
+enum Node {
+    /// External node covering `size` training samples.
+    Leaf { size: usize },
+    /// Internal split.
+    Split {
+        dim: usize,
+        at: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// Average path length of an unsuccessful BST search over `n` items —
+/// the normalising constant `c(n)` from the paper.
+fn c_factor(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    2.0 * ((n - 1.0).ln() + 0.577_215_664_901_532_9) - 2.0 * (n - 1.0) / n
+}
+
+/// Configuration for [`IsolationForest::fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct IForestConfig {
+    /// Number of trees (paper default 100).
+    pub n_trees: usize,
+    /// Subsample size per tree (paper default 256).
+    pub subsample: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IForestConfig {
+    fn default() -> Self {
+        IForestConfig {
+            n_trees: 100,
+            subsample: 256,
+            seed: 0x69666f72, // "ifor"
+        }
+    }
+}
+
+/// A fitted isolation forest.
+#[derive(Debug, Clone)]
+pub struct IsolationForest {
+    trees: Vec<Node>,
+    /// Normalising constant for the subsample size used.
+    c_psi: f64,
+}
+
+impl IsolationForest {
+    /// Fits a forest on `data` (rows = samples). Non-finite cells compare
+    /// as "right of every split", which keeps them isolatable without
+    /// poisoning split selection.
+    pub fn fit(data: &Matrix, config: &IForestConfig) -> IsolationForest {
+        assert!(data.rows() > 0, "cannot fit on an empty matrix");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let psi = config.subsample.min(data.rows());
+        let max_depth = (psi as f64).log2().ceil() as usize + 1;
+        let trees = (0..config.n_trees)
+            .map(|_| {
+                let sample: Vec<usize> =
+                    (0..psi).map(|_| rng.gen_range(0..data.rows())).collect();
+                build_tree(data, &sample, 0, max_depth, &mut rng)
+            })
+            .collect();
+        IsolationForest {
+            trees,
+            c_psi: c_factor(psi),
+        }
+    }
+
+    /// Path length of a sample in one tree, with the subtree-size
+    /// adjustment at external nodes.
+    fn path_length(node: &Node, row: &[f64]) -> f64 {
+        let mut depth = 0.0;
+        let mut node = node;
+        loop {
+            match node {
+                Node::Leaf { size } => return depth + c_factor(*size),
+                Node::Split {
+                    dim,
+                    at,
+                    left,
+                    right,
+                } => {
+                    let x = row[*dim];
+                    node = if x.is_finite() && x < *at { left } else { right };
+                    depth += 1.0;
+                }
+            }
+        }
+    }
+
+    /// Anomaly score in `(0, 1)`: near 1 = anomalous, near 0.5 or below =
+    /// normal.
+    pub fn score(&self, row: &[f64]) -> f64 {
+        if self.c_psi <= 0.0 {
+            return 0.5;
+        }
+        let mean_path: f64 = self
+            .trees
+            .iter()
+            .map(|t| Self::path_length(t, row))
+            .sum::<f64>()
+            / self.trees.len().max(1) as f64;
+        2f64.powf(-mean_path / self.c_psi)
+    }
+
+    /// Scores every row of a matrix.
+    pub fn score_all(&self, data: &Matrix) -> Vec<f64> {
+        (0..data.rows()).map(|r| self.score(data.row(r))).collect()
+    }
+}
+
+fn build_tree(
+    data: &Matrix,
+    idx: &[usize],
+    depth: usize,
+    max_depth: usize,
+    rng: &mut StdRng,
+) -> Node {
+    if idx.len() <= 1 || depth >= max_depth {
+        return Node::Leaf { size: idx.len() };
+    }
+    // Pick a random dimension with spread; give up after a few attempts.
+    for _ in 0..8 {
+        let dim = rng.gen_range(0..data.cols());
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &r in idx {
+            let x = data[(r, dim)];
+            if x.is_finite() {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+        }
+        if hi <= lo {
+            continue;
+        }
+        let at = lo + rng.gen::<f64>() * (hi - lo);
+        let (left, right): (Vec<usize>, Vec<usize>) = idx
+            .iter()
+            .partition(|&&r| data[(r, dim)].is_finite() && data[(r, dim)] < at);
+        if left.is_empty() || right.is_empty() {
+            continue;
+        }
+        return Node::Split {
+            dim,
+            at,
+            left: Box::new(build_tree(data, &left, depth + 1, max_depth, rng)),
+            right: Box::new(build_tree(data, &right, depth + 1, max_depth, rng)),
+        };
+    }
+    Node::Leaf { size: idx.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_with_outlier() -> Matrix {
+        let mut rows: Vec<Vec<f64>> = (0..300)
+            .map(|i| {
+                let a = i as f64 * 0.021;
+                vec![a.sin(), a.cos(), (a * 1.3).sin()]
+            })
+            .collect();
+        rows.push(vec![50.0, -40.0, 60.0]);
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn isolated_point_scores_highest() {
+        let data = cluster_with_outlier();
+        let forest = IsolationForest::fit(&data, &IForestConfig::default());
+        let scores = forest.score_all(&data);
+        let (argmax, _) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_eq!(argmax, 300, "outlier row should score highest");
+        assert!(scores[300] > 0.6, "outlier score {}", scores[300]);
+    }
+
+    #[test]
+    fn normal_points_score_moderately() {
+        let data = cluster_with_outlier();
+        let forest = IsolationForest::fit(&data, &IForestConfig::default());
+        let s = forest.score(&[0.5, 0.5, 0.5]);
+        assert!(s < 0.6, "inlier score {s}");
+    }
+
+    #[test]
+    fn c_factor_growth() {
+        assert_eq!(c_factor(1), 0.0);
+        assert!(c_factor(256) > c_factor(16));
+        // c(n) ~ 2 ln(n-1) + 2*gamma - 2: spot check around n=256.
+        assert!((c_factor(256) - 10.24).abs() < 0.3, "{}", c_factor(256));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = cluster_with_outlier();
+        let cfg = IForestConfig {
+            seed: 42,
+            ..Default::default()
+        };
+        let f1 = IsolationForest::fit(&data, &cfg);
+        let f2 = IsolationForest::fit(&data, &cfg);
+        assert_eq!(f1.score_all(&data), f2.score_all(&data));
+    }
+
+    #[test]
+    fn handles_nan_cells() {
+        let data = cluster_with_outlier();
+        let forest = IsolationForest::fit(&data, &IForestConfig::default());
+        let s = forest.score(&[f64::NAN, 0.0, 0.0]);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn constant_data_scores_uniformly() {
+        let data = Matrix::from_rows(&vec![vec![3.0, 3.0]; 100]);
+        let forest = IsolationForest::fit(&data, &IForestConfig::default());
+        let scores = forest.score_all(&data);
+        let first = scores[0];
+        assert!(scores.iter().all(|&s| (s - first).abs() < 1e-9));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the outlier detectors: score sanity over
+//! arbitrary data, tail monotonicity for ECOD, score bounds for IForest,
+//! and the 3-sigma flagging rule.
+
+use oeb_linalg::Matrix;
+use oeb_outlier::{anomaly_ratio, flag_by_sigma, Ecod, IForestConfig, IsolationForest};
+use proptest::prelude::*;
+
+fn data_matrix() -> impl Strategy<Value = Matrix> {
+    (8usize..60, 1usize..4).prop_flat_map(|(rows, cols)| {
+        prop::collection::vec(-100.0..100.0f64, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ecod_scores_are_finite_nonnegative(m in data_matrix()) {
+        let model = Ecod::fit(&m);
+        for s in model.score_all(&m) {
+            prop_assert!(s.is_finite());
+            prop_assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn ecod_right_tail_monotonicity(m in data_matrix(), probe in -50.0..50.0f64) {
+        // Moving a 1-D probe further right of the data's maximum can only
+        // increase (never decrease) the score.
+        let col = Matrix::from_vec(m.rows(), 1, m.col(0));
+        let model = Ecod::fit(&col);
+        let hi = m.col(0).into_iter().fold(f64::NEG_INFINITY, f64::max);
+        let near = model.score(&[hi + probe.abs()]);
+        let far = model.score(&[hi + probe.abs() + 100.0]);
+        prop_assert!(far >= near - 1e-9, "far {far} < near {near}");
+    }
+
+    #[test]
+    fn iforest_scores_in_unit_interval(m in data_matrix()) {
+        let forest = IsolationForest::fit(
+            &m,
+            &IForestConfig { n_trees: 15, subsample: 32, seed: 3 },
+        );
+        for s in forest.score_all(&m) {
+            prop_assert!((0.0..=1.0).contains(&s), "score {s} out of range");
+        }
+    }
+
+    #[test]
+    fn iforest_far_point_scores_at_least_median(m in data_matrix()) {
+        // Tiny samples make isolation depths noisy, so require a modest
+        // sample and allow a small tolerance on the invariant.
+        prop_assume!(m.rows() >= 20);
+        let forest = IsolationForest::fit(
+            &m,
+            &IForestConfig { n_trees: 50, subsample: 64, seed: 5 },
+        );
+        let scores = forest.score_all(&m);
+        let median = oeb_linalg::quantile(&scores, 0.5);
+        let far = vec![1e5; m.cols()];
+        prop_assert!(forest.score(&far) >= median - 0.05);
+    }
+
+    #[test]
+    fn sigma_flags_respect_threshold_semantics(scores in prop::collection::vec(0.0..10.0f64, 1..100), k in 0.5..4.0f64) {
+        let flags = flag_by_sigma(&scores, k);
+        let mean = oeb_linalg::mean(&scores);
+        let std = oeb_linalg::std_dev(&scores);
+        for (i, &f) in flags.iter().enumerate() {
+            prop_assert_eq!(f, scores[i] > mean + k * std);
+        }
+        let ratio = anomaly_ratio(&scores);
+        prop_assert!((0.0..=1.0).contains(&ratio));
+        // With 3 sigma, by Chebyshev at most 1/9 of mass can be flagged.
+        prop_assert!(ratio <= 1.0 / 9.0 + 1e-9, "ratio {ratio} violates Chebyshev");
+    }
+}

@@ -1,0 +1,160 @@
+//! One-hot encoding of tables into dense numeric matrices (§4.3 step 3 of
+//! the paper: categorical features are one-hot encoded before any
+//! statistics or learning).
+
+use oeb_linalg::Matrix;
+use oeb_tabular::{Column, FieldKind, Table};
+
+/// A fitted one-hot encoder over a specific set of table columns.
+///
+/// Numeric fields pass through as one output column; categorical fields
+/// expand to one column per dictionary label. A missing cell produces NaN
+/// in every output column it maps to, so downstream imputers see it.
+#[derive(Debug, Clone)]
+pub struct OneHotEncoder {
+    /// Source column indices in the table.
+    source_cols: Vec<usize>,
+    /// Output width of each source column.
+    widths: Vec<usize>,
+    /// Output column names, e.g. `temp` or `city=Beijing`.
+    names: Vec<String>,
+}
+
+impl OneHotEncoder {
+    /// Builds an encoder for the given columns of a table's schema.
+    pub fn fit(table: &Table, cols: &[usize]) -> OneHotEncoder {
+        let mut widths = Vec::with_capacity(cols.len());
+        let mut names = Vec::new();
+        for &c in cols {
+            let field = table.schema().field(c);
+            match &field.kind {
+                FieldKind::Numeric => {
+                    widths.push(1);
+                    names.push(field.name.clone());
+                }
+                FieldKind::Categorical { labels } => {
+                    widths.push(labels.len());
+                    for l in labels {
+                        names.push(format!("{}={}", field.name, l));
+                    }
+                }
+            }
+        }
+        OneHotEncoder {
+            source_cols: cols.to_vec(),
+            widths,
+            names,
+        }
+    }
+
+    /// Total encoded width.
+    pub fn width(&self) -> usize {
+        self.widths.iter().sum()
+    }
+
+    /// Output column names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Encodes the rows in `range` of `table` into an `len x width` matrix.
+    ///
+    /// # Panics
+    /// Panics if the table does not match the schema the encoder was fitted
+    /// on (column kind or categorical arity changes).
+    pub fn encode(&self, table: &Table, range: std::ops::Range<usize>) -> Matrix {
+        let n = range.len();
+        let mut out = Matrix::zeros(n, self.width());
+        for (out_r, r) in range.enumerate() {
+            let row = out.row_mut(out_r);
+            let mut offset = 0;
+            for (slot, &c) in self.source_cols.iter().enumerate() {
+                let w = self.widths[slot];
+                match table.column(c) {
+                    Column::Numeric(v) => {
+                        assert_eq!(w, 1, "numeric column width changed since fit");
+                        row[offset] = v[r];
+                    }
+                    Column::Categorical(v) => match v[r] {
+                        None => {
+                            for x in &mut row[offset..offset + w] {
+                                *x = f64::NAN;
+                            }
+                        }
+                        Some(idx) => {
+                            assert!(
+                                (idx as usize) < w,
+                                "category index {idx} out of range for width {w}"
+                            );
+                            row[offset + idx as usize] = 1.0;
+                        }
+                    },
+                }
+                offset += w;
+            }
+        }
+        out
+    }
+
+    /// Encodes the whole table.
+    pub fn encode_all(&self, table: &Table) -> Matrix {
+        self.encode(table, 0..table.n_rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oeb_tabular::{Field, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::numeric("x"),
+            Field::categorical("c", &["a", "b", "z"]),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                Column::Numeric(vec![1.0, 2.0, f64::NAN]),
+                Column::Categorical(vec![Some(1), None, Some(2)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn width_and_names() {
+        let t = table();
+        let enc = OneHotEncoder::fit(&t, &[0, 1]);
+        assert_eq!(enc.width(), 4);
+        assert_eq!(enc.names(), &["x", "c=a", "c=b", "c=z"]);
+    }
+
+    #[test]
+    fn encodes_categories_as_indicators() {
+        let t = table();
+        let enc = OneHotEncoder::fit(&t, &[0, 1]);
+        let m = enc.encode_all(&t);
+        assert_eq!(m.row(0), &[1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(m.row(2)[3], 1.0);
+    }
+
+    #[test]
+    fn missing_cells_become_nan() {
+        let t = table();
+        let enc = OneHotEncoder::fit(&t, &[0, 1]);
+        let m = enc.encode_all(&t);
+        // Missing numeric x at row 2.
+        assert!(m.row(2)[0].is_nan());
+        // Missing categorical c at row 1 -> NaN across its block.
+        assert!(m.row(1)[1].is_nan() && m.row(1)[2].is_nan() && m.row(1)[3].is_nan());
+    }
+
+    #[test]
+    fn subset_of_columns() {
+        let t = table();
+        let enc = OneHotEncoder::fit(&t, &[1]);
+        assert_eq!(enc.width(), 3);
+        let m = enc.encode(&t, 0..2);
+        assert_eq!(m.shape(), (2, 3));
+    }
+}

@@ -1,0 +1,356 @@
+//! Missing-value imputers (§4.3 step 4 and §6.6 of the paper).
+//!
+//! The paper's pipeline defaults to a KNN imputer with `k = 2`; §6.6
+//! additionally compares KNN at `k ∈ {2, 5, 10, 20}`, a regression imputer,
+//! mean filling, and zero filling. All four are implemented behind one
+//! trait so the Figure 14 experiment can sweep them uniformly.
+
+use oeb_linalg::{ridge_regression, Matrix};
+
+/// Fills NaN cells of `data`, using `reference` as the source of knowledge
+/// (for the "oracle vs normal" distinction of Figure 5: oracle passes the
+/// whole dataset as reference, normal passes only the data seen so far).
+///
+/// Contract: after `impute`, `data` contains no NaN, and every originally
+/// observed cell is unchanged.
+pub trait Imputer: Send + Sync {
+    /// Fills missing cells of `data` in place.
+    fn impute(&self, data: &mut Matrix, reference: &Matrix);
+
+    /// Short identifier used in experiment reports.
+    fn name(&self) -> String;
+}
+
+/// Fills missing cells with zero.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroImputer;
+
+impl Imputer for ZeroImputer {
+    fn impute(&self, data: &mut Matrix, _reference: &Matrix) {
+        for x in data.as_mut_slice() {
+            if !x.is_finite() {
+                *x = 0.0;
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "zero".into()
+    }
+}
+
+/// Fills missing cells with the column mean of the reference (falls back to
+/// 0 when the reference column is entirely missing).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanImputer;
+
+/// NaN-aware column means with 0.0 fallback for all-missing columns.
+fn nan_col_means(m: &Matrix) -> Vec<f64> {
+    let d = m.cols();
+    let mut sums = vec![0.0; d];
+    let mut counts = vec![0usize; d];
+    for r in 0..m.rows() {
+        for (c, &x) in m.row(r).iter().enumerate() {
+            if x.is_finite() {
+                sums[c] += x;
+                counts[c] += 1;
+            }
+        }
+    }
+    sums.iter()
+        .zip(&counts)
+        .map(|(&s, &n)| if n > 0 { s / n as f64 } else { 0.0 })
+        .collect()
+}
+
+impl Imputer for MeanImputer {
+    fn impute(&self, data: &mut Matrix, reference: &Matrix) {
+        let means = nan_col_means(reference);
+        for r in 0..data.rows() {
+            for (c, x) in data.row_mut(r).iter_mut().enumerate() {
+                if !x.is_finite() {
+                    *x = means[c];
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "mean".into()
+    }
+}
+
+/// K-nearest-neighbour imputer with NaN-aware Euclidean distances, matching
+/// scikit-learn's `KNNImputer` semantics: distances are computed over the
+/// co-observed coordinates and rescaled by the fraction observed; a missing
+/// cell is filled with the mean of that column over the `k` nearest
+/// reference rows that observe it.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnImputer {
+    /// Number of neighbours (the paper defaults to 2).
+    pub k: usize,
+}
+
+impl Default for KnnImputer {
+    fn default() -> Self {
+        KnnImputer { k: 2 }
+    }
+}
+
+/// NaN-aware squared distance: mean squared difference over co-observed
+/// dimensions, scaled by the total dimension count. `None` when the rows
+/// share no observed dimension.
+fn nan_sq_dist(a: &[f64], b: &[f64]) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut seen = 0usize;
+    for (&x, &y) in a.iter().zip(b) {
+        if x.is_finite() && y.is_finite() {
+            let d = x - y;
+            sum += d * d;
+            seen += 1;
+        }
+    }
+    if seen == 0 {
+        None
+    } else {
+        Some(sum * a.len() as f64 / seen as f64)
+    }
+}
+
+impl Imputer for KnnImputer {
+    fn impute(&self, data: &mut Matrix, reference: &Matrix) {
+        assert!(self.k > 0, "k must be positive");
+        let fallback = nan_col_means(reference);
+        let n_ref = reference.rows();
+        for r in 0..data.rows() {
+            let missing: Vec<usize> = data
+                .row(r)
+                .iter()
+                .enumerate()
+                .filter(|(_, x)| !x.is_finite())
+                .map(|(c, _)| c)
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            // Rank reference rows by NaN-aware distance to this row.
+            let mut neighbours: Vec<(f64, usize)> = Vec::with_capacity(n_ref);
+            for j in 0..n_ref {
+                if let Some(d) = nan_sq_dist(data.row(r), reference.row(j)) {
+                    neighbours.push((d, j));
+                }
+            }
+            neighbours
+                .sort_by(|a, b| a.0.total_cmp(&b.0));
+            for &c in &missing {
+                // Mean of column c over the k nearest rows observing it.
+                let mut sum = 0.0;
+                let mut count = 0usize;
+                for &(_, j) in &neighbours {
+                    let v = reference[(j, c)];
+                    if v.is_finite() {
+                        sum += v;
+                        count += 1;
+                        if count == self.k {
+                            break;
+                        }
+                    }
+                }
+                data[(r, c)] = if count > 0 {
+                    sum / count as f64
+                } else {
+                    fallback[c]
+                };
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("knn(k={})", self.k)
+    }
+}
+
+/// Regression imputer: for each incomplete column, fits a ridge regression
+/// from the other columns (mean-filled) on the reference rows observing the
+/// column, then predicts the missing cells. Falls back to the column mean
+/// when too few training rows exist.
+#[derive(Debug, Clone, Copy)]
+pub struct RegressionImputer {
+    /// Ridge regularisation strength.
+    pub lambda: f64,
+}
+
+impl Default for RegressionImputer {
+    fn default() -> Self {
+        RegressionImputer { lambda: 1e-3 }
+    }
+}
+
+impl Imputer for RegressionImputer {
+    fn impute(&self, data: &mut Matrix, reference: &Matrix) {
+        let d = data.cols();
+        let means = nan_col_means(reference);
+
+        // Mean-filled copy of the reference used as the predictor source.
+        let mut filled_ref = reference.clone();
+        MeanImputer.impute(&mut filled_ref, reference);
+
+        for target in 0..d {
+            let has_missing = (0..data.rows()).any(|r| !data[(r, target)].is_finite());
+            if !has_missing {
+                continue;
+            }
+            // Training rows: reference rows where the target is observed.
+            let train_rows: Vec<usize> = (0..reference.rows())
+                .filter(|&r| reference[(r, target)].is_finite())
+                .collect();
+            let predictors: Vec<usize> = (0..d).filter(|&c| c != target).collect();
+
+            let weights = if train_rows.len() >= 3 && !predictors.is_empty() {
+                // Design matrix with intercept column.
+                let rows: Vec<Vec<f64>> = train_rows
+                    .iter()
+                    .map(|&r| {
+                        let mut v: Vec<f64> =
+                            predictors.iter().map(|&c| filled_ref[(r, c)]).collect();
+                        v.push(1.0);
+                        v
+                    })
+                    .collect();
+                let y: Vec<f64> = train_rows
+                    .iter()
+                    .map(|&r| reference[(r, target)])
+                    .collect();
+                ridge_regression(&Matrix::from_rows(&rows), &y, self.lambda)
+            } else {
+                None
+            };
+
+            for r in 0..data.rows() {
+                if data[(r, target)].is_finite() {
+                    continue;
+                }
+                data[(r, target)] = match &weights {
+                    Some(w) => {
+                        let mut pred = w[predictors.len()]; // intercept
+                        for (slot, &c) in predictors.iter().enumerate() {
+                            let x = data[(r, c)];
+                            let x = if x.is_finite() { x } else { means[c] };
+                            pred += w[slot] * x;
+                        }
+                        if pred.is_finite() {
+                            pred
+                        } else {
+                            means[target]
+                        }
+                    }
+                    None => means[target],
+                };
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "regression".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_holes() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 10.0],
+            vec![2.0, f64::NAN],
+            vec![f64::NAN, 30.0],
+            vec![4.0, 40.0],
+        ])
+    }
+
+    fn assert_complete_and_preserving(imp: &dyn Imputer) {
+        let original = with_holes();
+        let mut data = original.clone();
+        let reference = original.clone();
+        imp.impute(&mut data, &reference);
+        assert!(data.is_finite(), "{} left NaNs", imp.name());
+        for r in 0..original.rows() {
+            for c in 0..original.cols() {
+                if original[(r, c)].is_finite() {
+                    assert_eq!(data[(r, c)], original[(r, c)], "{} modified observed cell", imp.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_imputers_complete_and_preserve() {
+        assert_complete_and_preserving(&ZeroImputer);
+        assert_complete_and_preserving(&MeanImputer);
+        assert_complete_and_preserving(&KnnImputer { k: 2 });
+        assert_complete_and_preserving(&RegressionImputer::default());
+    }
+
+    #[test]
+    fn zero_fills_zero() {
+        let mut data = with_holes();
+        let r = data.clone();
+        ZeroImputer.impute(&mut data, &r);
+        assert_eq!(data[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn mean_fills_reference_column_mean() {
+        let mut data = with_holes();
+        let r = data.clone();
+        MeanImputer.impute(&mut data, &r);
+        // Column 1 observed values: 10, 30, 40 -> mean 80/3.
+        assert!((data[(1, 1)] - 80.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_uses_nearest_rows() {
+        // Reference: rows clustered at x=0 (y=0) and x=100 (y=100).
+        let reference = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![100.0, 100.0],
+            vec![101.0, 100.0],
+        ]);
+        let mut data = Matrix::from_rows(&[vec![0.5, f64::NAN], vec![100.5, f64::NAN]]);
+        KnnImputer { k: 2 }.impute(&mut data, &reference);
+        assert_eq!(data[(0, 1)], 0.0);
+        assert_eq!(data[(1, 1)], 100.0);
+    }
+
+    #[test]
+    fn knn_falls_back_to_mean_when_neighbours_missing() {
+        let reference = Matrix::from_rows(&[vec![1.0, f64::NAN], vec![2.0, f64::NAN]]);
+        let mut data = Matrix::from_rows(&[vec![1.5, f64::NAN]]);
+        KnnImputer { k: 2 }.impute(&mut data, &reference);
+        // Column 1 never observed -> fallback 0.
+        assert_eq!(data[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn regression_imputer_learns_linear_structure() {
+        // y = 2x exactly; hole in y should be predicted near 2 * x.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let reference = Matrix::from_rows(&rows);
+        let mut data = Matrix::from_rows(&[vec![7.5, f64::NAN]]);
+        RegressionImputer::default().impute(&mut data, &reference);
+        assert!(
+            (data[(0, 1)] - 15.0).abs() < 0.5,
+            "predicted {}",
+            data[(0, 1)]
+        );
+    }
+
+    #[test]
+    fn imputer_names_are_stable() {
+        assert_eq!(KnnImputer { k: 5 }.name(), "knn(k=5)");
+        assert_eq!(MeanImputer.name(), "mean");
+        assert_eq!(ZeroImputer.name(), "zero");
+        assert_eq!(RegressionImputer::default().name(), "regression");
+    }
+}

@@ -1,0 +1,188 @@
+//! Feature scaling. The paper normalises every dataset dimension with the
+//! mean and variance of the *first window only* (§6.1), simulating the
+//! real-world constraint that only the statistics of the first few samples
+//! are available at deployment time.
+
+use oeb_linalg::Matrix;
+
+/// Standard (z-score) scaler fitted on a reference matrix.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    /// Per-column means.
+    pub means: Vec<f64>,
+    /// Per-column standard deviations (zero-variance columns scale by 1).
+    pub stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits means/stds on the reference data, ignoring NaN cells.
+    pub fn fit(reference: &Matrix) -> StandardScaler {
+        let d = reference.cols();
+        let mut means = vec![0.0; d];
+        let mut counts = vec![0usize; d];
+        for r in 0..reference.rows() {
+            for (c, &x) in reference.row(r).iter().enumerate() {
+                if x.is_finite() {
+                    means[c] += x;
+                    counts[c] += 1;
+                }
+            }
+        }
+        for c in 0..d {
+            if counts[c] > 0 {
+                means[c] /= counts[c] as f64;
+            }
+        }
+        let mut vars = vec![0.0; d];
+        for r in 0..reference.rows() {
+            for (c, &x) in reference.row(r).iter().enumerate() {
+                if x.is_finite() {
+                    let dlt = x - means[c];
+                    vars[c] += dlt * dlt;
+                }
+            }
+        }
+        let stds = vars
+            .iter()
+            .zip(&counts)
+            .map(|(&v, &n)| {
+                if n == 0 {
+                    1.0
+                } else {
+                    let s = (v / n as f64).sqrt();
+                    if s > 1e-12 {
+                        s
+                    } else {
+                        1.0
+                    }
+                }
+            })
+            .collect();
+        StandardScaler { means, stds }
+    }
+
+    /// Scales a matrix in place: `(x - mean) / std` per column. NaN cells
+    /// stay NaN.
+    pub fn transform(&self, data: &mut Matrix) {
+        assert_eq!(data.cols(), self.means.len(), "scaler dimension mismatch");
+        for r in 0..data.rows() {
+            for (c, x) in data.row_mut(r).iter_mut().enumerate() {
+                if x.is_finite() {
+                    *x = (*x - self.means[c]) / self.stds[c];
+                }
+            }
+        }
+    }
+
+    /// Scales a single target value using column `c` statistics.
+    pub fn transform_value(&self, c: usize, x: f64) -> f64 {
+        if x.is_finite() {
+            (x - self.means[c]) / self.stds[c]
+        } else {
+            x
+        }
+    }
+
+    /// Inverse of [`StandardScaler::transform_value`].
+    pub fn inverse_value(&self, c: usize, z: f64) -> f64 {
+        z * self.stds[c] + self.means[c]
+    }
+}
+
+/// A scalar z-score scaler for regression targets, fitted on the first
+/// window's targets.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetScaler {
+    /// Target mean.
+    pub mean: f64,
+    /// Target standard deviation (1 when degenerate).
+    pub std: f64,
+}
+
+impl TargetScaler {
+    /// Fits on the finite values of `targets`.
+    pub fn fit(targets: &[f64]) -> TargetScaler {
+        let finite: Vec<f64> = targets.iter().copied().filter(|x| x.is_finite()).collect();
+        if finite.is_empty() {
+            return TargetScaler { mean: 0.0, std: 1.0 };
+        }
+        let mean = oeb_linalg::mean(&finite);
+        let std = oeb_linalg::std_dev(&finite);
+        TargetScaler {
+            mean,
+            std: if std > 1e-12 { std } else { 1.0 },
+        }
+    }
+
+    /// Scales one value.
+    pub fn transform(&self, x: f64) -> f64 {
+        (x - self.mean) / self.std
+    }
+
+    /// Inverse transform.
+    pub fn inverse(&self, z: f64) -> f64 {
+        z * self.std + self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_to_zero_mean_unit_variance() {
+        let data = Matrix::from_rows(&[vec![1.0, 100.0], vec![3.0, 300.0], vec![5.0, 500.0]]);
+        let scaler = StandardScaler::fit(&data);
+        let mut scaled = data.clone();
+        scaler.transform(&mut scaled);
+        for m in scaled.col_means() {
+            assert!(m.abs() < 1e-12);
+        }
+        for s in scaled.col_stds() {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nan_aware_fit_and_transform() {
+        let data = Matrix::from_rows(&[vec![1.0], vec![f64::NAN], vec![3.0]]);
+        let scaler = StandardScaler::fit(&data);
+        assert_eq!(scaler.means[0], 2.0);
+        let mut scaled = data.clone();
+        scaler.transform(&mut scaled);
+        assert!(scaled[(1, 0)].is_nan());
+        assert!(scaled[(0, 0)].is_finite());
+    }
+
+    #[test]
+    fn constant_column_does_not_divide_by_zero() {
+        let data = Matrix::from_rows(&[vec![7.0], vec![7.0]]);
+        let scaler = StandardScaler::fit(&data);
+        let mut scaled = data.clone();
+        scaler.transform(&mut scaled);
+        assert!(scaled.is_finite());
+        assert_eq!(scaled[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let data = Matrix::from_rows(&[vec![10.0], vec![20.0], vec![30.0]]);
+        let scaler = StandardScaler::fit(&data);
+        let z = scaler.transform_value(0, 25.0);
+        assert!((scaler.inverse_value(0, z) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn target_scaler_roundtrip() {
+        let t = TargetScaler::fit(&[5.0, 10.0, 15.0, f64::NAN]);
+        assert_eq!(t.mean, 10.0);
+        let z = t.transform(12.0);
+        assert!((t.inverse(z) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_target_scaler_is_identity() {
+        let t = TargetScaler::fit(&[]);
+        assert_eq!(t.transform(3.0), 3.0);
+    }
+}

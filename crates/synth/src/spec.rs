@@ -1,0 +1,325 @@
+//! Declarative specification of a synthetic relational data stream.
+//!
+//! Each of the paper's 55 real-world datasets is described here by the
+//! open-environment phenomena it exhibits (drift pattern and level, anomaly
+//! level and events, missing-value regime, task, imbalance), plus the basic
+//! shape metadata from the paper's Tables 11/12. The generator in
+//! [`crate::generate()`] turns a spec into a concrete [`oeb_tabular::StreamDataset`].
+
+use oeb_tabular::{Domain, Task};
+
+/// Qualitative level of an open-environment characteristic, matching the
+/// labels the paper assigns per dataset in Tables 4 and 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    Low,
+    MediumLow,
+    MediumHigh,
+    High,
+}
+
+impl Level {
+    /// A numeric intensity in `[0, 1]` used to parameterise generators.
+    pub fn intensity(&self) -> f64 {
+        match self {
+            Level::Low => 0.08,
+            Level::MediumLow => 0.3,
+            Level::MediumHigh => 0.6,
+            Level::High => 1.0,
+        }
+    }
+
+    /// The paper's label for this level.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Level::Low => "Low",
+            Level::MediumLow => "Medium low",
+            Level::MediumHigh => "Medium high",
+            Level::High => "High",
+        }
+    }
+}
+
+/// Temporal pattern of distribution drift (§2.2 of the paper: abrupt,
+/// gradual, incremental and recurrent drifts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftPattern {
+    /// No systematic drift.
+    Stationary,
+    /// Sudden regime switches at the given stream fractions.
+    Abrupt {
+        /// Positions of the switches as fractions of the stream in (0, 1).
+        breaks: [f64; 3],
+        /// How many of `breaks` are active.
+        n_breaks: usize,
+    },
+    /// Slow monotone evolution across the stream.
+    Gradual,
+    /// Many small steps (a bounded random walk of the regime).
+    Incremental,
+    /// Periodic oscillation (seasonal), `cycles` full periods per stream.
+    Recurrent {
+        /// Number of full cycles over the stream (e.g. years of data).
+        cycles: f64,
+    },
+    /// Incremental steps that periodically return to earlier regimes
+    /// (the INSECTS "incremental reoccurring" protocol).
+    IncrementalReoccurring {
+        /// Number of reoccurrence cycles.
+        cycles: f64,
+    },
+}
+
+/// How classification labels relate to features (§2.2 and Table 13 of the
+/// paper distinguish X→Y problems from the rarer Y→X problems).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelMechanism {
+    /// Features cause labels: fixed class priors, drifting class
+    /// prototypes (covariate + concept drift, no prior drift).
+    XToY,
+    /// Labels cause features: a class is drawn from (possibly drifting)
+    /// priors and features are generated from drifting class prototypes
+    /// (prior-probability drift possible).
+    YToX,
+}
+
+/// Class balance of a classification stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Balance {
+    /// Approximately uniform class priors.
+    Balanced,
+    /// Geometric priors (a few dominant classes, a long tail).
+    Imbalanced,
+}
+
+/// A discrete anomalous event injected into the stream, mirroring the
+/// paper's case studies (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnomalyEvent {
+    /// A short, intense spike affecting features and target
+    /// (the 2012 Beijing flood).
+    Spike {
+        /// Centre of the event as a stream fraction.
+        at: f64,
+        /// Width as a stream fraction.
+        width: f64,
+        /// Multiplicative magnitude applied to affected values.
+        magnitude: f64,
+    },
+    /// A sustained shifted period (the 2014–15 Beijing haze).
+    Sustained {
+        /// Start fraction.
+        from: f64,
+        /// End fraction.
+        to: f64,
+        /// Additive shift in feature standard deviations.
+        shift: f64,
+    },
+    /// A single absurd corrupted cell (the precipitation value 999,990 at
+    /// row 51,278 of the Beijing PM2.5 stream).
+    CorruptCell {
+        /// Row position as a stream fraction.
+        at: f64,
+        /// Feature index receiving the corrupt value.
+        feature: usize,
+        /// The corrupt raw value.
+        value: f64,
+    },
+}
+
+/// Missing-value behaviour of one feature (§5.1: incremental/decremental
+/// feature spaces appear as features whose valid-value ratio jumps between
+/// 0 and 1 over windows).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FeatureAvailability {
+    /// Before this stream fraction the feature does not exist
+    /// (incremental feature space). `0.0` = always present.
+    pub appears_at: f64,
+    /// Between these fractions the feature goes dark
+    /// (decremental feature space / sensor breakdown). Empty when equal.
+    pub dropout: (f64, f64),
+    /// Probability that any individual cell is missing (MCAR noise).
+    pub mcar: f64,
+}
+
+impl FeatureAvailability {
+    /// Always-present feature with the given MCAR rate.
+    pub fn mcar(rate: f64) -> Self {
+        FeatureAvailability {
+            mcar: rate,
+            ..Default::default()
+        }
+    }
+
+    /// True when the feature is live at stream fraction `u`.
+    pub fn live_at(&self, u: f64) -> bool {
+        if u < self.appears_at {
+            return false;
+        }
+        let (a, b) = self.dropout;
+        !(b > a && u >= a && u < b)
+    }
+}
+
+/// Task-specific generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskSpec {
+    /// Regression on a drifting linear-plus-interaction target.
+    Regression {
+        /// Observation noise on the target, in target standard deviations.
+        noise: f64,
+    },
+    /// Classification into `n_classes`.
+    Classification {
+        /// Number of classes.
+        n_classes: usize,
+        /// X→Y or Y→X generation.
+        mechanism: LabelMechanism,
+        /// Class balance.
+        balance: Balance,
+        /// Label noise: fraction of labels flipped at random.
+        label_noise: f64,
+    },
+}
+
+impl TaskSpec {
+    /// The [`oeb_tabular::Task`] this spec induces.
+    pub fn task(&self) -> Task {
+        match self {
+            TaskSpec::Regression { .. } => Task::Regression,
+            TaskSpec::Classification { n_classes, .. } => Task::Classification {
+                n_classes: *n_classes,
+            },
+        }
+    }
+}
+
+/// Complete specification of one synthetic stream.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Dataset name, matching the paper's tables.
+    pub name: String,
+    /// Application domain.
+    pub domain: Domain,
+    /// Number of rows (already scaled; the registry applies scaling).
+    pub n_rows: usize,
+    /// Number of numeric feature columns.
+    pub n_numeric: usize,
+    /// Cardinalities of categorical feature columns (empty = none).
+    pub categorical: Vec<usize>,
+    /// Task parameters.
+    pub task: TaskSpec,
+    /// Drift pattern.
+    pub drift_pattern: DriftPattern,
+    /// Drift magnitude level (the paper's per-dataset "Drift" label).
+    pub drift_level: Level,
+    /// Anomaly level (background outlier rate).
+    pub anomaly_level: Level,
+    /// Anomalous events.
+    pub anomaly_events: Vec<AnomalyEvent>,
+    /// Missing-value level (sets default MCAR when `availability` is empty).
+    pub missing_level: Level,
+    /// Per-feature availability overrides (len 0, or n_numeric).
+    pub availability: Vec<FeatureAvailability>,
+    /// Seasonal cycles over the stream (0 = no seasonality).
+    pub seasonal_cycles: f64,
+    /// Default window size in rows.
+    pub default_window: usize,
+    /// Base RNG seed; combined with the caller's seed.
+    pub seed: u64,
+}
+
+impl StreamSpec {
+    /// Total feature count (numeric + categorical).
+    pub fn n_features(&self) -> usize {
+        self.n_numeric + self.categorical.len()
+    }
+
+    /// Returns a copy scaled to approximately `factor` of the rows,
+    /// keeping at least 2 windows and scaling the window size to preserve
+    /// the window count.
+    pub fn scaled(&self, factor: f64) -> StreamSpec {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let mut s = self.clone();
+        let n = ((self.n_rows as f64) * factor).round() as usize;
+        let w = ((self.default_window as f64) * factor).round() as usize;
+        s.n_rows = n.max(64);
+        s.default_window = w.clamp(8, s.n_rows / 2);
+        s
+    }
+
+    /// The MCAR rate implied by `missing_level` when no explicit
+    /// availability is given.
+    pub fn default_mcar(&self) -> f64 {
+        match self.missing_level {
+            Level::Low => 0.001,
+            Level::MediumLow => 0.02,
+            Level::MediumHigh => 0.08,
+            Level::High => 0.18,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_intensity_is_monotone() {
+        assert!(Level::Low.intensity() < Level::MediumLow.intensity());
+        assert!(Level::MediumLow.intensity() < Level::MediumHigh.intensity());
+        assert!(Level::MediumHigh.intensity() < Level::High.intensity());
+    }
+
+    #[test]
+    fn availability_windows() {
+        let a = FeatureAvailability {
+            appears_at: 0.3,
+            dropout: (0.6, 0.7),
+            mcar: 0.0,
+        };
+        assert!(!a.live_at(0.1));
+        assert!(a.live_at(0.4));
+        assert!(!a.live_at(0.65));
+        assert!(a.live_at(0.8));
+    }
+
+    #[test]
+    fn scaled_preserves_window_count_roughly() {
+        let spec = StreamSpec {
+            name: "t".into(),
+            domain: Domain::Others,
+            n_rows: 10_000,
+            n_numeric: 5,
+            categorical: vec![],
+            task: TaskSpec::Regression { noise: 0.1 },
+            drift_pattern: DriftPattern::Gradual,
+            drift_level: Level::High,
+            anomaly_level: Level::Low,
+            anomaly_events: vec![],
+            missing_level: Level::Low,
+            availability: vec![],
+            seasonal_cycles: 0.0,
+            default_window: 500,
+            seed: 1,
+        };
+        let small = spec.scaled(0.1);
+        assert_eq!(small.n_rows, 1000);
+        assert_eq!(small.default_window, 50);
+        let w_before = spec.n_rows / spec.default_window;
+        let w_after = small.n_rows / small.default_window;
+        assert_eq!(w_before, w_after);
+    }
+
+    #[test]
+    fn task_spec_to_task() {
+        let c = TaskSpec::Classification {
+            n_classes: 6,
+            mechanism: LabelMechanism::XToY,
+            balance: Balance::Balanced,
+            label_noise: 0.0,
+        };
+        assert_eq!(c.task(), Task::Classification { n_classes: 6 });
+        assert_eq!(TaskSpec::Regression { noise: 0.1 }.task(), Task::Regression);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the stream generator: every generated
+//! dataset honours its spec (shape, task, label validity, target
+//! completeness, determinism) across arbitrary spec parameters.
+
+use oeb_synth::{
+    generate, Balance, DriftPattern, FeatureAvailability, LabelMechanism, Level, StreamSpec,
+    TaskSpec,
+};
+use oeb_tabular::Domain;
+use proptest::prelude::*;
+
+fn arb_level() -> impl Strategy<Value = Level> {
+    prop_oneof![
+        Just(Level::Low),
+        Just(Level::MediumLow),
+        Just(Level::MediumHigh),
+        Just(Level::High),
+    ]
+}
+
+fn arb_pattern() -> impl Strategy<Value = DriftPattern> {
+    prop_oneof![
+        Just(DriftPattern::Stationary),
+        Just(DriftPattern::Gradual),
+        Just(DriftPattern::Incremental),
+        (1.0..6.0f64).prop_map(|c| DriftPattern::Recurrent { cycles: c }),
+        (1.0..4.0f64).prop_map(|c| DriftPattern::IncrementalReoccurring { cycles: c }),
+        (0.1..0.9f64).prop_map(|b| DriftPattern::Abrupt {
+            breaks: [b, 0.0, 0.0],
+            n_breaks: 1
+        }),
+    ]
+}
+
+fn arb_task() -> impl Strategy<Value = TaskSpec> {
+    prop_oneof![
+        (0.01..0.5f64).prop_map(|noise| TaskSpec::Regression { noise }),
+        (2usize..6, any::<bool>(), any::<bool>()).prop_map(|(n, y2x, imb)| {
+            TaskSpec::Classification {
+                n_classes: n,
+                mechanism: if y2x { LabelMechanism::YToX } else { LabelMechanism::XToY },
+                balance: if imb { Balance::Imbalanced } else { Balance::Balanced },
+                label_noise: 0.02,
+            }
+        }),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = StreamSpec> {
+    (
+        200usize..1500,
+        2usize..8,
+        prop::collection::vec(2usize..5, 0..3),
+        arb_task(),
+        arb_pattern(),
+        arb_level(),
+        arb_level(),
+        arb_level(),
+        0u64..1000,
+    )
+        .prop_map(
+            |(n_rows, n_numeric, categorical, task, pattern, drift, anomaly, missing, seed)| {
+                StreamSpec {
+                    name: "prop".into(),
+                    domain: Domain::Others,
+                    n_rows,
+                    n_numeric,
+                    categorical,
+                    task,
+                    drift_pattern: pattern,
+                    drift_level: drift,
+                    anomaly_level: anomaly,
+                    anomaly_events: vec![],
+                    missing_level: missing,
+                    availability: vec![],
+                    seasonal_cycles: 0.0,
+                    default_window: (n_rows / 10).max(8),
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_shape_matches_spec(spec in arb_spec()) {
+        let d = generate(&spec, 0);
+        prop_assert_eq!(d.n_rows(), spec.n_rows);
+        prop_assert_eq!(d.n_features(), spec.n_features());
+        prop_assert_eq!(d.target_col, d.table.n_cols() - 1);
+        prop_assert_eq!(d.task, spec.task.task());
+    }
+
+    #[test]
+    fn targets_are_complete_and_valid(spec in arb_spec()) {
+        let d = generate(&spec, 1);
+        prop_assert_eq!(d.table.column(d.target_col).missing_count(), 0);
+        match spec.task {
+            TaskSpec::Classification { n_classes, .. } => {
+                for t in d.targets() {
+                    prop_assert!(t.fract() == 0.0, "non-integer label {t}");
+                    prop_assert!((t as usize) < n_classes, "label {t} out of range");
+                }
+            }
+            TaskSpec::Regression { .. } => {
+                prop_assert!(d.targets().iter().all(|t| t.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic(spec in arb_spec(), seed in 0u64..100) {
+        let a = generate(&spec, seed);
+        let b = generate(&spec, seed);
+        prop_assert_eq!(a.table, b.table);
+    }
+
+    #[test]
+    fn missing_levels_order_cell_ratios(spec in arb_spec()) {
+        let mut low = spec.clone();
+        low.missing_level = Level::Low;
+        let mut high = spec;
+        high.missing_level = Level::High;
+        let rl = generate(&low, 0).table.missing_stats().empty_cells;
+        let rh = generate(&high, 0).table.missing_stats().empty_cells;
+        prop_assert!(rh >= rl, "high-missing {rh} < low-missing {rl}");
+    }
+
+    #[test]
+    fn availability_windows_are_honoured(spec in arb_spec(), appears in 0.2..0.8f64) {
+        let mut spec = spec;
+        spec.categorical.clear();
+        spec.availability = (0..spec.n_numeric)
+            .map(|_| FeatureAvailability { appears_at: appears, dropout: (0.0, 0.0), mcar: 0.0 })
+            .collect();
+        let d = generate(&spec, 0);
+        let n = d.n_rows();
+        let first_live = ((appears * n as f64).ceil() as usize).min(n - 1);
+        // Strictly before the activation row, every availability-governed
+        // feature cell is missing.
+        for r in 0..first_live.saturating_sub(1) {
+            for c in 0..spec.n_numeric {
+                prop_assert!(d.table.is_missing(r, c), "cell ({r},{c}) live before activation");
+            }
+        }
+        // After activation (with mcar 0) everything is observed.
+        for r in (first_live + 1)..n {
+            for c in 0..spec.n_numeric {
+                prop_assert!(!d.table.is_missing(r, c), "cell ({r},{c}) missing after activation");
+            }
+        }
+    }
+}

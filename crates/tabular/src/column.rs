@@ -1,0 +1,169 @@
+//! Columnar storage for stream tables.
+//!
+//! Numeric columns use `f64::NAN` as the missing-value sentinel (the
+//! idiomatic dataframe convention, and it lets math kernels operate on the
+//! raw buffer). Categorical columns store `Option<u32>` dictionary indices.
+
+/// One column of a table.
+///
+/// Equality treats two `NAN` cells as equal (missing == missing), so tables
+/// with missing values compare naturally in tests and round-trips.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// Numeric values; missing cells are `f64::NAN`.
+    Numeric(Vec<f64>),
+    /// Categorical dictionary indices; missing cells are `None`.
+    Categorical(Vec<Option<u32>>),
+}
+
+impl Column {
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.len(),
+            Column::Categorical(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the cell at `row` is missing.
+    pub fn is_missing(&self, row: usize) -> bool {
+        match self {
+            Column::Numeric(v) => v[row].is_nan(),
+            Column::Categorical(v) => v[row].is_none(),
+        }
+    }
+
+    /// Number of missing cells.
+    pub fn missing_count(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.iter().filter(|x| x.is_nan()).count(),
+            Column::Categorical(v) => v.iter().filter(|x| x.is_none()).count(),
+        }
+    }
+
+    /// Fraction of missing cells; `0.0` on an empty column.
+    pub fn missing_ratio(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.missing_count() as f64 / self.len() as f64
+        }
+    }
+
+    /// Numeric view of the cell at `row`: the value for numeric columns, the
+    /// dictionary index as `f64` for categorical, `NAN` when missing.
+    pub fn numeric_at(&self, row: usize) -> f64 {
+        match self {
+            Column::Numeric(v) => v[row],
+            Column::Categorical(v) => v[row].map(|c| c as f64).unwrap_or(f64::NAN),
+        }
+    }
+
+    /// The present (non-missing) numeric values of a numeric column.
+    ///
+    /// # Panics
+    /// Panics on categorical columns.
+    pub fn present_values(&self) -> Vec<f64> {
+        match self {
+            Column::Numeric(v) => v.iter().copied().filter(|x| !x.is_nan()).collect(),
+            Column::Categorical(_) => panic!("present_values called on a categorical column"),
+        }
+    }
+
+    /// Copies the cells in `range` into a new column.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Column {
+        match self {
+            Column::Numeric(v) => Column::Numeric(v[range].to_vec()),
+            Column::Categorical(v) => Column::Categorical(v[range].to_vec()),
+        }
+    }
+
+    /// Reorders cells by the given permutation of row indices.
+    pub fn permute(&self, order: &[usize]) -> Column {
+        match self {
+            Column::Numeric(v) => Column::Numeric(order.iter().map(|&i| v[i]).collect()),
+            Column::Categorical(v) => {
+                Column::Categorical(order.iter().map(|&i| v[i]).collect())
+            }
+        }
+    }
+
+    /// True for numeric columns.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Column::Numeric(_))
+    }
+}
+
+impl PartialEq for Column {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Column::Numeric(a), Column::Numeric(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b)
+                        .all(|(x, y)| x == y || (x.is_nan() && y.is_nan()))
+            }
+            (Column::Categorical(a), Column::Categorical(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_cells_compare_equal() {
+        let a = Column::Numeric(vec![1.0, f64::NAN]);
+        let b = Column::Numeric(vec![1.0, f64::NAN]);
+        let c = Column::Numeric(vec![1.0, 2.0]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn missing_detection_numeric() {
+        let c = Column::Numeric(vec![1.0, f64::NAN, 3.0]);
+        assert!(!c.is_missing(0));
+        assert!(c.is_missing(1));
+        assert_eq!(c.missing_count(), 1);
+        assert!((c.missing_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_detection_categorical() {
+        let c = Column::Categorical(vec![Some(0), None, Some(2), None]);
+        assert_eq!(c.missing_count(), 2);
+        assert_eq!(c.missing_ratio(), 0.5);
+        assert!(c.numeric_at(1).is_nan());
+        assert_eq!(c.numeric_at(2), 2.0);
+    }
+
+    #[test]
+    fn present_values_filters_nan() {
+        let c = Column::Numeric(vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(c.present_values(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn slice_and_permute() {
+        let c = Column::Numeric(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(c.slice(1..3), Column::Numeric(vec![20.0, 30.0]));
+        assert_eq!(
+            c.permute(&[3, 0, 2, 1]),
+            Column::Numeric(vec![40.0, 10.0, 30.0, 20.0])
+        );
+    }
+
+    #[test]
+    fn empty_column_ratio_is_zero() {
+        let c = Column::Numeric(vec![]);
+        assert_eq!(c.missing_ratio(), 0.0);
+    }
+}

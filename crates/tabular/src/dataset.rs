@@ -1,0 +1,201 @@
+//! A labelled streaming dataset: table + designated target column + task +
+//! default window size + domain, mirroring the metadata the paper documents
+//! per dataset (Tables 11 and 12).
+
+use crate::schema::Task;
+use crate::table::Table;
+use crate::window::window_ranges;
+
+/// Application domain of a dataset (the paper's "Type" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    Ecology,
+    Power,
+    Commerce,
+    Social,
+    ScienceTech,
+    Others,
+}
+
+impl Domain {
+    /// Human-readable name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Domain::Ecology => "Ecology",
+            Domain::Power => "Power",
+            Domain::Commerce => "Commerce",
+            Domain::Social => "Social",
+            Domain::ScienceTech => "S&T",
+            Domain::Others => "Others",
+        }
+    }
+}
+
+/// A relational data stream with its learning task.
+#[derive(Debug, Clone)]
+pub struct StreamDataset {
+    /// Dataset name (as used in the paper's tables).
+    pub name: String,
+    /// Application domain.
+    pub domain: Domain,
+    /// Learning task.
+    pub task: Task,
+    /// The ordered stream data; the row order is the temporal order.
+    pub table: Table,
+    /// Index of the target column within `table`.
+    pub target_col: usize,
+    /// Default window size in rows.
+    pub default_window: usize,
+}
+
+impl StreamDataset {
+    /// Creates a dataset after validating the target column against the
+    /// task.
+    ///
+    /// # Panics
+    /// Panics when `target_col` is out of range, when a classification task
+    /// is paired with a numeric target column holding non-integer classes is
+    /// not checked (classification targets are stored as categorical or
+    /// integral numeric), or when `default_window == 0`.
+    pub fn new(
+        name: impl Into<String>,
+        domain: Domain,
+        task: Task,
+        table: Table,
+        target_col: usize,
+        default_window: usize,
+    ) -> StreamDataset {
+        assert!(target_col < table.n_cols(), "target column out of range");
+        assert!(default_window > 0, "default window must be positive");
+        StreamDataset {
+            name: name.into(),
+            domain,
+            task,
+            table,
+            target_col,
+            default_window,
+        }
+    }
+
+    /// Number of rows in the stream.
+    pub fn n_rows(&self) -> usize {
+        self.table.n_rows()
+    }
+
+    /// Number of feature columns (excluding the target).
+    pub fn n_features(&self) -> usize {
+        self.table.n_cols() - 1
+    }
+
+    /// Indices of the feature columns (all but the target).
+    pub fn feature_cols(&self) -> Vec<usize> {
+        (0..self.table.n_cols())
+            .filter(|&c| c != self.target_col)
+            .collect()
+    }
+
+    /// The target of row `r` as a numeric value (class index for
+    /// classification, value for regression). NaN when missing.
+    pub fn target_at(&self, r: usize) -> f64 {
+        self.table.column(self.target_col).numeric_at(r)
+    }
+
+    /// All targets as numeric values.
+    pub fn targets(&self) -> Vec<f64> {
+        (0..self.n_rows()).map(|r| self.target_at(r)).collect()
+    }
+
+    /// The default windowing of this stream.
+    pub fn windows(&self) -> Vec<std::ops::Range<usize>> {
+        window_ranges(self.n_rows(), self.default_window)
+    }
+
+    /// Windowing at a multiple of the default size.
+    pub fn windows_scaled(&self, factor: f64) -> Vec<std::ops::Range<usize>> {
+        let size = crate::window::scaled_window(self.default_window, factor);
+        window_ranges(self.n_rows(), size)
+    }
+
+    /// Returns a copy with rows permuted (used by the paper's "no drift"
+    /// shuffled baseline in §6.7).
+    pub fn permuted(&self, order: &[usize]) -> StreamDataset {
+        StreamDataset {
+            name: format!("{} (shuffled)", self.name),
+            domain: self.domain,
+            task: self.task,
+            table: self.table.permute(order),
+            target_col: self.target_col,
+            default_window: self.default_window,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::schema::{Field, Schema};
+
+    fn tiny() -> StreamDataset {
+        let schema = Schema::new(vec![
+            Field::numeric("f0"),
+            Field::numeric("f1"),
+            Field::numeric("y"),
+        ]);
+        let table = Table::new(
+            schema,
+            vec![
+                Column::Numeric((0..10).map(|i| i as f64).collect()),
+                Column::Numeric((0..10).map(|i| (i * 2) as f64).collect()),
+                Column::Numeric((0..10).map(|i| (i % 2) as f64).collect()),
+            ],
+        );
+        StreamDataset::new(
+            "tiny",
+            Domain::Others,
+            Task::Classification { n_classes: 2 },
+            table,
+            2,
+            4,
+        )
+    }
+
+    #[test]
+    fn feature_cols_exclude_target() {
+        let d = tiny();
+        assert_eq!(d.feature_cols(), vec![0, 1]);
+        assert_eq!(d.n_features(), 2);
+    }
+
+    #[test]
+    fn targets_extracted() {
+        let d = tiny();
+        assert_eq!(d.target_at(3), 1.0);
+        assert_eq!(d.targets().len(), 10);
+    }
+
+    #[test]
+    fn windows_use_default_size() {
+        let d = tiny();
+        let w = d.windows();
+        // 10 rows at window 4 -> [0..4, 4..8, 8..10] (remainder >= size/2).
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.last().unwrap().end, 10);
+    }
+
+    #[test]
+    fn permuted_keeps_shape() {
+        let d = tiny();
+        let order: Vec<usize> = (0..10).rev().collect();
+        let p = d.permuted(&order);
+        assert_eq!(p.n_rows(), 10);
+        assert_eq!(p.target_at(0), d.target_at(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "target column out of range")]
+    fn bad_target_panics() {
+        let d = tiny();
+        let _ = StreamDataset::new("x", Domain::Others, d.task, d.table.clone(), 99, 4);
+    }
+}

@@ -1,0 +1,177 @@
+//! Schema description for relational stream tables: field names, field
+//! kinds, and the machine-learning task attached to a stream.
+
+/// The kind of values a field holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldKind {
+    /// Continuous numeric values (missing encoded as `f64::NAN`).
+    Numeric,
+    /// Categorical values drawn from a dictionary of labels.
+    Categorical {
+        /// Category labels; a cell stores an index into this list.
+        labels: Vec<String>,
+    },
+}
+
+impl FieldKind {
+    /// Number of one-hot columns this field expands to.
+    pub fn encoded_width(&self) -> usize {
+        match self {
+            FieldKind::Numeric => 1,
+            FieldKind::Categorical { labels } => labels.len(),
+        }
+    }
+
+    /// True for numeric fields.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, FieldKind::Numeric)
+    }
+}
+
+/// A named field in a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name (unique within a schema).
+    pub name: String,
+    /// Field kind.
+    pub kind: FieldKind,
+}
+
+impl Field {
+    /// Creates a numeric field.
+    pub fn numeric(name: impl Into<String>) -> Field {
+        Field {
+            name: name.into(),
+            kind: FieldKind::Numeric,
+        }
+    }
+
+    /// Creates a categorical field with the given labels.
+    pub fn categorical(name: impl Into<String>, labels: &[&str]) -> Field {
+        Field {
+            name: name.into(),
+            kind: FieldKind::Categorical {
+                labels: labels.iter().map(|s| s.to_string()).collect(),
+            },
+        }
+    }
+}
+
+/// An ordered collection of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from a list of fields.
+    ///
+    /// # Panics
+    /// Panics if two fields share a name.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        for i in 0..fields.len() {
+            for j in (i + 1)..fields.len() {
+                assert_ne!(
+                    fields[i].name, fields[j].name,
+                    "duplicate field name {:?}",
+                    fields[i].name
+                );
+            }
+        }
+        Schema { fields }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at index `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Index of the field with the given name, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Total width after one-hot encoding every categorical field.
+    pub fn encoded_width(&self) -> usize {
+        self.fields.iter().map(|f| f.kind.encoded_width()).sum()
+    }
+}
+
+/// The learning task attached to a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Predict one of `n_classes` labels.
+    Classification {
+        /// Number of distinct classes in the stream.
+        n_classes: usize,
+    },
+    /// Predict a continuous target.
+    Regression,
+}
+
+impl Task {
+    /// True for classification tasks.
+    pub fn is_classification(&self) -> bool {
+        matches!(self, Task::Classification { .. })
+    }
+
+    /// Number of model outputs needed: `n_classes` or 1.
+    pub fn output_width(&self) -> usize {
+        match self {
+            Task::Classification { n_classes } => *n_classes,
+            Task::Regression => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoded_width_counts_onehot_columns() {
+        let s = Schema::new(vec![
+            Field::numeric("a"),
+            Field::categorical("b", &["x", "y", "z"]),
+            Field::numeric("c"),
+        ]);
+        assert_eq!(s.encoded_width(), 5);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn index_of_finds_fields() {
+        let s = Schema::new(vec![Field::numeric("a"), Field::numeric("b")]);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("zzz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field name")]
+    fn duplicate_names_rejected() {
+        let _ = Schema::new(vec![Field::numeric("a"), Field::numeric("a")]);
+    }
+
+    #[test]
+    fn task_output_width() {
+        assert_eq!(Task::Classification { n_classes: 4 }.output_width(), 4);
+        assert_eq!(Task::Regression.output_width(), 1);
+        assert!(Task::Classification { n_classes: 2 }.is_classification());
+        assert!(!Task::Regression.is_classification());
+    }
+}

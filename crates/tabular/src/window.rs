@@ -1,0 +1,97 @@
+//! Partitioning a stream into non-overlapping windows (§2 of the paper:
+//! a stream is a sequence of windows, each processed test-then-train).
+
+/// Splits `n_rows` into consecutive non-overlapping windows of `size` rows.
+///
+/// The final window keeps the remainder if it holds at least `size / 2`
+/// rows; otherwise the remainder is merged into the previous window so no
+/// tiny trailing window skews per-window statistics.
+///
+/// # Panics
+/// Panics when `size == 0`.
+pub fn window_ranges(n_rows: usize, size: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(size > 0, "window size must be positive");
+    if n_rows == 0 {
+        return Vec::new();
+    }
+    let mut ranges = Vec::with_capacity(n_rows / size + 1);
+    let mut start = 0;
+    while start + size <= n_rows {
+        ranges.push(start..start + size);
+        start += size;
+    }
+    let remainder = n_rows - start;
+    if remainder > 0 {
+        if remainder * 2 >= size || ranges.is_empty() {
+            ranges.push(start..n_rows);
+        } else {
+            let last = ranges.pop().expect("non-empty ranges");
+            ranges.push(last.start..n_rows);
+        }
+    }
+    ranges
+}
+
+/// Applies a multiplicative factor to a window size (the paper's §6.4.2
+/// sweep multiplies the default window size by {0.25, 0.5, 1, 2, 4}),
+/// keeping the result at least 1.
+pub fn scaled_window(default_size: usize, factor: f64) -> usize {
+    ((default_size as f64 * factor).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiple_splits_evenly() {
+        let w = window_ranges(100, 25);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0], 0..25);
+        assert_eq!(w[3], 75..100);
+    }
+
+    #[test]
+    fn large_remainder_becomes_own_window() {
+        // 100 = 3 windows of 30 + remainder 10 < 15 -> merged into last.
+        let w = window_ranges(100, 30);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[2], 60..100);
+        // 110 = 3 windows of 30 + remainder 20 >= 15 -> own window.
+        let w = window_ranges(110, 30);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[3], 90..110);
+    }
+
+    #[test]
+    fn windows_partition_the_rows() {
+        for n in [1usize, 7, 64, 99, 1000] {
+            for size in [1usize, 3, 10, 64] {
+                let w = window_ranges(n, size);
+                assert_eq!(w[0].start, 0);
+                assert_eq!(w.last().unwrap().end, n);
+                for pair in w.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_stream_single_window() {
+        let w = window_ranges(3, 100);
+        assert_eq!(w, vec![0..3]);
+    }
+
+    #[test]
+    fn empty_stream_no_windows() {
+        assert!(window_ranges(0, 10).is_empty());
+    }
+
+    #[test]
+    fn scaled_window_clamps_to_one() {
+        assert_eq!(scaled_window(100, 0.25), 25);
+        assert_eq!(scaled_window(100, 4.0), 400);
+        assert_eq!(scaled_window(1, 0.25), 1);
+    }
+}

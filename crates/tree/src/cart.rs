@@ -1,0 +1,538 @@
+//! CART decision trees (classification by Gini impurity, regression by
+//! variance reduction), with optional per-split feature subsampling so the
+//! same implementation backs bagged ensembles.
+//!
+//! Candidate thresholds per feature are limited to quantile cut points,
+//! which bounds fit cost at `O(n log n)` per feature without hurting
+//! accuracy at benchmark scale.
+
+use oeb_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Tree learning task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeTask {
+    /// Predict one of `n_classes` labels (targets are class indices).
+    Classification {
+        /// Number of classes.
+        n_classes: usize,
+    },
+    /// Predict a continuous value.
+    Regression,
+}
+
+/// Decision-tree hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Candidate thresholds per feature (quantile cuts).
+    pub max_thresholds: usize,
+    /// `Some(k)`: consider a random subset of `k` features per split
+    /// (for random-forest-style ensembles).
+    pub max_features: Option<usize>,
+    /// RNG seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 12,
+            min_samples_leaf: 4,
+            max_thresholds: 32,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Class index or regression mean.
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// NaN (missing) routes to the majority side chosen at fit time.
+        nan_left: bool,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn count(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => 1 + left.count() + right.count(),
+        }
+    }
+}
+
+/// A fitted CART decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    task: TreeTask,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `(xs, ys)`.
+    ///
+    /// # Panics
+    /// Panics on empty input or length mismatch.
+    pub fn fit(xs: &Matrix, ys: &[f64], task: TreeTask, config: &TreeConfig) -> DecisionTree {
+        assert_eq!(xs.rows(), ys.len(), "feature/target length mismatch");
+        assert!(xs.rows() > 0, "cannot fit a tree on no data");
+        let idx: Vec<usize> = (0..xs.rows()).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let root = build(xs, ys, &idx, task, config, 0, &mut rng);
+        DecisionTree {
+            root,
+            task,
+            n_features: xs.cols(),
+        }
+    }
+
+    /// Predicts for one sample: class index (classification) or value
+    /// (regression). Missing features follow the majority route recorded
+    /// at fit time.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.n_features);
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    nan_left,
+                    left,
+                    right,
+                } => {
+                    let v = x[*feature];
+                    let go_left = if v.is_finite() {
+                        v <= *threshold
+                    } else {
+                        *nan_left
+                    };
+                    node = if go_left { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// The learning task.
+    pub fn task(&self) -> TreeTask {
+        self.task
+    }
+
+    /// Number of nodes in the tree.
+    pub fn n_nodes(&self) -> usize {
+        self.root.count()
+    }
+
+    /// Approximate model size in bytes (for the Table 6 accounting):
+    /// each node stores a feature id, threshold and two child slots.
+    pub fn memory_bytes(&self) -> usize {
+        self.n_nodes() * 40
+    }
+}
+
+fn leaf_value(ys: &[f64], idx: &[usize], task: TreeTask) -> f64 {
+    match task {
+        TreeTask::Classification { n_classes } => {
+            let mut counts = vec![0usize; n_classes];
+            for &i in idx {
+                let c = (ys[i] as usize).min(n_classes - 1);
+                counts[c] += 1;
+            }
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, c)| *c)
+                .map(|(c, _)| c as f64)
+                .unwrap_or(0.0)
+        }
+        TreeTask::Regression => {
+            let sum: f64 = idx.iter().map(|&i| ys[i]).sum();
+            sum / idx.len().max(1) as f64
+        }
+    }
+}
+
+/// Impurity of an index set: Gini (classification) or variance
+/// (regression), scaled by the set size.
+fn impurity(ys: &[f64], idx: &[usize], task: TreeTask) -> f64 {
+    let n = idx.len() as f64;
+    if idx.is_empty() {
+        return 0.0;
+    }
+    match task {
+        TreeTask::Classification { n_classes } => {
+            let mut counts = vec![0.0f64; n_classes];
+            for &i in idx {
+                counts[(ys[i] as usize).min(n_classes - 1)] += 1.0;
+            }
+            let gini = 1.0 - counts.iter().map(|c| (c / n) * (c / n)).sum::<f64>();
+            gini * n
+        }
+        TreeTask::Regression => {
+            let mean = idx.iter().map(|&i| ys[i]).sum::<f64>() / n;
+            idx.iter().map(|&i| (ys[i] - mean).powi(2)).sum::<f64>()
+        }
+    }
+}
+
+/// Incremental impurity aggregate for the split sweep: class counts for
+/// Gini, (sum, sum of squares) for variance.
+#[derive(Debug, Clone)]
+struct SplitAgg {
+    count: f64,
+    /// Class counts (classification) — empty for regression.
+    classes: Vec<f64>,
+    sum: f64,
+    sq_sum: f64,
+}
+
+impl SplitAgg {
+    fn new(task: TreeTask) -> SplitAgg {
+        let classes = match task {
+            TreeTask::Classification { n_classes } => vec![0.0; n_classes],
+            TreeTask::Regression => Vec::new(),
+        };
+        SplitAgg {
+            count: 0.0,
+            classes,
+            sum: 0.0,
+            sq_sum: 0.0,
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, y: f64) {
+        self.count += 1.0;
+        if self.classes.is_empty() {
+            self.sum += y;
+            self.sq_sum += y * y;
+        } else {
+            let c = (y as usize).min(self.classes.len() - 1);
+            self.classes[c] += 1.0;
+        }
+    }
+
+    fn plus(&self, other: &SplitAgg) -> SplitAgg {
+        let mut out = self.clone();
+        out.count += other.count;
+        out.sum += other.sum;
+        out.sq_sum += other.sq_sum;
+        for (a, b) in out.classes.iter_mut().zip(&other.classes) {
+            *a += b;
+        }
+        out
+    }
+
+    fn minus(&self, other: &SplitAgg) -> SplitAgg {
+        let mut out = self.clone();
+        out.count -= other.count;
+        out.sum -= other.sum;
+        out.sq_sum -= other.sq_sum;
+        for (a, b) in out.classes.iter_mut().zip(&other.classes) {
+            *a -= b;
+        }
+        out
+    }
+
+    /// Size-weighted impurity: `gini * n` or the sum of squared errors.
+    fn impurity(&self) -> f64 {
+        if self.count <= 0.0 {
+            return 0.0;
+        }
+        if self.classes.is_empty() {
+            (self.sq_sum - self.sum * self.sum / self.count).max(0.0)
+        } else {
+            let gini = 1.0
+                - self
+                    .classes
+                    .iter()
+                    .map(|c| (c / self.count) * (c / self.count))
+                    .sum::<f64>();
+            gini * self.count
+        }
+    }
+}
+
+fn build(
+    xs: &Matrix,
+    ys: &[f64],
+    idx: &[usize],
+    task: TreeTask,
+    config: &TreeConfig,
+    depth: usize,
+    rng: &mut StdRng,
+) -> Node {
+    let parent_impurity = impurity(ys, idx, task);
+    if depth >= config.max_depth
+        || idx.len() < 2 * config.min_samples_leaf
+        || parent_impurity <= 1e-12
+    {
+        return Node::Leaf {
+            value: leaf_value(ys, idx, task),
+        };
+    }
+
+    // Feature subset for this split.
+    let d = xs.cols();
+    let mut features: Vec<usize> = (0..d).collect();
+    if let Some(k) = config.max_features {
+        features.shuffle(rng);
+        features.truncate(k.clamp(1, d));
+    }
+
+    // Split search: per feature, sort the observed values once and sweep
+    // prefix aggregates (class counts or sum/sum-of-squares), evaluating
+    // candidate thresholds at quantile positions without materialising
+    // any partitions. Missing values are aggregated wholesale and tried
+    // on each side.
+    let mut best: Option<(usize, f64, f64, bool)> = None; // (feat, thr, score, nan_left)
+    let mut sorted: Vec<(f64, f64)> = Vec::with_capacity(idx.len());
+    for &f in &features {
+        sorted.clear();
+        let mut nan_agg = SplitAgg::new(task);
+        for &i in idx {
+            let v = xs[(i, f)];
+            if v.is_finite() {
+                sorted.push((v, ys[i]));
+            } else {
+                nan_agg.add(ys[i]);
+            }
+        }
+        if sorted.len() < 2 {
+            continue;
+        }
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        if sorted[0].0 == sorted[sorted.len() - 1].0 {
+            continue;
+        }
+        let mut total_agg = SplitAgg::new(task);
+        for &(_, y) in &sorted {
+            total_agg.add(y);
+        }
+
+        let n_obs = sorted.len();
+        let n_cand = config.max_thresholds.min(n_obs - 1);
+        let mut left = SplitAgg::new(task);
+        let mut cursor = 0usize;
+        let has_nan = nan_agg.count > 0.0;
+        for t in 0..n_cand {
+            let pos = ((t + 1) * (n_obs - 1) / (n_cand + 1).max(1)).min(n_obs - 2);
+            let thr = (sorted[pos].0 + sorted[pos + 1].0) / 2.0;
+            // Advance the sweep to include every value <= thr.
+            while cursor < n_obs && sorted[cursor].0 <= thr {
+                left.add(sorted[cursor].1);
+                cursor += 1;
+            }
+            if cursor == 0 || cursor == n_obs {
+                continue;
+            }
+            let right = total_agg.minus(&left);
+            // Try the missing values on each side (once when there are
+            // none — routing is then immaterial at fit time).
+            for nan_left in if has_nan { &[true, false][..] } else { &[true][..] } {
+                let (l, r) = if *nan_left {
+                    (left.plus(&nan_agg), right.clone())
+                } else {
+                    (left.clone(), right.plus(&nan_agg))
+                };
+                if (l.count as usize) < config.min_samples_leaf
+                    || (r.count as usize) < config.min_samples_leaf
+                {
+                    continue;
+                }
+                let score = l.impurity() + r.impurity();
+                match best {
+                    Some((_, _, b, _)) if b <= score => {}
+                    _ => best = Some((f, thr, score, *nan_left)),
+                }
+            }
+        }
+    }
+
+    let Some((feature, threshold, score, nan_left)) = best else {
+        return Node::Leaf {
+            value: leaf_value(ys, idx, task),
+        };
+    };
+    if score >= parent_impurity - 1e-12 {
+        // No impurity reduction: stop.
+        return Node::Leaf {
+            value: leaf_value(ys, idx, task),
+        };
+    }
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| {
+        let v = xs[(i, feature)];
+        if v.is_finite() {
+            v <= threshold
+        } else {
+            nan_left
+        }
+    });
+    Node::Split {
+        feature,
+        threshold,
+        nan_left,
+        left: Box::new(build(xs, ys, &left_idx, task, config, depth + 1, rng)),
+        right: Box::new(build(xs, ys, &right_idx, task, config, depth + 1, rng)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64, (i % 13) as f64]).collect();
+        let ys: Vec<f64> = (0..200).map(|i| if i < 100 { 0.0 } else { 1.0 }).collect();
+        (Matrix::from_rows(&rows), ys)
+    }
+
+    #[test]
+    fn learns_a_step_function_classification() {
+        let (xs, ys) = step_data();
+        let tree = DecisionTree::fit(
+            &xs,
+            &ys,
+            TreeTask::Classification { n_classes: 2 },
+            &TreeConfig::default(),
+        );
+        assert_eq!(tree.predict(&[10.0, 0.0]), 0.0);
+        assert_eq!(tree.predict(&[150.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn learns_piecewise_regression() {
+        let rows: Vec<Vec<f64>> = (0..300).map(|i| vec![i as f64 / 300.0]).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] < 0.5 { 2.0 } else { -3.0 })
+            .collect();
+        let xs = Matrix::from_rows(&rows);
+        let tree = DecisionTree::fit(&xs, &ys, TreeTask::Regression, &TreeConfig::default());
+        assert!((tree.predict(&[0.2]) - 2.0).abs() < 0.1);
+        assert!((tree.predict(&[0.9]) + 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn pure_node_stops_splitting() {
+        let xs = Matrix::from_rows(&vec![vec![1.0]; 50]);
+        let ys = vec![3.0; 50];
+        let tree = DecisionTree::fit(&xs, &ys, TreeTask::Regression, &TreeConfig::default());
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.predict(&[1.0]), 3.0);
+    }
+
+    #[test]
+    fn max_depth_is_respected() {
+        let (xs, ys) = step_data();
+        let tree = DecisionTree::fit(
+            &xs,
+            &ys,
+            TreeTask::Classification { n_classes: 2 },
+            &TreeConfig {
+                max_depth: 1,
+                ..Default::default()
+            },
+        );
+        assert!(tree.n_nodes() <= 3);
+    }
+
+    #[test]
+    fn missing_values_are_routed() {
+        let (xs, ys) = step_data();
+        let tree = DecisionTree::fit(
+            &xs,
+            &ys,
+            TreeTask::Classification { n_classes: 2 },
+            &TreeConfig::default(),
+        );
+        let p = tree.predict(&[f64::NAN, 0.0]);
+        assert!(p == 0.0 || p == 1.0);
+    }
+
+    #[test]
+    fn trains_on_data_containing_nan() {
+        let mut rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        rows[5][0] = f64::NAN;
+        rows[50][0] = f64::NAN;
+        let ys: Vec<f64> = (0..100).map(|i| if i < 50 { 0.0 } else { 1.0 }).collect();
+        let xs = Matrix::from_rows(&rows);
+        let tree = DecisionTree::fit(
+            &xs,
+            &ys,
+            TreeTask::Classification { n_classes: 2 },
+            &TreeConfig::default(),
+        );
+        assert_eq!(tree.predict(&[10.0]), 0.0);
+        assert_eq!(tree.predict(&[90.0]), 1.0);
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns() {
+        let (xs, ys) = step_data();
+        let tree = DecisionTree::fit(
+            &xs,
+            &ys,
+            TreeTask::Classification { n_classes: 2 },
+            &TreeConfig {
+                max_features: Some(1),
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let correct = (0..xs.rows())
+            .filter(|&r| tree.predict(xs.row(r)) == ys[r])
+            .count();
+        assert!(correct >= 150, "accuracy {correct}/200");
+    }
+
+    #[test]
+    fn outlier_degrades_but_does_not_crash_regression() {
+        // §5.3: the tree survives the absurd cell (unlike the NN).
+        let mut rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        rows.push(vec![999_990.0]);
+        let mut ys: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        ys.push(999_990.0);
+        let xs = Matrix::from_rows(&rows);
+        let tree = DecisionTree::fit(&xs, &ys, TreeTask::Regression, &TreeConfig::default());
+        let pred = tree.predict(&[50.0]);
+        assert!(pred.is_finite());
+        assert!(pred < 10_000.0, "prediction {pred} dominated by outlier");
+    }
+
+    #[test]
+    fn memory_scales_with_nodes() {
+        let (xs, ys) = step_data();
+        let tree = DecisionTree::fit(
+            &xs,
+            &ys,
+            TreeTask::Classification { n_classes: 2 },
+            &TreeConfig::default(),
+        );
+        assert_eq!(tree.memory_bytes(), tree.n_nodes() * 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit a tree on no data")]
+    fn empty_input_panics() {
+        let xs = Matrix::zeros(0, 1);
+        let _ = DecisionTree::fit(&xs, &[], TreeTask::Regression, &TreeConfig::default());
+    }
+}

@@ -1,0 +1,270 @@
+//! Gradient-boosted decision trees.
+//!
+//! Regression boosts squared error (each round fits a tree to the current
+//! residuals); classification boosts the multiclass softmax objective
+//! (each round fits one regression tree per class to the negative
+//! gradient). The paper sets the number of boosting rounds to 5 (§6.1)
+//! and sweeps ensemble size in its Figure 19.
+
+use crate::cart::{DecisionTree, TreeConfig, TreeTask};
+use oeb_linalg::Matrix;
+use oeb_nn::softmax;
+
+/// GBDT hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GbdtConfig {
+    /// Boosting rounds (paper default 5).
+    pub n_rounds: usize,
+    /// Shrinkage / learning rate on each tree's contribution.
+    pub shrinkage: f64,
+    /// Configuration of the weak learners.
+    pub tree: TreeConfig,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        GbdtConfig {
+            n_rounds: 5,
+            shrinkage: 0.3,
+            tree: TreeConfig {
+                max_depth: 6,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// A fitted gradient-boosted ensemble.
+#[derive(Debug, Clone)]
+pub struct Gbdt {
+    task: TreeTask,
+    /// Initial prediction (per class for classification).
+    base: Vec<f64>,
+    /// `rounds x n_outputs` trees (one tree per class per round for
+    /// classification; one per round for regression).
+    trees: Vec<Vec<DecisionTree>>,
+    shrinkage: f64,
+}
+
+impl Gbdt {
+    /// Fits a boosted ensemble.
+    pub fn fit(xs: &Matrix, ys: &[f64], task: TreeTask, config: &GbdtConfig) -> Gbdt {
+        assert_eq!(xs.rows(), ys.len());
+        assert!(xs.rows() > 0, "cannot fit GBDT on no data");
+        match task {
+            TreeTask::Regression => Self::fit_regression(xs, ys, config),
+            TreeTask::Classification { n_classes } => {
+                Self::fit_classification(xs, ys, n_classes, config)
+            }
+        }
+    }
+
+    fn fit_regression(xs: &Matrix, ys: &[f64], config: &GbdtConfig) -> Gbdt {
+        let n = xs.rows();
+        let base = ys.iter().sum::<f64>() / n as f64;
+        let mut preds = vec![base; n];
+        let mut trees = Vec::with_capacity(config.n_rounds);
+        for round in 0..config.n_rounds {
+            let residuals: Vec<f64> = ys.iter().zip(&preds).map(|(y, p)| y - p).collect();
+            let mut tree_cfg = config.tree;
+            tree_cfg.seed = tree_cfg.seed.wrapping_add(round as u64);
+            let tree = DecisionTree::fit(xs, &residuals, TreeTask::Regression, &tree_cfg);
+            for (r, p) in preds.iter_mut().enumerate() {
+                *p += config.shrinkage * tree.predict(xs.row(r));
+            }
+            trees.push(vec![tree]);
+        }
+        Gbdt {
+            task: TreeTask::Regression,
+            base: vec![base],
+            trees,
+            shrinkage: config.shrinkage,
+        }
+    }
+
+    fn fit_classification(
+        xs: &Matrix,
+        ys: &[f64],
+        n_classes: usize,
+        config: &GbdtConfig,
+    ) -> Gbdt {
+        let n = xs.rows();
+        // Log-prior initial scores.
+        let mut counts = vec![1.0f64; n_classes];
+        for &y in ys {
+            counts[(y as usize).min(n_classes - 1)] += 1.0;
+        }
+        let total: f64 = counts.iter().sum();
+        let base: Vec<f64> = counts.iter().map(|c| (c / total).ln()).collect();
+
+        let mut scores: Vec<Vec<f64>> = vec![base.clone(); n];
+        let mut trees = Vec::with_capacity(config.n_rounds);
+        for round in 0..config.n_rounds {
+            let mut round_trees = Vec::with_capacity(n_classes);
+            // Negative gradient of softmax CE per class: onehot - p.
+            let probs: Vec<Vec<f64>> = scores.iter().map(|s| softmax(s)).collect();
+            for class in 0..n_classes {
+                let grad: Vec<f64> = (0..n)
+                    .map(|r| {
+                        let y = (ys[r] as usize).min(n_classes - 1);
+                        let onehot = if y == class { 1.0 } else { 0.0 };
+                        onehot - probs[r][class]
+                    })
+                    .collect();
+                let mut tree_cfg = config.tree;
+                tree_cfg.seed = tree_cfg
+                    .seed
+                    .wrapping_add((round * n_classes + class) as u64);
+                let tree = DecisionTree::fit(xs, &grad, TreeTask::Regression, &tree_cfg);
+                for (r, s) in scores.iter_mut().enumerate() {
+                    s[class] += config.shrinkage * tree.predict(xs.row(r));
+                }
+                round_trees.push(tree);
+            }
+            trees.push(round_trees);
+        }
+        Gbdt {
+            task: TreeTask::Classification { n_classes },
+            base,
+            trees,
+            shrinkage: config.shrinkage,
+        }
+    }
+
+    /// Raw scores: a single value (regression) or per-class logits.
+    pub fn scores(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = self.base.clone();
+        for round in &self.trees {
+            for (c, tree) in round.iter().enumerate() {
+                out[c] += self.shrinkage * tree.predict(x);
+            }
+        }
+        out
+    }
+
+    /// Prediction: class index (classification) or value (regression).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let scores = self.scores(x);
+        match self.task {
+            TreeTask::Regression => scores[0],
+            TreeTask::Classification { .. } => oeb_nn::argmax(&scores) as f64,
+        }
+    }
+
+    /// The learning task.
+    pub fn task(&self) -> TreeTask {
+        self.task
+    }
+
+    /// Total number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.iter().map(Vec::len).sum()
+    }
+
+    /// Approximate model size in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.trees
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(DecisionTree::memory_bytes)
+            .sum::<usize>()
+            + self.base.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boosting_beats_single_round_on_regression() {
+        // A smooth nonlinear target benefits from multiple rounds.
+        let rows: Vec<Vec<f64>> = (0..400).map(|i| vec![i as f64 / 400.0]).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| (r[0] * std::f64::consts::TAU).sin())
+            .collect();
+        let xs = Matrix::from_rows(&rows);
+        let mse = |rounds: usize| {
+            let model = Gbdt::fit(
+                &xs,
+                &ys,
+                TreeTask::Regression,
+                &GbdtConfig {
+                    n_rounds: rounds,
+                    tree: TreeConfig {
+                        max_depth: 2,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            );
+            (0..xs.rows())
+                .map(|r| (model.predict(xs.row(r)) - ys[r]).powi(2))
+                .sum::<f64>()
+                / xs.rows() as f64
+        };
+        assert!(mse(10) < mse(1), "10 rounds {} vs 1 round {}", mse(10), mse(1));
+    }
+
+    #[test]
+    fn classifies_three_classes() {
+        let rows: Vec<Vec<f64>> = (0..300).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..300).map(|i| (i / 100) as f64).collect();
+        let xs = Matrix::from_rows(&rows);
+        let model = Gbdt::fit(
+            &xs,
+            &ys,
+            TreeTask::Classification { n_classes: 3 },
+            &GbdtConfig::default(),
+        );
+        assert_eq!(model.predict(&[50.0]), 0.0);
+        assert_eq!(model.predict(&[150.0]), 1.0);
+        assert_eq!(model.predict(&[250.0]), 2.0);
+    }
+
+    #[test]
+    fn tree_count_matches_config() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
+        let xs = Matrix::from_rows(&rows);
+        let reg = Gbdt::fit(
+            &xs,
+            &ys,
+            TreeTask::Regression,
+            &GbdtConfig {
+                n_rounds: 7,
+                ..Default::default()
+            },
+        );
+        assert_eq!(reg.n_trees(), 7);
+        let clf = Gbdt::fit(
+            &xs,
+            &ys,
+            TreeTask::Classification { n_classes: 2 },
+            &GbdtConfig {
+                n_rounds: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(clf.n_trees(), 8);
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let ys = vec![5.5; 50];
+        let xs = Matrix::from_rows(&rows);
+        let model = Gbdt::fit(&xs, &ys, TreeTask::Regression, &GbdtConfig::default());
+        assert!((model.predict(&[25.0]) - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let xs = Matrix::from_rows(&rows);
+        let model = Gbdt::fit(&xs, &ys, TreeTask::Regression, &GbdtConfig::default());
+        assert!(model.memory_bytes() > 0);
+    }
+}

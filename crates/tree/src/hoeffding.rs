@@ -1,0 +1,459 @@
+//! Incremental Hoeffding tree (VFDT) for streaming classification —
+//! Domingos & Hulten, KDD 2000 — with Gaussian numeric attribute
+//! observers. This is the base learner inside the Adaptive Random Forest
+//! (§4.5 of the paper).
+
+use oeb_linalg::Matrix;
+
+/// Online Gaussian estimator (Welford).
+#[derive(Debug, Clone, Default)]
+struct Gaussian {
+    n: f64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Gaussian {
+    fn update(&mut self, x: f64) {
+        self.n += 1.0;
+        let d = x - self.mean;
+        self.mean += d / self.n;
+        self.m2 += d * (x - self.mean);
+    }
+
+    fn std(&self) -> f64 {
+        if self.n < 2.0 {
+            return 0.0;
+        }
+        (self.m2 / self.n).max(0.0).sqrt()
+    }
+
+    /// P(X <= x) under the fitted Gaussian.
+    fn cdf(&self, x: f64) -> f64 {
+        let s = self.std();
+        if s <= 1e-12 {
+            return if x >= self.mean { 1.0 } else { 0.0 };
+        }
+        0.5 * (1.0 + erf((x - self.mean) / (s * std::f64::consts::SQRT_2)))
+    }
+}
+
+/// Abramowitz–Stegun rational approximation of erf (|error| < 1.5e-7).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Statistics held at a learning leaf.
+#[derive(Debug, Clone)]
+struct LeafStats {
+    class_counts: Vec<f64>,
+    /// `observers[feature][class]`.
+    observers: Vec<Vec<Gaussian>>,
+    n_since_check: usize,
+}
+
+impl LeafStats {
+    fn new(n_features: usize, n_classes: usize) -> LeafStats {
+        LeafStats {
+            class_counts: vec![0.0; n_classes],
+            observers: (0..n_features)
+                .map(|_| (0..n_classes).map(|_| Gaussian::default()).collect())
+                .collect(),
+            n_since_check: 0,
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.class_counts.iter().sum()
+    }
+
+    fn majority(&self) -> usize {
+        let mut best = 0;
+        for (c, &v) in self.class_counts.iter().enumerate() {
+            if v > self.class_counts[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn entropy(counts: &[f64]) -> f64 {
+        let total: f64 = counts.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        counts
+            .iter()
+            .filter(|&&c| c > 0.0)
+            .map(|&c| {
+                let p = c / total;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// Best (gain, feature, threshold) and the runner-up gain over the
+    /// allowed features, using the Gaussian class-conditional
+    /// approximation to form candidate splits.
+    ///
+    /// The runner-up is the best gain of a *different* feature — the
+    /// Hoeffding test decides between split attributes, and comparing a
+    /// feature against its own neighbouring thresholds would make
+    /// `best - second` vanish for every informative attribute.
+    fn best_splits(&self, allowed: &[usize]) -> (f64, usize, f64, f64) {
+        let parent = Self::entropy(&self.class_counts);
+        let total = self.total();
+        let mut best = (0.0, 0, 0.0);
+        let mut second = 0.0;
+        for &f in allowed {
+            let obs = &self.observers[f];
+            // Candidate thresholds spanning the per-class means ± stds.
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for g in obs {
+                if g.n > 0.0 {
+                    lo = lo.min(g.mean - 3.0 * g.std());
+                    hi = hi.max(g.mean + 3.0 * g.std());
+                }
+            }
+            if hi <= lo {
+                continue;
+            }
+            // Best gain over this feature's candidate thresholds.
+            let mut feature_best = (0.0f64, 0.0f64);
+            for t in 1..=8 {
+                let thr = lo + (hi - lo) * t as f64 / 9.0;
+                let mut left = vec![0.0; self.class_counts.len()];
+                let mut right = vec![0.0; self.class_counts.len()];
+                for (c, g) in obs.iter().enumerate() {
+                    if g.n <= 0.0 {
+                        continue;
+                    }
+                    let p_left = g.cdf(thr);
+                    left[c] = self.class_counts[c] * p_left;
+                    right[c] = self.class_counts[c] * (1.0 - p_left);
+                }
+                let nl: f64 = left.iter().sum();
+                let nr: f64 = right.iter().sum();
+                if nl < 1.0 || nr < 1.0 {
+                    continue;
+                }
+                let child = (nl * Self::entropy(&left) + nr * Self::entropy(&right)) / total;
+                let gain = parent - child;
+                if gain > feature_best.0 {
+                    feature_best = (gain, thr);
+                }
+            }
+            if feature_best.0 > best.0 {
+                second = best.0;
+                best = (feature_best.0, f, feature_best.1);
+            } else if feature_best.0 > second {
+                second = feature_best.0;
+            }
+        }
+        (best.0, best.1, best.2, second)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(LeafStats),
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// Hoeffding-tree hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HoeffdingConfig {
+    /// Split-attempt period at each leaf.
+    pub grace_period: usize,
+    /// Hoeffding bound confidence.
+    pub delta: f64,
+    /// Tie threshold: split anyway when the bound shrinks below this.
+    pub tie_threshold: f64,
+    /// Maximum depth (leaves stop splitting beyond it).
+    pub max_depth: usize,
+}
+
+impl Default for HoeffdingConfig {
+    fn default() -> Self {
+        HoeffdingConfig {
+            grace_period: 200,
+            delta: 1e-6,
+            tie_threshold: 0.05,
+            max_depth: 20,
+        }
+    }
+}
+
+/// An incremental Hoeffding tree classifier.
+#[derive(Debug, Clone)]
+pub struct HoeffdingTree {
+    root: Node,
+    n_features: usize,
+    n_classes: usize,
+    config: HoeffdingConfig,
+    /// `Some(features)`: only consider this feature subset for splits
+    /// (ARF's per-tree random subspace).
+    allowed_features: Option<Vec<usize>>,
+    n_nodes: usize,
+}
+
+impl HoeffdingTree {
+    /// Creates an empty tree.
+    pub fn new(n_features: usize, n_classes: usize, config: HoeffdingConfig) -> HoeffdingTree {
+        HoeffdingTree {
+            root: Node::Leaf(LeafStats::new(n_features, n_classes)),
+            n_features,
+            n_classes,
+            config,
+            allowed_features: None,
+            n_nodes: 1,
+        }
+    }
+
+    /// Restricts split candidates to a feature subset (for ARF).
+    pub fn with_feature_subset(mut self, features: Vec<usize>) -> HoeffdingTree {
+        self.allowed_features = Some(features);
+        self
+    }
+
+    /// Number of tree nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Approximate model size in bytes: split nodes plus leaf estimator
+    /// tables.
+    pub fn memory_bytes(&self) -> usize {
+        fn walk(node: &Node) -> usize {
+            match node {
+                Node::Leaf(stats) => {
+                    stats.class_counts.len() * 8
+                        + stats.observers.len() * stats.class_counts.len() * 24
+                }
+                Node::Split { left, right, .. } => 40 + walk(left) + walk(right),
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Predicted class for a sample (majority class of its leaf).
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(stats) => return stats.majority(),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let v = x[*feature];
+                    node = if v.is_finite() && v <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Learns one labelled sample, growing the tree when the Hoeffding
+    /// bound certifies the best split.
+    pub fn learn_one(&mut self, x: &[f64], y: usize) {
+        debug_assert_eq!(x.len(), self.n_features);
+        let y = y.min(self.n_classes - 1);
+        let config = self.config;
+        let n_classes = self.n_classes;
+        let n_features = self.n_features;
+        let allowed: Vec<usize> = self
+            .allowed_features
+            .clone()
+            .unwrap_or_else(|| (0..n_features).collect());
+
+        let mut node = &mut self.root;
+        let mut depth = 0;
+        let mut new_nodes = 0usize;
+        loop {
+            match node {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let v = x[*feature];
+                    node = if v.is_finite() && v <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                    depth += 1;
+                }
+                Node::Leaf(stats) => {
+                    stats.class_counts[y] += 1.0;
+                    for (f, &xv) in x.iter().enumerate() {
+                        if xv.is_finite() {
+                            stats.observers[f][y].update(xv);
+                        }
+                    }
+                    stats.n_since_check += 1;
+                    if stats.n_since_check >= config.grace_period && depth < config.max_depth {
+                        stats.n_since_check = 0;
+                        let (best_gain, feature, threshold, second_gain) =
+                            stats.best_splits(&allowed);
+                        let n = stats.total();
+                        // Hoeffding bound with range R = log2(#classes).
+                        let range = (n_classes as f64).log2().max(1.0);
+                        let eps = (range * range * (1.0 / config.delta).ln() / (2.0 * n))
+                            .sqrt();
+                        if best_gain > 0.0
+                            && (best_gain - second_gain > eps || eps < config.tie_threshold)
+                        {
+                            *node = Node::Split {
+                                feature,
+                                threshold,
+                                left: Box::new(Node::Leaf(LeafStats::new(
+                                    n_features, n_classes,
+                                ))),
+                                right: Box::new(Node::Leaf(LeafStats::new(
+                                    n_features, n_classes,
+                                ))),
+                            };
+                            new_nodes = 2;
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        self.n_nodes += new_nodes;
+    }
+
+    /// Learns a whole window sample-by-sample.
+    pub fn learn_window(&mut self, xs: &Matrix, ys: &[f64]) {
+        for r in 0..xs.rows() {
+            self.learn_one(xs.row(r), ys[r] as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn threshold_stream(n: usize) -> Vec<(Vec<f64>, usize)> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 100) as f64;
+                let y = usize::from(x >= 50.0);
+                (vec![x, (i % 7) as f64], y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_a_threshold_concept() {
+        let mut tree = HoeffdingTree::new(2, 2, HoeffdingConfig::default());
+        for (x, y) in threshold_stream(5000) {
+            tree.learn_one(&x, y);
+        }
+        assert!(tree.n_nodes() > 1, "tree never split");
+        let correct = threshold_stream(200)
+            .iter()
+            .filter(|(x, y)| tree.predict(x) == *y)
+            .count();
+        assert!(correct > 180, "accuracy {correct}/200");
+    }
+
+    #[test]
+    fn prediction_before_any_data_is_class_zero() {
+        let tree = HoeffdingTree::new(3, 4, HoeffdingConfig::default());
+        assert_eq!(tree.predict(&[1.0, 2.0, 3.0]), 0);
+    }
+
+    #[test]
+    fn feature_subset_restricts_splits() {
+        // Class depends only on feature 0; a tree restricted to feature 1
+        // cannot do better than majority.
+        let mut restricted =
+            HoeffdingTree::new(2, 2, HoeffdingConfig::default()).with_feature_subset(vec![1]);
+        let mut free = HoeffdingTree::new(2, 2, HoeffdingConfig::default());
+        for (x, y) in threshold_stream(5000) {
+            restricted.learn_one(&x, y);
+            free.learn_one(&x, y);
+        }
+        let acc = |t: &HoeffdingTree| {
+            threshold_stream(200)
+                .iter()
+                .filter(|(x, y)| t.predict(x) == *y)
+                .count()
+        };
+        assert!(acc(&free) > acc(&restricted));
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-5);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gaussian_estimator_tracks_moments() {
+        let mut g = Gaussian::default();
+        for i in 0..1000 {
+            g.update((i % 10) as f64);
+        }
+        assert!((g.mean - 4.5).abs() < 1e-9);
+        assert!((g.std() - 2.872).abs() < 0.01);
+        assert!((g.cdf(4.5) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_depth_caps_growth() {
+        let mut tree = HoeffdingTree::new(
+            2,
+            2,
+            HoeffdingConfig {
+                max_depth: 1,
+                grace_period: 50,
+                ..Default::default()
+            },
+        );
+        for (x, y) in threshold_stream(10_000) {
+            tree.learn_one(&x, y);
+        }
+        assert!(tree.n_nodes() <= 3, "nodes = {}", tree.n_nodes());
+    }
+
+    #[test]
+    fn handles_nan_features() {
+        let mut tree = HoeffdingTree::new(2, 2, HoeffdingConfig::default());
+        for (mut x, y) in threshold_stream(1000) {
+            if y == 0 {
+                x[1] = f64::NAN;
+            }
+            tree.learn_one(&x, y);
+        }
+        let p = tree.predict(&[f64::NAN, f64::NAN]);
+        assert!(p < 2);
+    }
+}

@@ -1,0 +1,22 @@
+//! `oebench` — command-line access to the benchmark library: list and
+//! inspect the dataset registry, extract open-environment statistics,
+//! run prequential evaluations, get algorithm recommendations, and
+//! export generated streams as CSV.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match oebench::cli::parse(&args) {
+        Ok(opts) => opts,
+        Err(usage) => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    match oebench::cli::execute(&opts) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Command-line interface logic for the `oebench` binary.
+//!
+//! ```text
+//! oebench list
+//! oebench inspect "Electricity Prices" --scale 0.25
+//! oebench stats   "Electricity Prices" --scale 0.25
+//! oebench run     "Electricity Prices" --algorithm naive-dt --scale 0.25
+//! oebench recommend "Electricity Prices" --scale 0.25
+//! oebench export  "Electricity Prices" --out stream.csv --scale 0.05
+//! ```
+
+use oeb_core::{
+    extract_stats, run_stream, Algorithm, HarnessConfig, Scenario, StatsConfig,
+};
+use oeb_synth::Level;
+
+/// Parsed CLI command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List all registry datasets.
+    List,
+    /// Generate and describe one dataset.
+    Inspect { name: String },
+    /// Extract and print open-environment statistics.
+    Stats { name: String },
+    /// Run one algorithm prequentially.
+    Run { name: String, algorithm: Algorithm },
+    /// Print the Figure 9 recommendation for a dataset's measured levels.
+    Recommend { name: String },
+    /// Export a generated stream to CSV.
+    Export { name: String, out: String },
+}
+
+/// Parsed options shared by all commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    pub command: Command,
+    /// Registry scale factor.
+    pub scale: f64,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: oebench <command> [args] [--scale F] [--seed N]\n\
+commands:\n\
+  list                         list the 55 registry datasets\n\
+  inspect <name>               generate a dataset and describe it\n\
+  stats <name>                 extract its open-environment statistics\n\
+  run <name> --algorithm <a>   prequential evaluation (a: naive-nn, ewc, lwf,\n\
+                               icarl, sea-nn, naive-dt, naive-gbdt, sea-dt,\n\
+                               sea-gbdt, arf)\n\
+  recommend <name>             recommendation from measured statistics\n\
+  export <name> --out <file>   write the generated stream as CSV";
+
+/// Maps a CLI algorithm slug to an [`Algorithm`].
+pub fn parse_algorithm(slug: &str) -> Option<Algorithm> {
+    Some(match slug.to_ascii_lowercase().as_str() {
+        "naive-nn" | "nn" => Algorithm::NaiveNn,
+        "ewc" => Algorithm::Ewc,
+        "lwf" => Algorithm::Lwf,
+        "icarl" => Algorithm::Icarl,
+        "sea-nn" => Algorithm::SeaNn,
+        "naive-dt" | "dt" => Algorithm::NaiveDt,
+        "naive-gbdt" | "gbdt" => Algorithm::NaiveGbdt,
+        "sea-dt" => Algorithm::SeaDt,
+        "sea-gbdt" => Algorithm::SeaGbdt,
+        "arf" => Algorithm::Arf,
+        _ => return None,
+    })
+}
+
+/// Parses CLI arguments (without the program name).
+pub fn parse(args: &[String]) -> Result<CliOptions, String> {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut algorithm: Option<Algorithm> = None;
+    let mut out: Option<String> = None;
+    let mut scale = 0.25f64;
+    let mut seed = 0u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &f64| v > 0.0 && v <= 1.0)
+                    .ok_or_else(|| format!("--scale needs a value in (0, 1]\n{USAGE}"))?;
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("--seed needs an integer\n{USAGE}"))?;
+            }
+            "--algorithm" => {
+                i += 1;
+                let slug = args.get(i).ok_or_else(|| USAGE.to_string())?;
+                algorithm =
+                    Some(parse_algorithm(slug).ok_or_else(|| {
+                        format!("unknown algorithm {slug:?}\n{USAGE}")
+                    })?);
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).ok_or_else(|| USAGE.to_string())?.clone());
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => positional.push(other),
+        }
+        i += 1;
+    }
+    let command = match positional.split_first() {
+        Some((&"list", [])) => Command::List,
+        Some((&"inspect", [name])) => Command::Inspect {
+            name: name.to_string(),
+        },
+        Some((&"stats", [name])) => Command::Stats {
+            name: name.to_string(),
+        },
+        Some((&"run", [name])) => Command::Run {
+            name: name.to_string(),
+            algorithm: algorithm.ok_or_else(|| format!("run needs --algorithm\n{USAGE}"))?,
+        },
+        Some((&"recommend", [name])) => Command::Recommend {
+            name: name.to_string(),
+        },
+        Some((&"export", [name])) => Command::Export {
+            name: name.to_string(),
+            out: out.ok_or_else(|| format!("export needs --out\n{USAGE}"))?,
+        },
+        _ => return Err(USAGE.to_string()),
+    };
+    Ok(CliOptions {
+        command,
+        scale,
+        seed,
+    })
+}
+
+fn find_entry(name: &str, scale: f64) -> Result<oeb_synth::DatasetEntry, String> {
+    oeb_synth::registry_scaled(scale)
+        .into_iter()
+        .find(|e| e.spec.name.eq_ignore_ascii_case(name) || e.selected == Some(name))
+        .ok_or_else(|| {
+            format!("unknown dataset {name:?}; use `oebench list` to see the registry")
+        })
+}
+
+/// Executes a parsed command, returning the text to print.
+pub fn execute(opts: &CliOptions) -> Result<String, String> {
+    match &opts.command {
+        Command::List => {
+            let mut out = String::from("name | task | domain | paper rows | bench rows | window\n");
+            for e in oeb_synth::registry_scaled(opts.scale) {
+                let task = if e.is_classification() { "clf" } else { "reg" };
+                out.push_str(&format!(
+                    "{} | {task} | {} | {} | {} | {}{}\n",
+                    e.spec.name,
+                    e.spec.domain.name(),
+                    e.paper_rows,
+                    e.spec.n_rows,
+                    e.spec.default_window,
+                    e.selected.map(|s| format!(" | selected: {s}")).unwrap_or_default(),
+                ));
+            }
+            Ok(out)
+        }
+        Command::Inspect { name } => {
+            let entry = find_entry(name, opts.scale)?;
+            let d = oeb_synth::generate(&entry.spec, opts.seed);
+            let m = d.table.missing_stats();
+            Ok(format!(
+                "{}\n  task: {:?}\n  rows: {} ({} windows of {})\n  features: {} \
+                 ({} numeric, {} categorical)\n  missing: {:.2}% cells, {:.2}% rows, \
+                 {:.2}% columns\n  drift: {:?} at {:?}\n  anomalies: {:?} \
+                 ({} events)\n",
+                d.name,
+                d.task,
+                d.n_rows(),
+                d.windows().len(),
+                d.default_window,
+                d.n_features(),
+                entry.spec.n_numeric,
+                entry.spec.categorical.len(),
+                m.empty_cells * 100.0,
+                m.rows_with_missing * 100.0,
+                m.missing_columns * 100.0,
+                entry.spec.drift_pattern,
+                entry.spec.drift_level,
+                entry.spec.anomaly_level,
+                entry.spec.anomaly_events.len(),
+            ))
+        }
+        Command::Stats { name } => {
+            let entry = find_entry(name, opts.scale)?;
+            let d = oeb_synth::generate(&entry.spec, opts.seed);
+            let s = extract_stats(&d, &StatsConfig::default());
+            Ok(format!(
+                "{}\n  missing score:  {:.3} (rows {:.3}, cols {:.3}, cells {:.3})\n  \
+                 data drift:     {:.3} (HDDDM {:.3}, kdq {:.3}, PCA-CD {:.3}, KS avg {:.3})\n  \
+                 concept drift:  {:.3} (DDM {:.3}, EDDM {:.3}, ADWIN {:.3}, PERM {:.3})\n  \
+                 anomaly score:  {:.3} (ECOD avg {:.3}, IForest avg {:.3})\n",
+                s.name,
+                s.missing_score(),
+                s.missing_rows,
+                s.missing_cols,
+                s.missing_cells,
+                s.drift_score(),
+                s.drift_hdddm,
+                s.drift_kdq,
+                s.drift_pcacd,
+                s.drift_ks.avg,
+                s.concept_score(),
+                s.concept_ddm,
+                s.concept_eddm,
+                s.concept_adwin,
+                s.concept_perm,
+                s.anomaly_score(),
+                s.anomaly_ecod.avg,
+                s.anomaly_iforest.avg,
+            ))
+        }
+        Command::Run { name, algorithm } => {
+            let entry = find_entry(name, opts.scale)?;
+            let d = oeb_synth::generate(&entry.spec, opts.seed);
+            let mut cfg = HarnessConfig::default();
+            cfg.seed = opts.seed;
+            let result = run_stream(&d, *algorithm, &cfg)
+                .ok_or_else(|| format!("{} does not apply to {:?}", algorithm.name(), d.task))?;
+            let curve: Vec<String> = result
+                .per_window_loss
+                .iter()
+                .map(|l| {
+                    if l.is_finite() {
+                        format!("{l:.3}")
+                    } else {
+                        "inf".into()
+                    }
+                })
+                .collect();
+            Ok(format!(
+                "{} on {}\n  mean loss: {:.4}\n  throughput: {:.0} items/s\n  \
+                 model memory: {:.1} KB\n  per-window: {}\n",
+                result.algorithm,
+                result.dataset,
+                result.mean_loss,
+                result.throughput,
+                result.memory_bytes as f64 / 1024.0,
+                curve.join(" "),
+            ))
+        }
+        Command::Recommend { name } => {
+            let entry = find_entry(name, opts.scale)?;
+            let d = oeb_synth::generate(&entry.spec, opts.seed);
+            let s = extract_stats(&d, &StatsConfig::default());
+            let level = |score: f64| {
+                if score > 0.3 {
+                    Level::High
+                } else if score > 0.15 {
+                    Level::MediumHigh
+                } else if score > 0.05 {
+                    Level::MediumLow
+                } else {
+                    Level::Low
+                }
+            };
+            let scenario = Scenario {
+                classification: d.task.is_classification(),
+                drift: level((s.drift_score() + s.concept_score()) / 2.0),
+                anomaly: level(s.anomaly_score()),
+                missing: level(s.missing_score()),
+                resource_constrained: false,
+            };
+            let recs = oeb_core::recommend(&scenario);
+            let names: Vec<&str> = recs.iter().map(|a| a.name()).collect();
+            Ok(format!(
+                "{}\n  measured: drift {:?}, anomaly {:?}, missing {:?}\n  recommended: {}\n",
+                d.name,
+                scenario.drift,
+                scenario.anomaly,
+                scenario.missing,
+                names.join(", "),
+            ))
+        }
+        Command::Export { name, out } => {
+            let entry = find_entry(name, opts.scale)?;
+            let d = oeb_synth::generate(&entry.spec, opts.seed);
+            let csv = oeb_tabular::write_table(&d.table);
+            std::fs::write(out, &csv).map_err(|e| format!("cannot write {out}: {e}"))?;
+            Ok(format!(
+                "wrote {} rows x {} columns to {out}\n",
+                d.n_rows(),
+                d.table.n_cols(),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_list_and_flags() {
+        let o = parse(&s(&["list", "--scale", "0.1", "--seed", "7"])).unwrap();
+        assert_eq!(o.command, Command::List);
+        assert_eq!(o.scale, 0.1);
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn parses_run_with_algorithm() {
+        let o = parse(&s(&["run", "Electricity Prices", "--algorithm", "sea-dt"])).unwrap();
+        assert_eq!(
+            o.command,
+            Command::Run {
+                name: "Electricity Prices".into(),
+                algorithm: Algorithm::SeaDt
+            }
+        );
+    }
+
+    #[test]
+    fn run_without_algorithm_is_an_error() {
+        assert!(parse(&s(&["run", "Electricity Prices"])).is_err());
+    }
+
+    #[test]
+    fn algorithm_slugs_roundtrip() {
+        for alg in Algorithm::all() {
+            let slug = alg.name().to_ascii_lowercase();
+            assert_eq!(parse_algorithm(&slug), Some(alg), "slug {slug}");
+        }
+        assert_eq!(parse_algorithm("nope"), None);
+    }
+
+    #[test]
+    fn list_contains_all_55() {
+        let o = parse(&s(&["list"])).unwrap();
+        let out = execute(&o).unwrap();
+        assert_eq!(out.lines().count(), 56); // header + 55
+        assert!(out.contains("KDDCUP99"));
+    }
+
+    #[test]
+    fn inspect_by_short_name() {
+        let o = parse(&s(&["inspect", "AIR", "--scale", "0.02"])).unwrap();
+        let out = execute(&o).unwrap();
+        assert!(out.contains("Shunyi"));
+        assert!(out.contains("missing"));
+    }
+
+    #[test]
+    fn run_executes_prequentially() {
+        let o = parse(&s(&[
+            "run",
+            "ELECTRICITY",
+            "--algorithm",
+            "dt",
+            "--scale",
+            "0.02",
+        ]))
+        .unwrap();
+        let out = execute(&o).unwrap();
+        assert!(out.contains("mean loss"));
+    }
+
+    #[test]
+    fn arf_on_regression_reports_inapplicable() {
+        let o = parse(&s(&["run", "AIR", "--algorithm", "arf", "--scale", "0.02"])).unwrap();
+        assert!(execute(&o).is_err());
+    }
+
+    #[test]
+    fn export_writes_csv() {
+        let path = std::env::temp_dir().join("oeb_cli_export.csv");
+        let o = parse(&s(&[
+            "export",
+            "ROOM",
+            "--out",
+            path.to_str().unwrap(),
+            "--scale",
+            "0.02",
+        ]))
+        .unwrap();
+        let out = execute(&o).unwrap();
+        assert!(out.contains("wrote"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().count() > 100);
+    }
+
+    #[test]
+    fn unknown_dataset_is_an_error() {
+        let o = parse(&s(&["inspect", "not-a-dataset"])).unwrap();
+        assert!(execute(&o).is_err());
+    }
+}
