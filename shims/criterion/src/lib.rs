@@ -1,0 +1,209 @@
+//! Offline drop-in for the subset of `criterion` 0.5 this workspace
+//! uses. It runs each benchmark a small, fixed number of iterations and
+//! prints median wall-clock per iteration — enough for `cargo bench` to
+//! produce comparable numbers offline, without the statistical machinery
+//! or plotting of the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost (ignored by the shim: every
+/// batch is one iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Measurement settings (mostly accepted-and-ignored knobs kept for call
+/// compatibility; `sample_size` bounds the shim's iteration count).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Disables plot generation (no-op: the shim never plots).
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility; the shim has no warm-up phase.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility; the shim runs a fixed sample count.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(id, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for call compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        times: Vec::with_capacity(samples),
+    };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    b.times.sort_unstable();
+    let median = b.times.get(b.times.len() / 2).copied().unwrap_or_default();
+    println!("{id}: median {median:?} over {} samples", b.times.len());
+}
+
+/// Passed to each benchmark closure; records one timing per call.
+pub struct Bencher {
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.times.push(start.elapsed());
+    }
+
+    /// Times `routine` on a fresh input from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.times.push(start.elapsed());
+    }
+}
+
+/// Declares a benchmark group; both the positional and the
+/// `name/config/targets` forms of the real macro are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits the `main` that runs the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(3);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u64; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benches_run_to_completion() {
+        let mut c = Criterion::default().sample_size(2);
+        sample_bench(&mut c);
+    }
+
+    criterion_group!(positional, sample_bench);
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(2)
+            .without_plots()
+            .warm_up_time(std::time::Duration::from_millis(1))
+            .measurement_time(std::time::Duration::from_millis(1));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_macros_expand_to_runnable_fns() {
+        positional();
+        configured();
+    }
+}
