@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, clippy with warnings as
+# errors. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

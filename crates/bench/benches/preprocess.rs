@@ -35,7 +35,7 @@ fn holey_matrix(rows: usize, d: usize) -> Matrix {
         .map(|i| {
             (0..d)
                 .map(|j| {
-                    if (i * d + j) % 11 == 0 {
+                    if (i * d + j).is_multiple_of(11) {
                         f64::NAN
                     } else {
                         ((i * 3 + j * 7) % 23) as f64

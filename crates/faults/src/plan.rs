@@ -1,0 +1,259 @@
+//! Fault plans, kinds, and the log of injected events.
+
+/// The kinds of stream fault the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A contiguous block of cells replaced by NaN.
+    NanBurst,
+    /// Individual cells replaced by extreme out-of-range values.
+    CorruptedCells,
+    /// Targets perturbed (pairwise swaps within the window).
+    LabelNoise,
+    /// An entire window removed from the stream.
+    DroppedWindow,
+    /// A window emitted twice.
+    DuplicatedWindow,
+    /// A window cut short to a fraction of its rows.
+    TruncatedWindow,
+    /// The window's column count changed (column added or removed).
+    SchemaViolation,
+    /// One feature column entirely NaN for the window.
+    AllMissingColumn,
+}
+
+impl FaultKind {
+    /// All kinds, in injection order.
+    pub fn all() -> [FaultKind; 8] {
+        [
+            FaultKind::DroppedWindow,
+            FaultKind::DuplicatedWindow,
+            FaultKind::TruncatedWindow,
+            FaultKind::SchemaViolation,
+            FaultKind::AllMissingColumn,
+            FaultKind::NanBurst,
+            FaultKind::CorruptedCells,
+            FaultKind::LabelNoise,
+        ]
+    }
+
+    /// Stable identifier used in logs and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::NanBurst => "nan-burst",
+            FaultKind::CorruptedCells => "corrupted-cells",
+            FaultKind::LabelNoise => "label-noise",
+            FaultKind::DroppedWindow => "dropped-window",
+            FaultKind::DuplicatedWindow => "duplicated-window",
+            FaultKind::TruncatedWindow => "truncated-window",
+            FaultKind::SchemaViolation => "schema-violation",
+            FaultKind::AllMissingColumn => "all-missing-column",
+        }
+    }
+}
+
+/// Per-fault injection rates plus the seed that makes them reproducible.
+///
+/// Window-level rates (`drop_window`, `duplicate_window`,
+/// `truncate_window`, `schema_violation`, `all_missing_column`,
+/// `nan_burst`) are the probability that the fault hits a given window;
+/// cell/label-level rates (`cell_corruption`, `label_noise`) are the
+/// per-cell / per-label probability within every window. All rates live
+/// in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed from which every injection decision derives. Decisions are
+    /// keyed on `(seed, window index)`, so injection is independent of
+    /// the order windows are drawn in — resuming a stream mid-way
+    /// reproduces the same faults.
+    pub seed: u64,
+    /// Probability a window receives a NaN burst.
+    pub nan_burst: f64,
+    /// Per-cell probability of an extreme corrupted value.
+    pub cell_corruption: f64,
+    /// Per-label probability of being swapped with another label.
+    pub label_noise: f64,
+    /// Probability a window is dropped.
+    pub drop_window: f64,
+    /// Probability a window is emitted twice.
+    pub duplicate_window: f64,
+    /// Probability a window is truncated.
+    pub truncate_window: f64,
+    /// Probability a window's column count changes.
+    pub schema_violation: f64,
+    /// Probability one feature column goes entirely missing.
+    pub all_missing_column: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none(0)
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the identity wrapper).
+    pub fn none(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            nan_burst: 0.0,
+            cell_corruption: 0.0,
+            label_noise: 0.0,
+            drop_window: 0.0,
+            duplicate_window: 0.0,
+            truncate_window: 0.0,
+            schema_violation: 0.0,
+            all_missing_column: 0.0,
+        }
+    }
+
+    /// A moderately hostile preset exercising every fault kind: roughly
+    /// one window in ten is structurally damaged and a few percent of
+    /// cells and labels are corrupted.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            nan_burst: 0.15,
+            cell_corruption: 0.02,
+            label_noise: 0.05,
+            drop_window: 0.08,
+            duplicate_window: 0.08,
+            truncate_window: 0.10,
+            schema_violation: 0.08,
+            all_missing_column: 0.10,
+        }
+    }
+
+    /// True when no fault can ever fire.
+    pub fn is_clean(&self) -> bool {
+        self.rates().iter().all(|&(_, r)| r == 0.0)
+    }
+
+    /// `(kind, rate)` pairs for every fault this plan controls.
+    pub fn rates(&self) -> [(FaultKind, f64); 8] {
+        [
+            (FaultKind::DroppedWindow, self.drop_window),
+            (FaultKind::DuplicatedWindow, self.duplicate_window),
+            (FaultKind::TruncatedWindow, self.truncate_window),
+            (FaultKind::SchemaViolation, self.schema_violation),
+            (FaultKind::AllMissingColumn, self.all_missing_column),
+            (FaultKind::NanBurst, self.nan_burst),
+            (FaultKind::CorruptedCells, self.cell_corruption),
+            (FaultKind::LabelNoise, self.label_noise),
+        ]
+    }
+
+    /// Checks every rate is a probability; returns the offending fault
+    /// kind and value otherwise.
+    pub fn validate(&self) -> Result<(), String> {
+        for (kind, rate) in self.rates() {
+            if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
+                return Err(format!(
+                    "{} rate {rate} outside [0, 1]",
+                    kind.name()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One injected fault: which window, which kind, and a human-readable
+/// description of what was damaged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Source window index the fault hit.
+    pub window: usize,
+    /// Fault kind.
+    pub kind: FaultKind,
+    /// What exactly happened (rows/columns/cells affected).
+    pub detail: String,
+}
+
+/// Ordered record of every fault an injector produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultLog {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultLog {
+    /// Creates an empty log.
+    pub fn new() -> FaultLog {
+        FaultLog::default()
+    }
+
+    /// Records one event.
+    pub fn push(&mut self, window: usize, kind: FaultKind, detail: impl Into<String>) {
+        self.events.push(FaultEvent {
+            window,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// All events in injection order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events of one kind.
+    pub fn count(&self, kind: FaultKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was injected.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_clean_and_valid() {
+        let p = FaultPlan::none(7);
+        assert!(p.is_clean());
+        assert!(p.validate().is_ok());
+        assert_eq!(p.seed, 7);
+    }
+
+    #[test]
+    fn chaos_touches_every_kind_and_validates() {
+        let p = FaultPlan::chaos(1);
+        assert!(!p.is_clean());
+        assert!(p.validate().is_ok());
+        for (kind, rate) in p.rates() {
+            assert!(rate > 0.0, "{} rate is zero in chaos", kind.name());
+        }
+    }
+
+    #[test]
+    fn out_of_range_rates_are_rejected() {
+        let mut p = FaultPlan::none(0);
+        p.drop_window = 1.5;
+        assert!(p.validate().unwrap_err().contains("dropped-window"));
+        p.drop_window = f64::NAN;
+        assert!(p.validate().is_err());
+        p.drop_window = -0.1;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn log_counts_by_kind() {
+        let mut log = FaultLog::new();
+        assert!(log.is_empty());
+        log.push(0, FaultKind::NanBurst, "rows 1..3");
+        log.push(2, FaultKind::NanBurst, "rows 0..1");
+        log.push(2, FaultKind::LabelNoise, "3 swaps");
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.count(FaultKind::NanBurst), 2);
+        assert_eq!(log.count(FaultKind::DroppedWindow), 0);
+        assert_eq!(log.events()[2].window, 2);
+    }
+}

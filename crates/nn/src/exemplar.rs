@@ -182,8 +182,8 @@ mod tests {
         let mut buf = ExemplarBuffer::new(10);
         buf.update(&m, &xs, &ys, true);
         let (_, kept_ys) = buf.as_training_data().unwrap();
-        assert!(kept_ys.iter().any(|&y| y == 0.0));
-        assert!(kept_ys.iter().any(|&y| y == 1.0));
+        assert!(kept_ys.contains(&0.0));
+        assert!(kept_ys.contains(&1.0));
     }
 
     #[test]

@@ -335,13 +335,22 @@ impl Mlp {
             }
         }
 
-        // SGD update.
-        for (layer, (gw, gb)) in self.layers.iter_mut().zip(&grads) {
-            for (w, g) in layer.w.iter_mut().zip(gw) {
-                *w -= lr * g * inv;
-            }
-            for (b, g) in layer.b.iter_mut().zip(gb) {
-                *b -= lr * g * inv;
+        // SGD update. A single non-finite accumulated gradient (overflow
+        // on a corrupted batch, NaN inputs that slipped past imputation)
+        // would poison the weights permanently, so the whole step is
+        // skipped instead — the loss is still reported so the caller's
+        // divergence policy can react.
+        let finite = grads
+            .iter()
+            .all(|(gw, gb)| gw.iter().chain(gb).all(|g| g.is_finite()));
+        if finite {
+            for (layer, (gw, gb)) in self.layers.iter_mut().zip(&grads) {
+                for (w, g) in layer.w.iter_mut().zip(gw) {
+                    *w -= lr * g * inv;
+                }
+                for (b, g) in layer.b.iter_mut().zip(gb) {
+                    *b -= lr * g * inv;
+                }
             }
         }
         total_loss * inv
@@ -503,6 +512,18 @@ mod tests {
             last = mlp.train_batch(&xs, &ys, &all, 0.05, &TrainOpts::default());
         }
         assert!(last < 0.02, "final loss {last}");
+    }
+
+    #[test]
+    fn nonfinite_gradients_do_not_poison_the_weights() {
+        let xs = Matrix::from_rows(&[vec![f64::NAN, 1.0], vec![0.5, f64::INFINITY]]);
+        let ys = vec![0.0, 1.0];
+        let mut mlp = Mlp::new(2, &[4], 1, Objective::SquaredError, 5);
+        let before = mlp.get_params();
+        mlp.train_batch(&xs, &ys, &[0, 1], 0.1, &TrainOpts::default());
+        let after = mlp.get_params();
+        assert_eq!(before, after, "update should be skipped on NaN gradients");
+        assert!(after.iter().all(|p| p.is_finite()));
     }
 
     #[test]

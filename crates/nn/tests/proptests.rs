@@ -54,7 +54,7 @@ proptest! {
         let mut m = Mlp::new(3, &[8], 1, Objective::SquaredError, seed);
         let before = m.loss(&x, y);
         prop_assume!(before > 1e-6);
-        let xs = Matrix::from_rows(&[x.clone()]);
+        let xs = Matrix::from_rows(std::slice::from_ref(&x));
         m.train_batch(&xs, &[y], &[0], 0.001, &TrainOpts::default());
         let after = m.loss(&x, y);
         prop_assert!(after <= before + 1e-9, "loss rose from {before} to {after}");

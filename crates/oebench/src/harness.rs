@@ -8,13 +8,23 @@
 //! target for regression) and then trained on. The final score averages
 //! the per-window losses. The harness also records wall-clock train/test
 //! time (Table 5 / Table 10) and peak model memory (Table 6).
+//!
+//! The harness consumes [`WindowFrame`]s from any
+//! [`FrameSource`](oeb_faults::FrameSource) — in particular a
+//! [`FaultInjector`](oeb_faults::FaultInjector)-wrapped stream — and
+//! degrades gracefully on hostile input per [`DegradePolicy`] instead of
+//! panicking: malformed windows can be skipped, imputation falls back to
+//! mean/zero filling, and a learner whose loss goes non-finite can be
+//! reset a bounded number of times.
 
+use crate::error::HarnessError;
 use crate::learners::{Algorithm, LearnerConfig, StreamLearner};
+use oeb_faults::{DatasetFrames, FaultInjector, FaultPlan, FrameSource, WindowFrame};
 use oeb_linalg::Matrix;
 use oeb_outlier::{flag_by_sigma, Ecod, IForestConfig, IsolationForest};
 use oeb_preprocess::{
-    Imputer, KnnImputer, MeanImputer, OneHotEncoder, RegressionImputer, StandardScaler,
-    TargetScaler, ZeroImputer,
+    Imputer, KnnImputer, MeanImputer, RegressionImputer, StandardScaler, TargetScaler,
+    ZeroImputer,
 };
 use oeb_tabular::{StreamDataset, Task};
 use rand::rngs::StdRng;
@@ -67,6 +77,65 @@ pub enum OutlierRemoval {
     IForest,
 }
 
+/// How the harness degrades on hostile input instead of panicking.
+///
+/// Policies only engage when a window is actually malformed or a learner
+/// actually diverges, so on a clean stream every policy combination
+/// produces identical results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Skip (and log) windows with the wrong column count or that cannot
+    /// be repaired, instead of failing the run.
+    pub skip_bad_windows: bool,
+    /// When the configured imputer leaves non-finite cells (e.g. KNN on
+    /// an all-missing column with an all-missing reference), fall back to
+    /// mean filling, then zero filling.
+    pub imputer_fallback: bool,
+    /// Re-initialise the learner when a window's loss goes non-finite,
+    /// spending one retry from the budget.
+    pub reset_on_nonfinite: bool,
+    /// Model resets allowed before the run fails with
+    /// [`HarnessError::NonFiniteLoss`].
+    pub max_retries: usize,
+}
+
+impl Default for DegradePolicy {
+    /// Skips and repairs malformed windows but preserves the paper's
+    /// convention for diverged learners (a non-finite loss propagates to
+    /// the mean, reported as N/A) rather than resetting the model.
+    fn default() -> Self {
+        DegradePolicy {
+            skip_bad_windows: true,
+            imputer_fallback: true,
+            reset_on_nonfinite: false,
+            max_retries: 2,
+        }
+    }
+}
+
+impl DegradePolicy {
+    /// Everything enabled: survive whatever the stream throws.
+    pub fn resilient() -> DegradePolicy {
+        DegradePolicy {
+            skip_bad_windows: true,
+            imputer_fallback: true,
+            reset_on_nonfinite: true,
+            max_retries: 2,
+        }
+    }
+
+    /// Nothing enabled: any malformed window fails the run with a typed
+    /// error. Useful for validating that a stream *should* be clean.
+    pub fn strict() -> DegradePolicy {
+        DegradePolicy {
+            skip_bad_windows: false,
+            imputer_fallback: false,
+            reset_on_nonfinite: false,
+            max_retries: 0,
+        }
+    }
+}
+
 /// Harness configuration.
 #[derive(Debug, Clone)]
 pub struct HarnessConfig {
@@ -92,6 +161,11 @@ pub struct HarnessConfig {
     pub reference_cap: usize,
     /// Run seed (mixed into shuffling and learners).
     pub seed: u64,
+    /// Degradation behaviour on malformed windows / diverging learners.
+    pub degrade: DegradePolicy,
+    /// Optional fault plan: when set, the window stream is routed through
+    /// a [`FaultInjector`] before evaluation.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for HarnessConfig {
@@ -106,12 +180,36 @@ impl Default for HarnessConfig {
             shuffle: false,
             reference_cap: 512,
             seed: 0,
+            degrade: DegradePolicy::default(),
+            fault_plan: None,
         }
     }
 }
 
+impl HarnessConfig {
+    /// Rejects configurations that cannot run (the checks that used to be
+    /// asserts deep inside the pipeline).
+    pub fn validate(&self) -> Result<(), HarnessError> {
+        if !self.window_factor.is_finite() || self.window_factor <= 0.0 {
+            return Err(HarnessError::InvalidConfig(format!(
+                "window factor {} must be a positive finite number",
+                self.window_factor
+            )));
+        }
+        if let ImputerChoice::Knn(0) = self.imputer {
+            return Err(HarnessError::InvalidConfig(
+                "knn imputer needs k >= 1".into(),
+            ));
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate().map_err(HarnessError::InvalidConfig)?;
+        }
+        Ok(())
+    }
+}
+
 /// Result of one prequential run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Dataset name.
     pub dataset: String,
@@ -132,6 +230,9 @@ pub struct RunResult {
     pub throughput: f64,
     /// Peak model memory in bytes.
     pub memory_bytes: usize,
+    /// Degradation events (skipped windows, imputer fallbacks, model
+    /// resets) the policy absorbed; empty on a clean run.
+    pub degradations: Vec<String>,
 }
 
 impl RunResult {
@@ -142,12 +243,25 @@ impl RunResult {
 }
 
 /// Runs one `(dataset, algorithm)` pair through the prequential protocol.
-/// Returns `None` when the algorithm does not apply (ARF on regression).
+/// Returns `None` when the algorithm does not apply (ARF on regression)
+/// or the stream cannot be evaluated; [`try_run_stream`] reports the
+/// precise reason.
 pub fn run_stream(
     dataset: &StreamDataset,
     algorithm: Algorithm,
     config: &HarnessConfig,
 ) -> Option<RunResult> {
+    try_run_stream(dataset, algorithm, config).ok()
+}
+
+/// Runs one `(dataset, algorithm)` pair, reporting failures as typed
+/// [`HarnessError`]s instead of panicking or silently returning `None`.
+pub fn try_run_stream(
+    dataset: &StreamDataset,
+    algorithm: Algorithm,
+    config: &HarnessConfig,
+) -> Result<RunResult, HarnessError> {
+    config.validate()?;
     let dataset = if config.shuffle {
         let mut order: Vec<usize> = (0..dataset.n_rows()).collect();
         let mut rng = StdRng::seed_from_u64(config.seed ^ SHUFFLE_SEED);
@@ -174,67 +288,184 @@ pub fn run_stream(
         feature_cols.sort_unstable();
     }
 
-    let encoder = OneHotEncoder::fit(&dataset.table, &feature_cols);
-    let input_dim = encoder.width();
-    let windows = dataset.windows_scaled(config.window_factor);
-    if windows.len() < 2 {
-        return None;
+    let mut frames = DatasetFrames::new(dataset, &feature_cols, config.window_factor);
+    let input_dim = frames.width();
+    let found = frames.n_windows();
+    if found < 2 {
+        return Err(HarnessError::InsufficientWindows { found });
     }
-
-    let mut learner_cfg = config.learner.clone();
-    learner_cfg.seed = learner_cfg.seed.wrapping_add(config.seed);
-    let mut learner: Box<dyn StreamLearner> =
-        algorithm.make(dataset.task, input_dim, &learner_cfg)?;
-
-    let imputer = config.imputer.build();
 
     // Oracle imputation reference: the whole encoded stream.
     let oracle_reference = if config.oracle_imputation {
-        Some(encoder.encode_all(&dataset.table))
+        Some(frames.encoder().encode_all(&dataset.table))
     } else {
         None
     };
 
-    // Warm-up window fixes the scalers (§6.1: only first-window statistics
-    // are available at the start).
-    let mut reference_rows: Vec<Vec<f64>> = Vec::new();
-    let first = encoder.encode(&dataset.table, windows[0].clone());
-    push_reference(&mut reference_rows, &first, config.reference_cap);
-    let mut first_imputed = first;
-    impute_window(
-        imputer.as_ref(),
-        &mut first_imputed,
-        oracle_reference.as_ref(),
-        &reference_rows,
-    );
-    let scaler = StandardScaler::fit(&first_imputed);
-    let target_scaler = match dataset.task {
-        Task::Regression => {
-            let t: Vec<f64> = windows[0].clone().map(|r| dataset.target_at(r)).collect();
-            Some(TargetScaler::fit(&t))
+    match &config.fault_plan {
+        Some(plan) => {
+            let mut injected = FaultInjector::new(frames, plan.clone());
+            try_run_frames(
+                &mut injected,
+                dataset.task,
+                &dataset.name,
+                algorithm,
+                config,
+                oracle_reference.as_ref(),
+                Some(input_dim),
+            )
         }
-        Task::Classification { .. } => None,
-    };
+        None => try_run_frames(
+            &mut frames,
+            dataset.task,
+            &dataset.name,
+            algorithm,
+            config,
+            oracle_reference.as_ref(),
+            Some(input_dim),
+        ),
+    }
+}
 
-    let mut per_window_loss = Vec::with_capacity(windows.len() - 1);
+/// Runs the prequential protocol over an arbitrary frame source.
+///
+/// `expected_dim` fixes the feature width the learner is built for; when
+/// `None` the first frame defines it. Frames with a different width are
+/// skipped or rejected per `config.degrade`.
+pub fn try_run_frames<S: FrameSource>(
+    source: &mut S,
+    task: Task,
+    dataset_name: &str,
+    algorithm: Algorithm,
+    config: &HarnessConfig,
+    oracle_reference: Option<&Matrix>,
+    expected_dim: Option<usize>,
+) -> Result<RunResult, HarnessError> {
+    config.validate()?;
+    let policy = config.degrade;
+    let imputer = config.imputer.build();
+    let mut learner_cfg = config.learner.clone();
+    learner_cfg.seed = learner_cfg.seed.wrapping_add(config.seed);
+
+    let mut expected = expected_dim;
+    let mut learner: Option<Box<dyn StreamLearner>> = None;
+    let mut scaler: Option<StandardScaler> = None;
+    let mut target_scaler: Option<TargetScaler> = None;
+    let mut reference_rows: Vec<Vec<f64>> = Vec::new();
+    let mut per_window_loss = Vec::new();
+    let mut degradations: Vec<String> = Vec::new();
+    let mut resets = 0usize;
+    // Windows that entered the pipeline (the old loop's positional `k`):
+    // window 0 is the warm-up, every later one is tested before training.
+    let mut seen = 0usize;
     let mut train_seconds = 0.0;
     let mut test_seconds = 0.0;
     let mut items = 0usize;
     let mut memory_peak = 0usize;
 
-    for (k, range) in windows.iter().enumerate() {
-        let mut feats = encoder.encode(&dataset.table, range.clone());
+    while let Some(frame) = source.next_frame() {
+        let dim = *expected.get_or_insert_with(|| frame.cols());
+        if frame.cols() != dim {
+            if policy.skip_bad_windows {
+                degradations.push(format!(
+                    "window {}: skipped, schema mismatch ({} columns, expected {dim})",
+                    frame.index,
+                    frame.cols()
+                ));
+                continue;
+            }
+            return Err(HarnessError::SchemaMismatch {
+                window: frame.index,
+                expected: dim,
+                got: frame.cols(),
+            });
+        }
+        if frame.rows() != frame.targets.len() {
+            if policy.skip_bad_windows {
+                degradations.push(format!(
+                    "window {}: skipped, {} rows vs {} targets",
+                    frame.index,
+                    frame.rows(),
+                    frame.targets.len()
+                ));
+                continue;
+            }
+            return Err(HarnessError::InvalidConfig(format!(
+                "window {}: {} feature rows but {} targets",
+                frame.index,
+                frame.rows(),
+                frame.targets.len()
+            )));
+        }
+        if frame.rows() == 0 {
+            continue;
+        }
+
+        let is_first = seen == 0;
+        let WindowFrame {
+            index,
+            features: mut feats,
+            mut targets,
+        } = frame;
+
+        // Warm-up window enters the imputation reference raw (§6.1);
+        // later windows enter imputed, below.
+        if is_first {
+            push_reference(&mut reference_rows, &feats, config.reference_cap);
+        }
         impute_window(
             imputer.as_ref(),
             &mut feats,
-            oracle_reference.as_ref(),
+            oracle_reference,
             &reference_rows,
         );
-        if k > 0 {
+        if !feats.is_finite() {
+            if policy.imputer_fallback {
+                let reference = if reference_rows.is_empty() {
+                    feats.clone()
+                } else {
+                    Matrix::from_rows(&reference_rows)
+                };
+                MeanImputer.impute(&mut feats, &reference);
+                if !feats.is_finite() {
+                    ZeroImputer.impute(&mut feats, &reference);
+                }
+                degradations.push(format!(
+                    "window {index}: {} left non-finite cells, fell back to mean/zero",
+                    imputer.name()
+                ));
+            } else if policy.skip_bad_windows {
+                degradations.push(format!(
+                    "window {index}: skipped, {} left non-finite cells",
+                    imputer.name()
+                ));
+                continue;
+            } else {
+                return Err(HarnessError::ImputationFailed {
+                    window: index,
+                    detail: format!("{} left non-finite cells", imputer.name()),
+                });
+            }
+        }
+
+        if is_first {
+            // First-window statistics fix the scalers for the whole run.
+            scaler = Some(StandardScaler::fit(&feats));
+            target_scaler = match task {
+                Task::Regression => Some(TargetScaler::fit(&targets)),
+                Task::Classification { .. } => None,
+            };
+            learner = Some(algorithm.make(task, dim, &learner_cfg).ok_or_else(|| {
+                HarnessError::NotApplicable {
+                    algorithm: algorithm.name().to_string(),
+                    task: format!("{task:?}"),
+                }
+            })?);
+        } else {
             push_reference(&mut reference_rows, &feats, config.reference_cap);
         }
-        scaler.transform(&mut feats);
-        let mut targets: Vec<f64> = range.clone().map(|r| dataset.target_at(r)).collect();
+
+        scaler.as_ref().expect("scaler set on warm-up").transform(&mut feats);
         if let Some(ts) = &target_scaler {
             for t in &mut targets {
                 *t = ts.transform(*t);
@@ -253,7 +484,7 @@ pub fn run_stream(
                     &feats,
                     &IForestConfig {
                         n_trees: 25,
-                        seed: config.seed ^ k as u64,
+                        seed: config.seed ^ index as u64,
                         ..Default::default()
                     },
                 );
@@ -262,41 +493,66 @@ pub fn run_stream(
             }
         };
         if feats.rows() == 0 {
+            seen += 1;
             continue;
         }
 
-        if k > 0 {
+        let model = learner.as_mut().expect("learner set on warm-up");
+        if seen > 0 {
             // Test phase.
             let start = Instant::now();
             let mut loss = 0.0;
             for r in 0..feats.rows() {
-                let pred = learner.predict(feats.row(r));
-                loss += match dataset.task {
+                let pred = model.predict(feats.row(r));
+                loss += match task {
                     Task::Classification { .. } => f64::from(pred != targets[r]),
                     Task::Regression => (pred - targets[r]).powi(2),
                 };
             }
             test_seconds += start.elapsed().as_secs_f64();
-            per_window_loss.push(loss / feats.rows() as f64);
-            items += feats.rows();
+            let window_loss = loss / feats.rows() as f64;
+            if !window_loss.is_finite() && policy.reset_on_nonfinite {
+                resets += 1;
+                if resets > policy.max_retries {
+                    return Err(HarnessError::NonFiniteLoss {
+                        window: index,
+                        retries: policy.max_retries,
+                    });
+                }
+                degradations.push(format!(
+                    "window {index}: non-finite loss, model reset ({resets}/{})",
+                    policy.max_retries
+                ));
+                *model = algorithm
+                    .make(task, dim, &learner_cfg)
+                    .expect("algorithm applied on warm-up");
+            } else {
+                per_window_loss.push(window_loss);
+                items += feats.rows();
+            }
         }
 
         // Train phase.
         let start = Instant::now();
-        learner.train_window(&feats, &targets);
+        model.train_window(&feats, &targets);
         train_seconds += start.elapsed().as_secs_f64();
         items += feats.rows();
-        memory_peak = memory_peak.max(learner.memory_bytes());
+        memory_peak = memory_peak.max(model.memory_bytes());
+        seen += 1;
     }
 
+    let learner = match learner {
+        Some(l) => l,
+        None => return Err(HarnessError::EmptyStream),
+    };
     let mean_loss = if per_window_loss.is_empty() {
         f64::NAN
     } else {
         per_window_loss.iter().sum::<f64>() / per_window_loss.len() as f64
     };
     let elapsed = (train_seconds + test_seconds).max(1e-9);
-    Some(RunResult {
-        dataset: dataset.name.clone(),
+    Ok(RunResult {
+        dataset: dataset_name.to_string(),
         algorithm: learner.name().to_string(),
         per_window_loss,
         mean_loss,
@@ -305,6 +561,7 @@ pub fn run_stream(
         items,
         throughput: items as f64 / elapsed,
         memory_bytes: memory_peak,
+        degradations,
     })
 }
 
@@ -389,6 +646,7 @@ const SHUFFLE_SEED: u64 = 0x73687566;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oeb_faults::FrameVec;
     use oeb_synth::{generate, registry_scaled};
 
     fn small_dataset(kind: &str) -> StreamDataset {
@@ -413,6 +671,8 @@ mod tests {
         assert!(r.per_window_loss.iter().all(|&l| (0.0..=1.0).contains(&l)));
         assert!(r.throughput > 0.0);
         assert!(r.memory_bytes > 0);
+        // Clean stream: no degradation policy engaged.
+        assert!(r.degradations.is_empty());
     }
 
     #[test]
@@ -435,6 +695,8 @@ mod tests {
     fn arf_returns_none_on_regression() {
         let d = small_dataset("reg");
         assert!(run_stream(&d, Algorithm::Arf, &HarnessConfig::default()).is_none());
+        let err = try_run_stream(&d, Algorithm::Arf, &HarnessConfig::default()).unwrap_err();
+        assert!(matches!(err, HarnessError::NotApplicable { .. }));
     }
 
     #[test]
@@ -495,6 +757,8 @@ mod tests {
         spec.default_window = spec.n_rows; // one giant window
         let d = generate(&spec, 0);
         assert!(run_stream(&d, Algorithm::NaiveDt, &HarnessConfig::default()).is_none());
+        let err = try_run_stream(&d, Algorithm::NaiveDt, &HarnessConfig::default()).unwrap_err();
+        assert!(matches!(err, HarnessError::InsufficientWindows { found: 1 }));
     }
 
     #[test]
@@ -564,5 +828,154 @@ mod tests {
         assert_eq!(results.len(), 3);
         let (mean, std) = summary.unwrap();
         assert!(mean.is_finite() && std.is_finite());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_up_front() {
+        let d = small_dataset("clf");
+        for cfg in [
+            HarnessConfig {
+                window_factor: 0.0,
+                ..Default::default()
+            },
+            HarnessConfig {
+                window_factor: f64::NAN,
+                ..Default::default()
+            },
+            HarnessConfig {
+                imputer: ImputerChoice::Knn(0),
+                ..Default::default()
+            },
+        ] {
+            let err = try_run_stream(&d, Algorithm::NaiveDt, &cfg).unwrap_err();
+            assert!(matches!(err, HarnessError::InvalidConfig(_)), "{err}");
+        }
+        let mut bad_plan = FaultPlan::none(0);
+        bad_plan.drop_window = 7.0;
+        let cfg = HarnessConfig {
+            fault_plan: Some(bad_plan),
+            ..Default::default()
+        };
+        assert!(matches!(
+            try_run_stream(&d, Algorithm::NaiveDt, &cfg).unwrap_err(),
+            HarnessError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn clean_fault_plan_reproduces_the_plain_run() {
+        let d = small_dataset("clf");
+        let plain = run_stream(&d, Algorithm::NaiveDt, &HarnessConfig::default()).unwrap();
+        let wrapped = run_stream(
+            &d,
+            Algorithm::NaiveDt,
+            &HarnessConfig {
+                fault_plan: Some(FaultPlan::none(5)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.per_window_loss, wrapped.per_window_loss);
+        assert_eq!(plain.mean_loss, wrapped.mean_loss);
+    }
+
+    #[test]
+    fn chaos_fault_plan_survives_and_logs_degradations() {
+        let d = small_dataset("clf");
+        let cfg = HarnessConfig {
+            fault_plan: Some(FaultPlan::chaos(3)),
+            degrade: DegradePolicy::resilient(),
+            ..Default::default()
+        };
+        let r = try_run_stream(&d, Algorithm::NaiveDt, &cfg).unwrap();
+        assert!(!r.per_window_loss.is_empty());
+        // Chaos injects schema violations at 8% per window; with dozens of
+        // windows at least one lands and is absorbed as a degradation.
+        assert!(
+            !r.degradations.is_empty(),
+            "chaos plan produced no degradations"
+        );
+    }
+
+    #[test]
+    fn strict_policy_fails_on_schema_violation() {
+        let d = small_dataset("clf");
+        let mut plan = FaultPlan::none(1);
+        plan.schema_violation = 1.0;
+        let cfg = HarnessConfig {
+            fault_plan: Some(plan),
+            degrade: DegradePolicy::strict(),
+            ..Default::default()
+        };
+        let err = try_run_stream(&d, Algorithm::NaiveDt, &cfg).unwrap_err();
+        assert!(matches!(err, HarnessError::SchemaMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn all_windows_dropped_is_an_empty_stream() {
+        let d = small_dataset("clf");
+        let mut plan = FaultPlan::none(1);
+        plan.drop_window = 1.0;
+        let cfg = HarnessConfig {
+            fault_plan: Some(plan),
+            ..Default::default()
+        };
+        assert!(matches!(
+            try_run_stream(&d, Algorithm::NaiveDt, &cfg).unwrap_err(),
+            HarnessError::EmptyStream
+        ));
+    }
+
+    #[test]
+    fn all_missing_column_is_absorbed_without_panic() {
+        // Satellite regression test: a column that is entirely NaN in
+        // every window (plus zero variance after the 0.0 fallback fill)
+        // must not panic anywhere in the pipeline.
+        let d = small_dataset("clf");
+        let mut plan = FaultPlan::none(2);
+        plan.all_missing_column = 1.0;
+        let cfg = HarnessConfig {
+            fault_plan: Some(plan),
+            ..Default::default()
+        };
+        let r = try_run_stream(&d, Algorithm::NaiveDt, &cfg).unwrap();
+        assert!(!r.per_window_loss.is_empty());
+    }
+
+    #[test]
+    fn frame_source_with_inconsistent_targets_is_skipped_or_rejected() {
+        let frames = vec![
+            WindowFrame {
+                index: 0,
+                features: Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]),
+                targets: vec![0.0, 1.0],
+            },
+            WindowFrame {
+                index: 1,
+                features: Matrix::from_rows(&[vec![0.5, 0.5]]),
+                targets: vec![0.0, 1.0, 1.0], // ragged
+            },
+            WindowFrame {
+                index: 2,
+                features: Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]),
+                targets: vec![0.0, 1.0],
+            },
+        ];
+        let task = Task::Classification { n_classes: 2 };
+        let cfg = HarnessConfig::default();
+        let mut src = FrameVec::new(frames.clone());
+        let r = try_run_frames(&mut src, task, "toy", Algorithm::NaiveDt, &cfg, None, None)
+            .unwrap();
+        assert_eq!(r.per_window_loss.len(), 1); // window 1 skipped
+        assert_eq!(r.degradations.len(), 1);
+
+        let strict = HarnessConfig {
+            degrade: DegradePolicy::strict(),
+            ..Default::default()
+        };
+        let mut src = FrameVec::new(frames);
+        let err = try_run_frames(&mut src, task, "toy", Algorithm::NaiveDt, &strict, None, None)
+            .unwrap_err();
+        assert!(matches!(err, HarnessError::InvalidConfig(_)));
     }
 }

@@ -12,6 +12,7 @@
 // chains in these kernels.
 #![allow(clippy::needless_range_loop)]
 
+pub mod error;
 pub mod experiments;
 pub mod extend;
 pub mod harness;
@@ -24,14 +25,23 @@ pub mod report;
 pub mod sea;
 pub mod select;
 pub mod stats;
+pub mod sweep;
 
+pub use error::HarnessError;
 pub use extend::DriftResetLearner;
-pub use harness::{run_seeds, run_stream, HarnessConfig, ImputerChoice, OutlierRemoval, RunResult};
+pub use harness::{
+    run_seeds, run_stream, try_run_frames, try_run_stream, DegradePolicy, HarnessConfig,
+    ImputerChoice, OutlierRemoval, RunResult,
+};
 pub use learners::{Algorithm, LearnerConfig, StreamLearner};
 pub use plot::{LinePlot, Series};
-pub use prequential::{prequential_dataset, prequential_items, IncrementalClassifier, PrequentialResult};
+pub use prequential::{
+    prequential_dataset, prequential_items, try_prequential_dataset, try_prequential_items,
+    IncrementalClassifier, PrequentialResult,
+};
 pub use recommend::{recommend, render_tree, Scenario};
 pub use report::{assign_levels, fmt_mean_std, fmt_summary, TextTable};
 pub use sea::{BaseKind, SeaLearner};
 pub use select::{select_representatives, SelectionResult};
 pub use stats::{extract_stats, AvgMax, OeStats, StatsConfig};
+pub use sweep::{load_checkpoint, run_sweep, RunOutcome, SweepRecord, SweepReport};

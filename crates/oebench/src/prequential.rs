@@ -5,6 +5,7 @@
 //! incremental learners (Hoeffding trees, ARF), where per-item
 //! prequential accuracy is the conventional metric.
 
+use crate::error::HarnessError;
 use oeb_linalg::Matrix;
 use oeb_tabular::{StreamDataset, Task};
 use oeb_tree::{AdaptiveRandomForest, HoeffdingTree};
@@ -60,6 +61,24 @@ pub fn prequential_items<M: IncrementalClassifier>(
     sample_every: usize,
 ) -> PrequentialResult {
     assert_eq!(xs.rows(), ys.len(), "feature/target length mismatch");
+    try_prequential_items(model, xs, ys, sample_every).expect("lengths validated above")
+}
+
+/// [`prequential_items`] with a typed error instead of a panic when the
+/// feature and target lengths disagree.
+pub fn try_prequential_items<M: IncrementalClassifier>(
+    model: &mut M,
+    xs: &Matrix,
+    ys: &[f64],
+    sample_every: usize,
+) -> Result<PrequentialResult, HarnessError> {
+    if xs.rows() != ys.len() {
+        return Err(HarnessError::InvalidConfig(format!(
+            "{} feature rows but {} targets",
+            xs.rows(),
+            ys.len()
+        )));
+    }
     let sample_every = sample_every.max(1);
     let mut correct = 0usize;
     let mut curve = Vec::new();
@@ -75,7 +94,7 @@ pub fn prequential_items<M: IncrementalClassifier>(
         }
     }
     let items = xs.rows();
-    PrequentialResult {
+    Ok(PrequentialResult {
         items,
         accuracy: if items > 0 {
             correct as f64 / items as f64
@@ -83,7 +102,7 @@ pub fn prequential_items<M: IncrementalClassifier>(
             0.0
         },
         accuracy_curve: curve,
-    }
+    })
 }
 
 /// Convenience wrapper: encodes a classification [`StreamDataset`]
@@ -100,6 +119,22 @@ pub fn prequential_dataset<M: IncrementalClassifier>(
         matches!(dataset.task, Task::Classification { .. }),
         "item-level prequential accuracy is a classification metric"
     );
+    try_prequential_dataset(model, dataset, sample_every).expect("task validated above")
+}
+
+/// [`prequential_dataset`] with a typed error instead of a panic on
+/// regression datasets.
+pub fn try_prequential_dataset<M: IncrementalClassifier>(
+    model: &mut M,
+    dataset: &StreamDataset,
+    sample_every: usize,
+) -> Result<PrequentialResult, HarnessError> {
+    if !matches!(dataset.task, Task::Classification { .. }) {
+        return Err(HarnessError::NotApplicable {
+            algorithm: "item-level prequential accuracy".into(),
+            task: format!("{:?}", dataset.task),
+        });
+    }
     let feature_cols = dataset.feature_cols();
     let rows: Vec<Vec<f64>> = (0..dataset.n_rows())
         .map(|r| {
@@ -118,7 +153,7 @@ pub fn prequential_dataset<M: IncrementalClassifier>(
         .collect();
     let xs = Matrix::from_rows(&rows);
     let ys = dataset.targets();
-    prequential_items(model, &xs, &ys, sample_every)
+    try_prequential_items(model, &xs, &ys, sample_every)
 }
 
 #[cfg(test)]
@@ -187,6 +222,27 @@ mod tests {
         let d = oeb_synth::generate(&entry.spec, 0);
         let mut tree = HoeffdingTree::new(d.n_features(), 2, HoeffdingConfig::default());
         let _ = prequential_dataset(&mut tree, &d, 100);
+    }
+
+    #[test]
+    fn mismatched_lengths_are_a_typed_error() {
+        let (xs, _) = stream(10);
+        let mut tree = HoeffdingTree::new(2, 2, HoeffdingConfig::default());
+        let err = try_prequential_items(&mut tree, &xs, &[0.0; 3], 5).unwrap_err();
+        assert!(matches!(err, HarnessError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn regression_dataset_is_a_typed_error() {
+        let entries = oeb_synth::registry_scaled(0.02);
+        let entry = entries
+            .iter()
+            .find(|e| e.spec.name == "Power Consumption of Tetouan City")
+            .unwrap();
+        let d = oeb_synth::generate(&entry.spec, 0);
+        let mut tree = HoeffdingTree::new(d.n_features(), 2, HoeffdingConfig::default());
+        let err = try_prequential_dataset(&mut tree, &d, 100).unwrap_err();
+        assert!(matches!(err, HarnessError::NotApplicable { .. }), "{err}");
     }
 
     #[test]

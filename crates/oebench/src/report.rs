@@ -63,7 +63,7 @@ impl TextTable {
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n - 1)));
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + (2 * n).saturating_sub(2)));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -144,6 +144,13 @@ mod tests {
         let mut t = TextTable::new(vec!["a", "b", "c"]);
         t.row(vec!["only-one"]);
         assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn empty_table_renders_without_underflow() {
+        let t = TextTable::new(Vec::<String>::new());
+        let s = t.render();
+        assert_eq!(s, "\n\n");
     }
 
     #[test]

@@ -1,0 +1,493 @@
+//! Resilient (dataset, learner) sweeps: panic isolation, typed failure
+//! reporting, and JSON-lines checkpoint/resume.
+//!
+//! A benchmark sweep crosses every dataset with every learner; one
+//! panicking run (a diverging network, a malformed window) must not take
+//! the other hundreds of runs down with it. [`run_sweep`] wraps each run
+//! in [`std::panic::catch_unwind`], records the outcome — completed,
+//! inapplicable, or failed with a reason — and appends it to a
+//! checkpoint file as one JSON object per line. Re-running the same
+//! sweep against the same checkpoint skips every pair already recorded,
+//! so an interrupted sweep resumes from the last completed pair and
+//! produces the same final report as an uninterrupted one.
+
+use crate::error::HarnessError;
+use crate::harness::{try_run_stream, HarnessConfig, RunResult};
+use crate::learners::Algorithm;
+use oeb_tabular::StreamDataset;
+use serde_json::{json, Value};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+
+/// What happened to one (dataset, learner) run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// The run finished and produced a result.
+    Completed(RunResult),
+    /// The algorithm does not apply to the dataset's task.
+    Inapplicable,
+    /// The run failed; `reason` is the rendered [`HarnessError`] or
+    /// panic message, `kind` the stable failure class.
+    Failed {
+        /// Stable kebab-case failure class ([`HarnessError::kind`] or
+        /// `"panicked"`).
+        kind: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl RunOutcome {
+    /// True for [`RunOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed(_))
+    }
+
+    /// One-line human-readable summary (for sweep listings).
+    pub fn describe(&self) -> String {
+        match self {
+            RunOutcome::Completed(r) => format!("completed (mean loss {:.4})", r.mean_loss),
+            RunOutcome::Inapplicable => "inapplicable".into(),
+            RunOutcome::Failed { kind, reason } => format!("failed [{kind}]: {reason}"),
+        }
+    }
+}
+
+/// One sweep cell: the pair identity plus its outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRecord {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm name (stable, from [`Algorithm::name`]).
+    pub algorithm: String,
+    /// What happened.
+    pub outcome: RunOutcome,
+}
+
+/// Result of a sweep: one record per (dataset, algorithm) pair, in
+/// iteration order (datasets outer, algorithms inner).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepReport {
+    /// All records.
+    pub records: Vec<SweepRecord>,
+}
+
+impl SweepReport {
+    /// Completed runs.
+    pub fn completed(&self) -> impl Iterator<Item = (&SweepRecord, &RunResult)> {
+        self.records.iter().filter_map(|r| match &r.outcome {
+            RunOutcome::Completed(res) => Some((r, res)),
+            _ => None,
+        })
+    }
+
+    /// Failed runs.
+    pub fn failed(&self) -> impl Iterator<Item = &SweepRecord> {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, RunOutcome::Failed { .. }))
+    }
+
+    /// (completed, inapplicable, failed) counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for r in &self.records {
+            match r.outcome {
+                RunOutcome::Completed(_) => c.0 += 1,
+                RunOutcome::Inapplicable => c.1 += 1,
+                RunOutcome::Failed { .. } => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Runs `datasets x algorithms` through the harness with panic isolation
+/// and optional checkpointing.
+///
+/// - `checkpoint`: when set, every finished pair is appended to this
+///   JSON-lines file, and pairs already recorded there are *not* re-run —
+///   their stored outcome enters the report instead (resume).
+/// - `max_new_runs`: when set, stop after this many *new* runs (pairs
+///   loaded from the checkpoint do not count). The report then contains
+///   only the records finished so far; invoke again with the same
+///   checkpoint to continue. This is how an interruption mid-sweep looks
+///   to the caller.
+pub fn run_sweep(
+    datasets: &[StreamDataset],
+    algorithms: &[Algorithm],
+    config: &HarnessConfig,
+    checkpoint: Option<&Path>,
+    max_new_runs: Option<usize>,
+) -> Result<SweepReport, HarnessError> {
+    config.validate()?;
+    let mut done: HashMap<(String, String), RunOutcome> = HashMap::new();
+    if let Some(path) = checkpoint {
+        for record in load_checkpoint(path)? {
+            done.insert((record.dataset.clone(), record.algorithm.clone()), record.outcome);
+        }
+    }
+
+    let mut report = SweepReport::default();
+    let mut new_runs = 0usize;
+    for dataset in datasets {
+        for &algorithm in algorithms {
+            let key = (dataset.name.clone(), algorithm.name().to_string());
+            let outcome = match done.remove(&key) {
+                Some(outcome) => outcome,
+                None => {
+                    if let Some(limit) = max_new_runs {
+                        if new_runs >= limit {
+                            return Ok(report);
+                        }
+                    }
+                    new_runs += 1;
+                    let outcome = run_isolated(dataset, algorithm, config);
+                    let record = SweepRecord {
+                        dataset: key.0.clone(),
+                        algorithm: key.1.clone(),
+                        outcome: outcome.clone(),
+                    };
+                    if let Some(path) = checkpoint {
+                        append_checkpoint(path, &record)?;
+                    }
+                    outcome
+                }
+            };
+            report.records.push(SweepRecord {
+                dataset: key.0,
+                algorithm: key.1,
+                outcome,
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// One run, with panics converted into a failed outcome.
+fn run_isolated(
+    dataset: &StreamDataset,
+    algorithm: Algorithm,
+    config: &HarnessConfig,
+) -> RunOutcome {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        try_run_stream(dataset, algorithm, config)
+    }));
+    match result {
+        Ok(Ok(run)) => RunOutcome::Completed(run),
+        Ok(Err(HarnessError::NotApplicable { .. })) => RunOutcome::Inapplicable,
+        Ok(Err(e)) => RunOutcome::Failed {
+            kind: e.kind().to_string(),
+            reason: e.to_string(),
+        },
+        Err(payload) => RunOutcome::Failed {
+            kind: "panicked".into(),
+            reason: panic_message(payload.as_ref()),
+        },
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint serialisation (one JSON object per line).
+
+fn outcome_to_json(outcome: &RunOutcome) -> Value {
+    match outcome {
+        RunOutcome::Completed(r) => json!({
+            "status": "completed",
+            "per_window_loss": r.per_window_loss,
+            "mean_loss": r.mean_loss,
+            "train_seconds": r.train_seconds,
+            "test_seconds": r.test_seconds,
+            "items": r.items as u64,
+            "throughput": r.throughput,
+            "memory_bytes": r.memory_bytes as u64,
+            "degradations": r.degradations,
+        }),
+        RunOutcome::Inapplicable => json!({ "status": "inapplicable" }),
+        RunOutcome::Failed { kind, reason } => json!({
+            "status": "failed",
+            "kind": kind,
+            "reason": reason,
+        }),
+    }
+}
+
+fn record_to_json(record: &SweepRecord) -> Value {
+    let mut v = outcome_to_json(&record.outcome);
+    if let Some(obj) = v.as_object_mut() {
+        obj.insert("dataset", Value::from(record.dataset.as_str()));
+        obj.insert("algorithm", Value::from(record.algorithm.as_str()));
+    }
+    v
+}
+
+fn field<'a>(v: &'a Value, key: &str, line: usize) -> Result<&'a Value, HarnessError> {
+    v.get(key).ok_or_else(|| {
+        HarnessError::Checkpoint(format!("line {line}: missing field {key:?}"))
+    })
+}
+
+fn str_field(v: &Value, key: &str, line: usize) -> Result<String, HarnessError> {
+    Ok(field(v, key, line)?
+        .as_str()
+        .ok_or_else(|| HarnessError::Checkpoint(format!("line {line}: {key:?} not a string")))?
+        .to_string())
+}
+
+fn f64_field(v: &Value, key: &str, line: usize) -> Result<f64, HarnessError> {
+    // Non-finite floats serialise as null (JSON has no NaN literal).
+    let value = field(v, key, line)?;
+    if value.is_null() {
+        return Ok(f64::NAN);
+    }
+    value.as_f64().ok_or_else(|| {
+        HarnessError::Checkpoint(format!("line {line}: {key:?} not a number"))
+    })
+}
+
+fn record_from_json(v: &Value, line: usize) -> Result<SweepRecord, HarnessError> {
+    let dataset = str_field(v, "dataset", line)?;
+    let algorithm = str_field(v, "algorithm", line)?;
+    let status = str_field(v, "status", line)?;
+    let outcome = match status.as_str() {
+        "inapplicable" => RunOutcome::Inapplicable,
+        "failed" => RunOutcome::Failed {
+            kind: str_field(v, "kind", line)?,
+            reason: str_field(v, "reason", line)?,
+        },
+        "completed" => {
+            let losses = field(v, "per_window_loss", line)?
+                .as_array()
+                .ok_or_else(|| {
+                    HarnessError::Checkpoint(format!("line {line}: per_window_loss not an array"))
+                })?
+                .iter()
+                .map(|x| if x.is_null() { f64::NAN } else { x.as_f64().unwrap_or(f64::NAN) })
+                .collect();
+            let degradations = field(v, "degradations", line)?
+                .as_array()
+                .map(|xs| {
+                    xs.iter()
+                        .filter_map(|x| x.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default();
+            RunOutcome::Completed(RunResult {
+                dataset: dataset.clone(),
+                algorithm: algorithm.clone(),
+                per_window_loss: losses,
+                mean_loss: f64_field(v, "mean_loss", line)?,
+                train_seconds: f64_field(v, "train_seconds", line)?,
+                test_seconds: f64_field(v, "test_seconds", line)?,
+                items: field(v, "items", line)?.as_u64().unwrap_or(0) as usize,
+                throughput: f64_field(v, "throughput", line)?,
+                memory_bytes: field(v, "memory_bytes", line)?.as_u64().unwrap_or(0) as usize,
+                degradations,
+            })
+        }
+        other => {
+            return Err(HarnessError::Checkpoint(format!(
+                "line {line}: unknown status {other:?}"
+            )))
+        }
+    };
+    Ok(SweepRecord {
+        dataset,
+        algorithm,
+        outcome,
+    })
+}
+
+/// Reads every record of a JSON-lines checkpoint file. A missing file is
+/// an empty checkpoint (fresh sweep), a malformed one a typed error.
+pub fn load_checkpoint(path: &Path) -> Result<Vec<SweepRecord>, HarnessError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(HarnessError::Io(format!("read {}: {e}", path.display()))),
+    };
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = serde_json::from_str(line).map_err(|e| {
+            HarnessError::Checkpoint(format!("line {}: {e}", i + 1))
+        })?;
+        records.push(record_from_json(&value, i + 1)?);
+    }
+    Ok(records)
+}
+
+fn append_checkpoint(path: &Path, record: &SweepRecord) -> Result<(), HarnessError> {
+    let line = serde_json::to_string(&record_to_json(record))
+        .map_err(|e| HarnessError::Checkpoint(e.to_string()))?;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| HarnessError::Io(format!("open {}: {e}", path.display())))?;
+    writeln!(file, "{line}").map_err(|e| HarnessError::Io(format!("write {}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oeb_synth::{generate, registry_scaled};
+
+    fn tiny_datasets() -> Vec<StreamDataset> {
+        let entries = registry_scaled(0.03);
+        ["Electricity Prices", "Power Consumption of Tetouan City"]
+            .iter()
+            .map(|name| {
+                let entry = entries.iter().find(|e| e.spec.name == *name).unwrap();
+                generate(&entry.spec, 0)
+            })
+            .collect()
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("oeb_sweep_{tag}_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    /// Outcome equality that ignores wall-clock fields.
+    fn same_modulo_timing(a: &SweepReport, b: &SweepReport) -> bool {
+        a.records.len() == b.records.len()
+            && a.records.iter().zip(&b.records).all(|(x, y)| {
+                x.dataset == y.dataset
+                    && x.algorithm == y.algorithm
+                    && match (&x.outcome, &y.outcome) {
+                        (RunOutcome::Completed(p), RunOutcome::Completed(q)) => {
+                            let bits = |v: &[f64]| {
+                                v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>()
+                            };
+                            bits(&p.per_window_loss) == bits(&q.per_window_loss)
+                                && p.mean_loss.to_bits() == q.mean_loss.to_bits()
+                                && p.items == q.items
+                                && p.degradations == q.degradations
+                        }
+                        (o1, o2) => o1 == o2,
+                    }
+            })
+    }
+
+    #[test]
+    fn sweep_records_every_pair() {
+        let datasets = tiny_datasets();
+        let algorithms = [Algorithm::NaiveDt, Algorithm::Arf];
+        let report = run_sweep(&datasets, &algorithms, &HarnessConfig::default(), None, None)
+            .unwrap();
+        assert_eq!(report.records.len(), 4);
+        let (completed, inapplicable, failed) = report.counts();
+        // ARF does not apply to the regression dataset.
+        assert_eq!(completed, 3);
+        assert_eq!(inapplicable, 1);
+        assert_eq!(failed, 0);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_all_outcome_kinds() {
+        let path = temp_path("roundtrip");
+        let records = vec![
+            SweepRecord {
+                dataset: "A".into(),
+                algorithm: "Naive(DT)".into(),
+                outcome: RunOutcome::Completed(RunResult {
+                    dataset: "A".into(),
+                    algorithm: "Naive(DT)".into(),
+                    per_window_loss: vec![0.25, f64::NAN, 0.5],
+                    mean_loss: f64::NAN,
+                    train_seconds: 1.5,
+                    test_seconds: 0.5,
+                    items: 100,
+                    throughput: 50.0,
+                    memory_bytes: 4096,
+                    degradations: vec!["window 3: skipped".into()],
+                }),
+            },
+            SweepRecord {
+                dataset: "B".into(),
+                algorithm: "ARF".into(),
+                outcome: RunOutcome::Inapplicable,
+            },
+            SweepRecord {
+                dataset: "C \"quoted\"".into(),
+                algorithm: "EWC".into(),
+                outcome: RunOutcome::Failed {
+                    kind: "panicked".into(),
+                    reason: "index out of bounds: len 3".into(),
+                },
+            },
+        ];
+        for r in &records {
+            append_checkpoint(&path, r).unwrap();
+        }
+        let loaded = load_checkpoint(&path).unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded[1], records[1]);
+        assert_eq!(loaded[2], records[2]);
+        match (&loaded[0].outcome, &records[0].outcome) {
+            (RunOutcome::Completed(a), RunOutcome::Completed(b)) => {
+                assert_eq!(a.per_window_loss[0], b.per_window_loss[0]);
+                assert!(a.per_window_loss[1].is_nan());
+                assert!(a.mean_loss.is_nan());
+                assert_eq!(a.items, b.items);
+                assert_eq!(a.degradations, b.degradations);
+            }
+            _ => panic!("outcome kind changed in roundtrip"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_a_fresh_sweep() {
+        let path = temp_path("missing");
+        assert!(load_checkpoint(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_typed_error() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(matches!(
+            load_checkpoint(&path).unwrap_err(),
+            HarnessError::Checkpoint(_)
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_to_the_same_report() {
+        let datasets = tiny_datasets();
+        let algorithms = [Algorithm::NaiveDt, Algorithm::NaiveGbdt];
+        let cfg = HarnessConfig::default();
+
+        let uninterrupted = run_sweep(&datasets, &algorithms, &cfg, None, None).unwrap();
+        assert_eq!(uninterrupted.records.len(), 4);
+
+        // "Kill" the sweep after two runs, then resume from the checkpoint.
+        let path = temp_path("resume");
+        let partial = run_sweep(&datasets, &algorithms, &cfg, Some(&path), Some(2)).unwrap();
+        assert_eq!(partial.records.len(), 2);
+        let resumed = run_sweep(&datasets, &algorithms, &cfg, Some(&path), None).unwrap();
+        assert!(
+            same_modulo_timing(&resumed, &uninterrupted),
+            "resumed report differs from uninterrupted run"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

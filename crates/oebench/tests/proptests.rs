@@ -56,8 +56,10 @@ proptest! {
     #[test]
     fn classification_losses_are_error_rates(seed in 0u64..30) {
         let d = generate(&tiny_spec(true, seed), seed);
-        let mut cfg = HarnessConfig::default();
-        cfg.learner = LearnerConfig { epochs: 1, ..Default::default() };
+        let cfg = HarnessConfig {
+            learner: LearnerConfig { epochs: 1, ..Default::default() },
+            ..Default::default()
+        };
         let r = run_stream(&d, Algorithm::NaiveDt, &cfg).expect("DT applies");
         for l in &r.per_window_loss {
             prop_assert!((0.0..=1.0).contains(l), "error rate {l} out of range");

@@ -119,7 +119,10 @@ fn nan_sq_dist(a: &[f64], b: &[f64]) -> Option<f64> {
 
 impl Imputer for KnnImputer {
     fn impute(&self, data: &mut Matrix, reference: &Matrix) {
-        assert!(self.k > 0, "k must be positive");
+        // A zero k would silently impute nothing; treat it as k = 1
+        // rather than panicking mid-stream (the harness additionally
+        // rejects k = 0 at configuration time).
+        let k = self.k.max(1);
         let fallback = nan_col_means(reference);
         let n_ref = reference.rows();
         for r in 0..data.rows() {
@@ -151,7 +154,7 @@ impl Imputer for KnnImputer {
                     if v.is_finite() {
                         sum += v;
                         count += 1;
-                        if count == self.k {
+                        if count == k {
                             break;
                         }
                     }
@@ -344,6 +347,51 @@ mod tests {
             "predicted {}",
             data[(0, 1)]
         );
+    }
+
+    #[test]
+    fn zero_k_does_not_panic() {
+        // Regression: k = 0 used to assert; now it behaves as k = 1.
+        let mut data = with_holes();
+        let r = data.clone();
+        KnnImputer { k: 0 }.impute(&mut data, &r);
+        assert!(data.is_finite());
+    }
+
+    #[test]
+    fn all_missing_column_falls_back_without_panic() {
+        // Regression: a column that no row (data or reference) observes
+        // must complete via the column-mean fallback (0.0), not panic.
+        let reference = Matrix::from_rows(&[
+            vec![1.0, f64::NAN, 5.0],
+            vec![2.0, f64::NAN, 6.0],
+            vec![3.0, f64::NAN, 7.0],
+        ]);
+        let mut data = Matrix::from_rows(&[vec![1.5, f64::NAN, f64::NAN]]);
+        for imp in [
+            &KnnImputer { k: 2 } as &dyn Imputer,
+            &MeanImputer,
+            &RegressionImputer::default(),
+            &ZeroImputer,
+        ] {
+            let mut d = data.clone();
+            imp.impute(&mut d, &reference);
+            assert!(d.is_finite(), "{} left NaNs", imp.name());
+            assert_eq!(d[(0, 1)], 0.0, "{} fallback is not 0", imp.name());
+        }
+        KnnImputer { k: 2 }.impute(&mut data, &reference);
+        assert!((data[(0, 2)] - 5.5).abs() < 1e-9, "observed column not knn-filled");
+    }
+
+    #[test]
+    fn zero_variance_column_imputes_the_constant() {
+        // Regression: constant (zero-variance) columns used to be a
+        // divide-by-zero hazard downstream; the imputers themselves must
+        // fill with the constant.
+        let reference = Matrix::from_rows(&[vec![7.0, 1.0], vec![7.0, 2.0], vec![7.0, 3.0]]);
+        let mut data = Matrix::from_rows(&[vec![f64::NAN, 2.5]]);
+        KnnImputer { k: 2 }.impute(&mut data, &reference);
+        assert_eq!(data[(0, 0)], 7.0);
     }
 
     #[test]

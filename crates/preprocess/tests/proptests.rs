@@ -26,8 +26,8 @@ fn holey_matrix() -> impl Strategy<Value = Matrix> {
                 .map(|c| c.unwrap_or(f64::NAN))
                 .collect();
             // Guarantee one observed cell per column so means exist.
-            for c in 0..cols {
-                data[c] = 1.0;
+            for cell in data.iter_mut().take(cols) {
+                *cell = 1.0;
             }
             Matrix::from_vec(rows, cols, data)
         })

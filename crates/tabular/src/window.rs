@@ -34,8 +34,13 @@ pub fn window_ranges(n_rows: usize, size: usize) -> Vec<std::ops::Range<usize>> 
 
 /// Applies a multiplicative factor to a window size (the paper's §6.4.2
 /// sweep multiplies the default window size by {0.25, 0.5, 1, 2, 4}),
-/// keeping the result at least 1.
+/// keeping the result at least 1. A non-finite or non-positive factor
+/// falls back to the unscaled size rather than silently collapsing to 1
+/// through the NaN-as-zero cast.
 pub fn scaled_window(default_size: usize, factor: f64) -> usize {
+    if !factor.is_finite() || factor <= 0.0 {
+        return default_size.max(1);
+    }
     ((default_size as f64 * factor).round() as usize).max(1)
 }
 
@@ -93,5 +98,14 @@ mod tests {
         assert_eq!(scaled_window(100, 0.25), 25);
         assert_eq!(scaled_window(100, 4.0), 400);
         assert_eq!(scaled_window(1, 0.25), 1);
+    }
+
+    #[test]
+    fn scaled_window_rejects_degenerate_factors() {
+        assert_eq!(scaled_window(200, f64::NAN), 200);
+        assert_eq!(scaled_window(200, f64::INFINITY), 200);
+        assert_eq!(scaled_window(200, -1.0), 200);
+        assert_eq!(scaled_window(200, 0.0), 200);
+        assert_eq!(scaled_window(0, f64::NAN), 1);
     }
 }

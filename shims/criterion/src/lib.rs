@@ -55,9 +55,14 @@ impl Criterion {
         self
     }
 
-    /// Runs one standalone benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
-        run_bench(id, self.sample_size, f);
+    /// Runs one standalone benchmark. `id` accepts `&str` and `String`
+    /// (the real crate takes any `IntoBenchmarkId`).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        run_bench(id.as_ref(), self.sample_size, f);
         self
     }
 
@@ -96,8 +101,16 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark inside the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
-        run_bench(&format!("{}/{}", self.name, id), self.sample_size, f);
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        run_bench(
+            &format!("{}/{}", self.name, id.as_ref()),
+            self.sample_size,
+            f,
+        );
         self
     }
 

@@ -170,6 +170,14 @@ impl Value {
         }
     }
 
+    /// Mutable access to the map when the value is an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
     /// True for `null`.
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
@@ -434,9 +442,14 @@ macro_rules! json {
     (null) => { $crate::Value::Null };
     ([]) => { $crate::Value::Array(vec![]) };
     ([ $($tt:tt)+ ]) => {{
-        let mut array: Vec<$crate::Value> = Vec::new();
-        $crate::json_internal!(@array array ($($tt)+));
-        $crate::Value::Array(array)
+        // The token-muncher emits one push per element; `vec![]` cannot
+        // express that incrementally.
+        #[allow(clippy::vec_init_then_push)]
+        {
+            let mut array: Vec<$crate::Value> = Vec::new();
+            $crate::json_internal!(@array array ($($tt)+));
+            $crate::Value::Array(array)
+        }
     }};
     ({}) => { $crate::Value::Object($crate::Map::new()) };
     ({ $($tt:tt)+ }) => {{

@@ -1,22 +1,25 @@
 //! `oebench` — command-line access to the benchmark library: list and
 //! inspect the dataset registry, extract open-environment statistics,
-//! run prequential evaluations, get algorithm recommendations, and
-//! export generated streams as CSV.
+//! run prequential evaluations, run checkpointed sweeps, get algorithm
+//! recommendations, and export generated streams as CSV.
+//!
+//! Exit codes: `0` success, `2` usage errors, `3..=12` the typed
+//! [`oeb_core::HarnessError`] codes (see `CliError`), `1` anything else.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match oebench::cli::parse(&args) {
         Ok(opts) => opts,
-        Err(usage) => {
-            eprintln!("{usage}");
-            std::process::exit(2);
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(e.code);
         }
     };
     match oebench::cli::execute(&opts) {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.code);
         }
     }
 }

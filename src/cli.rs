@@ -10,9 +10,54 @@
 //! ```
 
 use oeb_core::{
-    extract_stats, run_stream, Algorithm, HarnessConfig, Scenario, StatsConfig,
+    extract_stats, run_sweep, try_run_stream, Algorithm, HarnessConfig, HarnessError, Scenario,
+    StatsConfig,
 };
 use oeb_synth::Level;
+
+/// A CLI failure: a message for stderr plus the process exit code.
+///
+/// Codes: `2` usage / bad arguments, `3..=12` the [`HarnessError`]
+/// codes (`3` also covers unknown datasets, which are an invalid
+/// configuration), `1` anything else.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError {
+    pub message: String,
+    pub code: i32,
+}
+
+impl CliError {
+    /// A usage error (exit code 2).
+    pub fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    /// A generic runtime error with an explicit exit code.
+    pub fn new(message: impl Into<String>, code: i32) -> CliError {
+        CliError {
+            message: message.into(),
+            code,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl From<HarnessError> for CliError {
+    fn from(e: HarnessError) -> CliError {
+        CliError {
+            message: e.to_string(),
+            code: e.exit_code(),
+        }
+    }
+}
 
 /// Parsed CLI command.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +74,12 @@ pub enum Command {
     Recommend { name: String },
     /// Export a generated stream to CSV.
     Export { name: String, out: String },
+    /// Checkpointed sweep over the five representative datasets.
+    Sweep {
+        out: String,
+        algorithm: Option<Algorithm>,
+        limit: Option<usize>,
+    },
 }
 
 /// Parsed options shared by all commands.
@@ -51,7 +102,10 @@ commands:\n\
                                icarl, sea-nn, naive-dt, naive-gbdt, sea-dt,\n\
                                sea-gbdt, arf)\n\
   recommend <name>             recommendation from measured statistics\n\
-  export <name> --out <file>   write the generated stream as CSV";
+  export <name> --out <file>   write the generated stream as CSV\n\
+  sweep --out <checkpoint>     checkpointed (dataset x algorithm) sweep over the\n\
+                               five representative datasets; resumes from the\n\
+                               checkpoint file [--algorithm a] [--limit N]";
 
 /// Maps a CLI algorithm slug to an [`Algorithm`].
 pub fn parse_algorithm(slug: &str) -> Option<Algorithm> {
@@ -71,10 +125,11 @@ pub fn parse_algorithm(slug: &str) -> Option<Algorithm> {
 }
 
 /// Parses CLI arguments (without the program name).
-pub fn parse(args: &[String]) -> Result<CliOptions, String> {
+pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
     let mut positional: Vec<&str> = Vec::new();
     let mut algorithm: Option<Algorithm> = None;
     let mut out: Option<String> = None;
+    let mut limit: Option<usize> = None;
     let mut scale = 0.25f64;
     let mut seed = 0u64;
     let mut i = 0;
@@ -86,28 +141,35 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                     .get(i)
                     .and_then(|v| v.parse().ok())
                     .filter(|&v: &f64| v > 0.0 && v <= 1.0)
-                    .ok_or_else(|| format!("--scale needs a value in (0, 1]\n{USAGE}"))?;
+                    .ok_or_else(|| {
+                        CliError::usage(format!("--scale needs a value in (0, 1]\n{USAGE}"))
+                    })?;
             }
             "--seed" => {
                 i += 1;
                 seed = args
                     .get(i)
                     .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| format!("--seed needs an integer\n{USAGE}"))?;
+                    .ok_or_else(|| CliError::usage(format!("--seed needs an integer\n{USAGE}")))?;
             }
             "--algorithm" => {
                 i += 1;
-                let slug = args.get(i).ok_or_else(|| USAGE.to_string())?;
-                algorithm =
-                    Some(parse_algorithm(slug).ok_or_else(|| {
-                        format!("unknown algorithm {slug:?}\n{USAGE}")
-                    })?);
+                let slug = args.get(i).ok_or_else(|| CliError::usage(USAGE))?;
+                algorithm = Some(parse_algorithm(slug).ok_or_else(|| {
+                    CliError::usage(format!("unknown algorithm {slug:?}\n{USAGE}"))
+                })?);
             }
             "--out" => {
                 i += 1;
-                out = Some(args.get(i).ok_or_else(|| USAGE.to_string())?.clone());
+                out = Some(args.get(i).ok_or_else(|| CliError::usage(USAGE))?.clone());
             }
-            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--limit" => {
+                i += 1;
+                limit = Some(args.get(i).and_then(|v| v.parse().ok()).ok_or_else(|| {
+                    CliError::usage(format!("--limit needs an integer\n{USAGE}"))
+                })?);
+            }
+            "--help" | "-h" => return Err(CliError::usage(USAGE)),
             other => positional.push(other),
         }
         i += 1;
@@ -122,16 +184,22 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         },
         Some((&"run", [name])) => Command::Run {
             name: name.to_string(),
-            algorithm: algorithm.ok_or_else(|| format!("run needs --algorithm\n{USAGE}"))?,
+            algorithm: algorithm
+                .ok_or_else(|| CliError::usage(format!("run needs --algorithm\n{USAGE}")))?,
         },
         Some((&"recommend", [name])) => Command::Recommend {
             name: name.to_string(),
         },
         Some((&"export", [name])) => Command::Export {
             name: name.to_string(),
-            out: out.ok_or_else(|| format!("export needs --out\n{USAGE}"))?,
+            out: out.ok_or_else(|| CliError::usage(format!("export needs --out\n{USAGE}")))?,
         },
-        _ => return Err(USAGE.to_string()),
+        Some((&"sweep", [])) => Command::Sweep {
+            out: out.ok_or_else(|| CliError::usage(format!("sweep needs --out\n{USAGE}")))?,
+            algorithm,
+            limit,
+        },
+        _ => return Err(CliError::usage(USAGE)),
     };
     Ok(CliOptions {
         command,
@@ -140,17 +208,20 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
     })
 }
 
-fn find_entry(name: &str, scale: f64) -> Result<oeb_synth::DatasetEntry, String> {
+fn find_entry(name: &str, scale: f64) -> Result<oeb_synth::DatasetEntry, CliError> {
     oeb_synth::registry_scaled(scale)
         .into_iter()
         .find(|e| e.spec.name.eq_ignore_ascii_case(name) || e.selected == Some(name))
         .ok_or_else(|| {
-            format!("unknown dataset {name:?}; use `oebench list` to see the registry")
+            CliError::new(
+                format!("unknown dataset {name:?}; use `oebench list` to see the registry"),
+                3,
+            )
         })
 }
 
 /// Executes a parsed command, returning the text to print.
-pub fn execute(opts: &CliOptions) -> Result<String, String> {
+pub fn execute(opts: &CliOptions) -> Result<String, CliError> {
     match &opts.command {
         Command::List => {
             let mut out = String::from("name | task | domain | paper rows | bench rows | window\n");
@@ -226,10 +297,11 @@ pub fn execute(opts: &CliOptions) -> Result<String, String> {
         Command::Run { name, algorithm } => {
             let entry = find_entry(name, opts.scale)?;
             let d = oeb_synth::generate(&entry.spec, opts.seed);
-            let mut cfg = HarnessConfig::default();
-            cfg.seed = opts.seed;
-            let result = run_stream(&d, *algorithm, &cfg)
-                .ok_or_else(|| format!("{} does not apply to {:?}", algorithm.name(), d.task))?;
+            let cfg = HarnessConfig {
+                seed: opts.seed,
+                ..Default::default()
+            };
+            let result = try_run_stream(&d, *algorithm, &cfg)?;
             let curve: Vec<String> = result
                 .per_window_loss
                 .iter()
@@ -289,12 +361,53 @@ pub fn execute(opts: &CliOptions) -> Result<String, String> {
             let entry = find_entry(name, opts.scale)?;
             let d = oeb_synth::generate(&entry.spec, opts.seed);
             let csv = oeb_tabular::write_table(&d.table);
-            std::fs::write(out, &csv).map_err(|e| format!("cannot write {out}: {e}"))?;
+            std::fs::write(out, &csv)
+                .map_err(|e| CliError::from(HarnessError::Io(format!("cannot write {out}: {e}"))))?;
             Ok(format!(
                 "wrote {} rows x {} columns to {out}\n",
                 d.n_rows(),
                 d.table.n_cols(),
             ))
+        }
+        Command::Sweep {
+            out,
+            algorithm,
+            limit,
+        } => {
+            let datasets: Vec<_> = oeb_synth::selected_five()
+                .into_iter()
+                .map(|e| oeb_synth::generate(&e.spec.scaled(opts.scale), opts.seed))
+                .collect();
+            let algorithms: Vec<Algorithm> = match algorithm {
+                Some(a) => vec![*a],
+                None => Algorithm::all().to_vec(),
+            };
+            let cfg = HarnessConfig {
+                seed: opts.seed,
+                ..Default::default()
+            };
+            let report = run_sweep(
+                &datasets,
+                &algorithms,
+                &cfg,
+                Some(std::path::Path::new(out)),
+                *limit,
+            )?;
+            let (completed, inapplicable, failed) = report.counts();
+            let mut text = String::new();
+            for record in &report.records {
+                text.push_str(&format!(
+                    "{} | {} | {}\n",
+                    record.dataset,
+                    record.algorithm,
+                    record.outcome.describe(),
+                ));
+            }
+            text.push_str(&format!(
+                "{completed} completed, {inapplicable} inapplicable, {failed} failed; \
+                 checkpoint: {out}\n",
+            ));
+            Ok(text)
         }
     }
 }
@@ -400,5 +513,73 @@ mod tests {
     fn unknown_dataset_is_an_error() {
         let o = parse(&s(&["inspect", "not-a-dataset"])).unwrap();
         assert!(execute(&o).is_err());
+    }
+
+    #[test]
+    fn errors_carry_distinct_exit_codes() {
+        // Usage errors exit 2.
+        assert_eq!(parse(&s(&["run", "ROOM"])).unwrap_err().code, 2);
+        assert_eq!(parse(&s(&["--scale", "7", "list"])).unwrap_err().code, 2);
+        // Unknown dataset is an invalid configuration (3).
+        let o = parse(&s(&["stats", "not-a-dataset"])).unwrap();
+        assert_eq!(execute(&o).unwrap_err().code, 3);
+        // An inapplicable (algorithm, task) pair maps NotApplicable (4).
+        let o = parse(&s(&["run", "AIR", "--algorithm", "arf", "--scale", "0.02"])).unwrap();
+        assert_eq!(execute(&o).unwrap_err().code, 4);
+    }
+
+    #[test]
+    fn parses_sweep_with_options() {
+        let o = parse(&s(&[
+            "sweep",
+            "--out",
+            "ckpt.jsonl",
+            "--algorithm",
+            "naive-dt",
+            "--limit",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(
+            o.command,
+            Command::Sweep {
+                out: "ckpt.jsonl".into(),
+                algorithm: Some(Algorithm::NaiveDt),
+                limit: Some(3),
+            }
+        );
+        assert!(parse(&s(&["sweep"])).is_err(), "sweep requires --out");
+    }
+
+    #[test]
+    fn sweep_checkpoints_and_resumes() {
+        let path = std::env::temp_dir().join(format!("oeb_cli_sweep_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let args = s(&[
+            "sweep",
+            "--out",
+            path.to_str().unwrap(),
+            "--algorithm",
+            "dt",
+            "--scale",
+            "0.02",
+        ]);
+
+        // Interrupt after two runs: the partial report stops early.
+        let mut limited = parse(&args).unwrap();
+        if let Command::Sweep { limit, .. } = &mut limited.command {
+            *limit = Some(2);
+        }
+        let partial = execute(&limited).unwrap();
+        assert_eq!(partial.lines().count(), 3); // 2 records + summary
+
+        // Resume from the checkpoint: all five datasets are reported and
+        // the two checkpointed runs are not repeated.
+        let full = execute(&parse(&args).unwrap()).unwrap();
+        assert_eq!(full.lines().count(), 6); // 5 records + summary
+        assert!(full.contains("5 completed, 0 inapplicable, 0 failed"));
+        let checkpoint = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(checkpoint.lines().count(), 5, "no pair is run twice");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -39,6 +39,7 @@ pub mod cli;
 
 pub use oeb_core as core;
 pub use oeb_drift as drift;
+pub use oeb_faults as faults;
 pub use oeb_linalg as linalg;
 pub use oeb_nn as nn;
 pub use oeb_outlier as outlier;
@@ -50,10 +51,12 @@ pub use oeb_tree as tree;
 /// The most common imports for working with the benchmark.
 pub mod prelude {
     pub use oeb_core::{
-        extract_stats, recommend, run_seeds, run_stream, select_representatives, Algorithm,
-        HarnessConfig, ImputerChoice, LearnerConfig, OeStats, OutlierRemoval, RunResult,
-        Scenario, StatsConfig, StreamLearner,
+        extract_stats, recommend, run_seeds, run_stream, run_sweep, select_representatives,
+        try_run_stream, Algorithm, DegradePolicy, HarnessConfig, HarnessError, ImputerChoice,
+        LearnerConfig, OeStats, OutlierRemoval, RunOutcome, RunResult, Scenario, StatsConfig,
+        StreamLearner, SweepReport,
     };
+    pub use oeb_faults::{FaultInjector, FaultKind, FaultLog, FaultPlan};
     pub use oeb_linalg::Matrix;
     pub use oeb_synth::{generate, registry, registry_scaled, selected_five, Level, StreamSpec};
     pub use oeb_tabular::{Domain, StreamDataset, Task};
