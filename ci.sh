@@ -1,9 +1,23 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build, full test suite, clippy with warnings as
-# errors. Run from the repo root.
+# errors, formatting, a parallel-executor smoke run, and the sweep
+# benchmark artifact. Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check
+
+# Smoke: the staged pipeline + parallel executor end to end (Table 4 at
+# a tiny scale, four workers).
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release -p oeb-bench --bin repro -- table4 \
+    --scale 0.05 --seeds 1 --threads 4 --out "$smoke_dir"
+
+# Benchmark artifact: staged (shared prepare + worker pool) vs the
+# per-cell sequential baseline over the five-dataset sweep.
+cargo run --release -p oeb-bench --bin bench_sweep -- \
+    --scale 0.10 --seeds 3 --threads 4 --out BENCH_sweep.json

@@ -21,9 +21,7 @@ fn bench_prequential_run(c: &mut Criterion) {
     group.sample_size(10);
     for alg in [Algorithm::NaiveDt, Algorithm::NaiveNn, Algorithm::SeaGbdt] {
         group.bench_function(alg.name(), |b| {
-            b.iter(|| {
-                std::hint::black_box(run_stream(&d, alg, &HarnessConfig::default()))
-            })
+            b.iter(|| std::hint::black_box(run_stream(&d, alg, &HarnessConfig::default())))
         });
     }
     group.finish();

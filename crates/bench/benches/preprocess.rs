@@ -5,8 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use oeb_linalg::Matrix;
 use oeb_preprocess::{
-    Imputer, KnnImputer, MeanImputer, OneHotEncoder, RegressionImputer, StandardScaler,
-    ZeroImputer,
+    Imputer, KnnImputer, MeanImputer, OneHotEncoder, RegressionImputer, StandardScaler, ZeroImputer,
 };
 use oeb_tabular::{Column, Field, Schema, Table};
 
@@ -22,7 +21,13 @@ fn table(rows: usize) -> Table {
             Column::Numeric((0..rows).map(|i| (i % 37) as f64).collect()),
             Column::Numeric(
                 (0..rows)
-                    .map(|i| if i % 9 == 0 { f64::NAN } else { (i % 13) as f64 })
+                    .map(|i| {
+                        if i % 9 == 0 {
+                            f64::NAN
+                        } else {
+                            (i % 13) as f64
+                        }
+                    })
                     .collect(),
             ),
             Column::Categorical((0..rows).map(|i| Some((i % 4) as u32)).collect()),

@@ -1,0 +1,232 @@
+//! Wall-clock comparison of the staged sweep pipeline against the
+//! unshared baseline, emitted as `BENCH_sweep.json`.
+//!
+//! Both sides evaluate the identical (dataset x algorithm x seed) grid
+//! over the five representative datasets:
+//!
+//! * **baseline** — the pre-refactor per-run cost model: every cell
+//!   regenerates its dataset and prepares its own stream (each learner
+//!   re-ran generation, imputation, and scaling) and runs sequentially;
+//! * **staged** — cells share generated datasets and
+//!   [`PreparedStream`](oeb_core::PreparedStream) artifacts through the
+//!   synth and prepare caches and fan out across the worker pool.
+//!
+//! The learner configuration is deliberately light (one epoch, small
+//! network, single-member ensembles) so the comparison measures the
+//! pipeline stages being shared, not network training throughput;
+//! preprocessing runs the paper's full pipeline (KNN imputation + ECOD
+//! outlier removal) at a dense window factor on both sides.
+//!
+//! Usage: `bench_sweep [--scale F] [--seeds N] [--threads N] [--out FILE]`
+
+use oeb_core::{
+    evaluate_prepared, prepare_stream, resolve_threads, run_sweep, Algorithm, HarnessConfig,
+    OutlierRemoval, RunResult,
+};
+use oeb_synth::StreamSpec;
+use std::time::Instant;
+
+struct Options {
+    scale: f64,
+    n_seeds: usize,
+    threads: Option<usize>,
+    out: String,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let usage = "usage: bench_sweep [--scale F] [--seeds N] [--threads N] [--out FILE]";
+    let mut opts = Options {
+        scale: 0.10,
+        n_seeds: 3,
+        threads: None,
+        out: "BENCH_sweep.json".into(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &f64| v > 0.0 && v <= 1.0)
+                    .ok_or(format!("--scale needs a value in (0, 1]\n{usage}"))?;
+            }
+            "--seeds" => {
+                i += 1;
+                opts.n_seeds = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &usize| v >= 1)
+                    .ok_or(format!("--seeds needs a positive integer\n{usage}"))?;
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&v: &usize| v >= 1)
+                        .ok_or(format!("--threads needs a positive integer\n{usage}"))?,
+                );
+            }
+            "--out" => {
+                i += 1;
+                opts.out = args
+                    .get(i)
+                    .cloned()
+                    .ok_or(format!("--out needs a path\n{usage}"))?;
+            }
+            _ => return Err(usage.to_string()),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// The paper's full preprocessing pipeline (KNN imputation — the
+/// [`HarnessConfig`] default — plus ECOD outlier removal) with a light
+/// learner. Both sides of the comparison use this identical
+/// configuration.
+fn bench_config(seed: u64) -> HarnessConfig {
+    let mut cfg = HarnessConfig {
+        seed,
+        outlier_removal: OutlierRemoval::Ecod,
+        window_factor: 0.25,
+        ..Default::default()
+    };
+    cfg.learner.epochs = 1;
+    cfg.learner.hidden = vec![8];
+    cfg.learner.ensemble_size = 1;
+    cfg.learner.buffer_size = 20;
+    cfg
+}
+
+/// The pre-refactor cost model: every cell regenerates its dataset and
+/// runs one full prepare of its own — no sharing, sequential. This is
+/// what `run_seeds`/`run_matrix` did before the synth and prepare
+/// caches: each (dataset, algorithm, seed) run called
+/// `oeb_synth::generate` and re-ran the whole preprocessing pipeline.
+fn run_baseline(
+    specs: &[StreamSpec],
+    algorithms: &[Algorithm],
+    seeds: &[u64],
+) -> (Vec<RunResult>, f64, f64, f64) {
+    let mut results = Vec::new();
+    let (mut generate_seconds, mut prepare_seconds, mut evaluate_seconds) = (0.0, 0.0, 0.0);
+    for &seed in seeds {
+        let cfg = bench_config(seed);
+        for spec in specs {
+            for &alg in algorithms {
+                let t = Instant::now();
+                let dataset = oeb_synth::generate(spec, 0);
+                generate_seconds += t.elapsed().as_secs_f64();
+                let t = Instant::now();
+                let prepared = prepare_stream(&dataset, &cfg);
+                prepare_seconds += t.elapsed().as_secs_f64();
+                if let Ok(prepared) = prepared {
+                    let t = Instant::now();
+                    let run = evaluate_prepared(&prepared, alg, &cfg);
+                    evaluate_seconds += t.elapsed().as_secs_f64();
+                    if let Ok(r) = run {
+                        results.push(r);
+                    }
+                }
+            }
+        }
+    }
+    (results, generate_seconds, prepare_seconds, evaluate_seconds)
+}
+
+/// The staged pipeline: each dataset generated once, shared prepare
+/// artifacts, parallel executor.
+fn run_staged(
+    specs: &[StreamSpec],
+    algorithms: &[Algorithm],
+    seeds: &[u64],
+    threads: usize,
+) -> Vec<RunResult> {
+    let datasets: Vec<_> = specs
+        .iter()
+        .map(|spec| oeb_synth::generate(spec, 0))
+        .collect();
+    let mut results = Vec::new();
+    for &seed in seeds {
+        let cfg = bench_config(seed);
+        let report = run_sweep(&datasets, algorithms, &cfg, None, None, threads)
+            .expect("default config is valid");
+        results.extend(report.completed().map(|(_, r)| r.clone()));
+    }
+    results
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let threads = resolve_threads(opts.threads);
+    let seeds: Vec<u64> = (0..opts.n_seeds as u64).collect();
+    let algorithms = Algorithm::all().to_vec();
+    let specs: Vec<StreamSpec> = oeb_synth::selected_five()
+        .into_iter()
+        .map(|e| e.spec.scaled(opts.scale))
+        .collect();
+    eprintln!(
+        "[bench_sweep] {} datasets x {} algorithms x {} seeds, {} threads",
+        specs.len(),
+        algorithms.len(),
+        seeds.len(),
+        threads
+    );
+
+    // Staged side first, so its caches start cold and it pays the
+    // first-generate/first-prepare costs itself; the baseline bypasses
+    // the caches entirely.
+    let started = Instant::now();
+    let staged = run_staged(&specs, &algorithms, &seeds, threads);
+    let staged_seconds = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    let (baseline, generate_seconds, prepare_seconds, evaluate_seconds) =
+        run_baseline(&specs, &algorithms, &seeds);
+    let baseline_seconds = started.elapsed().as_secs_f64();
+
+    assert_eq!(
+        staged.len(),
+        baseline.len(),
+        "staged and baseline grids must complete the same cells"
+    );
+    let speedup = baseline_seconds / staged_seconds.max(1e-9);
+    let json = serde_json::json!({
+        "benchmark": "five-dataset sweep, staged pipeline vs per-cell sequential baseline",
+        "scale": opts.scale,
+        "seeds": seeds.len() as u64,
+        "threads": threads as u64,
+        "algorithms": algorithms.len() as u64,
+        "datasets": specs.len() as u64,
+        "cells_completed": staged.len() as u64,
+        "baseline_seconds": baseline_seconds,
+        "baseline_generate_seconds": generate_seconds,
+        "baseline_prepare_seconds": prepare_seconds,
+        "baseline_evaluate_seconds": evaluate_seconds,
+        "staged_seconds": staged_seconds,
+        "speedup": speedup,
+    });
+    std::fs::write(
+        &opts.out,
+        serde_json::to_string_pretty(&json).expect("json serialises"),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    });
+    eprintln!(
+        "[bench_sweep] baseline {baseline_seconds:.2}s, staged {staged_seconds:.2}s \
+         ({speedup:.2}x) -> {}",
+        opts.out
+    );
+}

@@ -20,11 +20,7 @@ use oeb_core::LinePlot;
 /// Extracts a float series from a JSON array (nulls = diverged = NaN).
 fn json_floats(v: &serde_json::Value) -> Vec<f64> {
     v.as_array()
-        .map(|a| {
-            a.iter()
-                .map(|x| x.as_f64().unwrap_or(f64::NAN))
-                .collect()
-        })
+        .map(|a| a.iter().map(|x| x.as_f64().unwrap_or(f64::NAN)).collect())
         .unwrap_or_default()
 }
 
@@ -50,7 +46,12 @@ pub fn render_figures(out: &ExperimentOutput) -> Vec<(String, String)> {
         "fig7" => {
             let markers: Vec<usize> = out.json["drift_windows"]
                 .as_array()
-                .map(|a| a.iter().filter_map(|v| v.as_u64()).map(|v| v as usize).collect())
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|v| v.as_u64())
+                        .map(|v| v as usize)
+                        .collect()
+                })
                 .unwrap_or_default();
             vec![(
                 "fig7.svg".into(),
@@ -90,8 +91,7 @@ pub fn render_figures(out: &ExperimentOutput) -> Vec<(String, String)> {
                     Some((_, plot)) => plot.series.push(oeb_core::Series { label, values }),
                     None => {
                         let title = format!("{} — {}", out.title, dataset);
-                        by_dataset
-                            .push((dataset, LinePlot::new(title).series(label, values)));
+                        by_dataset.push((dataset, LinePlot::new(title).series(label, values)));
                     }
                 }
             }
@@ -120,6 +120,9 @@ pub struct ReproOptions {
     pub n_seeds: usize,
     /// Output directory for artifacts.
     pub out_dir: String,
+    /// Worker threads for parallel experiment grids; `None` falls back
+    /// to `OEBENCH_THREADS` and then the machine's parallelism.
+    pub threads: Option<usize>,
 }
 
 impl Default for ReproOptions {
@@ -129,13 +132,15 @@ impl Default for ReproOptions {
             scale: 0.10,
             n_seeds: 3,
             out_dir: "results".into(),
+            threads: None,
         }
     }
 }
 
 /// Parses `repro` CLI arguments. Returns `Err(usage)` on bad input.
 pub fn parse_args(args: &[String]) -> Result<ReproOptions, String> {
-    let usage = "usage: repro [<exp-id>... | all] [--scale F] [--seeds N] [--out DIR]\n\
+    let usage =
+        "usage: repro [<exp-id>... | all] [--scale F] [--seeds N] [--out DIR] [--threads N]\n\
                  experiment ids: table2 table3 fig2..fig19 table4/5/6/9/10/13";
     let mut opts = ReproOptions {
         experiments: Vec::new(),
@@ -167,6 +172,15 @@ pub fn parse_args(args: &[String]) -> Result<ReproOptions, String> {
                     .cloned()
                     .ok_or(format!("--out needs a path\n{usage}"))?;
             }
+            "--threads" => {
+                i += 1;
+                opts.threads = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&v: &usize| v >= 1)
+                        .ok_or(format!("--threads needs a positive integer\n{usage}"))?,
+                );
+            }
             "--help" | "-h" => return Err(usage.to_string()),
             id => {
                 if id != "all" && !ALL_EXPERIMENTS.contains(&id) {
@@ -194,6 +208,9 @@ pub fn run_repro(opts: &ReproOptions) -> std::io::Result<Vec<ExperimentOutput>> 
         scale: opts.scale,
         seeds: (0..opts.n_seeds as u64).collect(),
     };
+    // Deep call sites (run_matrix's experiment grid) resolve their
+    // worker count through this process-wide default.
+    oeb_core::set_default_threads(opts.threads);
     fs::create_dir_all(&opts.out_dir)?;
     let mut stats_cache: Option<Vec<OeStats>> = None;
     let mut outputs = Vec::with_capacity(ids.len());
@@ -244,6 +261,14 @@ mod tests {
     }
 
     #[test]
+    fn parses_threads() {
+        let o = parse_args(&s(&["table4", "--threads", "4"])).unwrap();
+        assert_eq!(o.threads, Some(4));
+        assert!(parse_args(&s(&["table4", "--threads", "0"])).is_err());
+        assert!(parse_args(&s(&["table4", "--threads"])).is_err());
+    }
+
+    #[test]
     fn rejects_unknown_experiment() {
         assert!(parse_args(&s(&["table99"])).is_err());
     }
@@ -273,6 +298,7 @@ mod tests {
             scale: 0.02,
             n_seeds: 1,
             out_dir: dir.to_string_lossy().into_owned(),
+            threads: None,
         };
         let outputs = run_repro(&opts).unwrap();
         assert_eq!(outputs.len(), 1);

@@ -200,7 +200,10 @@ mod tests {
                 post_drifts += 1;
             }
         }
-        assert!(post_drifts <= 1, "{post_drifts} drifts after baseline reset");
+        assert!(
+            post_drifts <= 1,
+            "{post_drifts} drifts after baseline reset"
+        );
     }
 
     #[test]

@@ -95,10 +95,24 @@ impl KdqPartition {
             dim,
             at,
             left: Box::new(Self::split(
-                data, &left_idx, depth + 1, lo, &hi_left, min_count, max_depth, n_leaves,
+                data,
+                &left_idx,
+                depth + 1,
+                lo,
+                &hi_left,
+                min_count,
+                max_depth,
+                n_leaves,
             )),
             right: Box::new(Self::split(
-                data, &right_idx, depth + 1, &lo_right, hi, min_count, max_depth, n_leaves,
+                data,
+                &right_idx,
+                depth + 1,
+                &lo_right,
+                hi,
+                min_count,
+                max_depth,
+                n_leaves,
             )),
         }
     }
@@ -199,7 +213,10 @@ impl BatchDriftDetector for KdqTreeDetector {
                 .collect();
             let ma = Matrix::from_rows(&a);
             let mb = Matrix::from_rows(&b);
-            divergences.push(kl_divergence(&partition.occupancy(&ma), &partition.occupancy(&mb)));
+            divergences.push(kl_divergence(
+                &partition.occupancy(&ma),
+                &partition.occupancy(&mb),
+            ));
         }
         let threshold = oeb_linalg::quantile(&divergences, self.quantile);
         let warn_threshold = oeb_linalg::quantile(&divergences, self.quantile * 0.95);
@@ -238,8 +255,7 @@ mod tests {
                     .map(|_| {
                         let u1: f64 = rng.gen::<f64>().max(1e-12);
                         let u2: f64 = rng.gen();
-                        mean + (-2.0 * u1.ln()).sqrt()
-                            * (std::f64::consts::TAU * u2).cos()
+                        mean + (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
                     })
                     .collect()
             })

@@ -187,7 +187,11 @@ mod tests {
 
     fn window(rng: &mut StdRng, shift: f64, n: usize, d: usize) -> Matrix {
         let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| (0..d).map(|j| rng.gen::<f64>() * (j + 1) as f64 + shift).collect())
+            .map(|_| {
+                (0..d)
+                    .map(|j| rng.gen::<f64>() * (j + 1) as f64 + shift)
+                    .collect()
+            })
             .collect();
         Matrix::from_rows(&rows)
     }

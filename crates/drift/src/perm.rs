@@ -141,13 +141,7 @@ mod tests {
         let ys: Vec<f64> = xs
             .iter()
             .enumerate()
-            .map(|(i, &x)| {
-                if i < 140 {
-                    2.0 * x
-                } else {
-                    -2.0 * x + 40.0
-                }
-            })
+            .map(|(i, &x)| if i < 140 { 2.0 * x } else { -2.0 * x + 40.0 })
             .collect();
         let outcome = perm_test(n, &PermConfig::default(), linear_train_eval(&xs, &ys));
         assert_eq!(outcome.state, DriftState::Drift);

@@ -4,7 +4,7 @@
 
 use oeb_drift::{
     Adwin, BatchDriftDetector, Cdbd, ConceptDriftDetector, Ddm, Eddm, Hdddm, HddmA,
-    KdqTreeDetector, KsDetector, PcaCd, PageHinkley,
+    KdqTreeDetector, KsDetector, PageHinkley, PcaCd,
 };
 use oeb_linalg::Matrix;
 use proptest::prelude::*;

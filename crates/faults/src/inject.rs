@@ -361,13 +361,15 @@ mod tests {
         // drawn — that is what makes checkpoint/resume reproducible.
         let frames = toy_frames(10, 6, 3);
         let plan = FaultPlan::chaos(7);
-        let full = drain(FaultInjector::new(FrameVec::new(frames.clone()), plan.clone()));
+        let full = drain(FaultInjector::new(
+            FrameVec::new(frames.clone()),
+            plan.clone(),
+        ));
         let tail = drain(FaultInjector::new(
             FrameVec::new(frames[4..].to_vec()),
             plan,
         ));
-        let full_tail: Vec<WindowFrame> =
-            full.iter().filter(|f| f.index >= 4).cloned().collect();
+        let full_tail: Vec<WindowFrame> = full.iter().filter(|f| f.index >= 4).cloned().collect();
         assert!(streams_bit_eq(&full_tail, &tail));
     }
 

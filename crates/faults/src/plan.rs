@@ -147,10 +147,7 @@ impl FaultPlan {
     pub fn validate(&self) -> Result<(), String> {
         for (kind, rate) in self.rates() {
             if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
-                return Err(format!(
-                    "{} rate {rate} outside [0, 1]",
-                    kind.name()
-                ));
+                return Err(format!("{} rate {rate} outside [0, 1]", kind.name()));
             }
         }
         Ok(())

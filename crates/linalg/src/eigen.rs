@@ -24,7 +24,11 @@ pub struct Eigen {
 /// # Panics
 /// Panics if the matrix is not square.
 pub fn symmetric_eigen(m: &Matrix) -> Eigen {
-    assert_eq!(m.rows(), m.cols(), "eigendecomposition requires a square matrix");
+    assert_eq!(
+        m.rows(),
+        m.cols(),
+        "eigendecomposition requires a square matrix"
+    );
     let n = m.rows();
     let mut a = m.clone();
     let mut v = Matrix::identity(n);
@@ -147,10 +151,7 @@ mod tests {
                 let vj = e.vectors.col(j);
                 let d = dot(&vi, &vj);
                 let expected = if i == j { 1.0 } else { 0.0 };
-                assert!(
-                    (d - expected).abs() < 1e-8,
-                    "columns {i},{j} dot = {d}"
-                );
+                assert!((d - expected).abs() < 1e-8, "columns {i},{j} dot = {d}");
             }
         }
     }

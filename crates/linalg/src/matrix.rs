@@ -162,9 +162,7 @@ impl Matrix {
     /// Matrix–vector product `self * v`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|r| dot(self.row(r), v))
-            .collect()
+        (0..self.rows).map(|r| dot(self.row(r), v)).collect()
     }
 
     /// Element-wise in-place scaling.

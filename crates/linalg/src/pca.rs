@@ -62,7 +62,11 @@ impl Pca {
 
     /// Projects a single sample into the component space.
     pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
-        assert_eq!(row.len(), self.mean.len(), "pca transform dimension mismatch");
+        assert_eq!(
+            row.len(),
+            self.mean.len(),
+            "pca transform dimension mismatch"
+        );
         let centered: Vec<f64> = row.iter().zip(&self.mean).map(|(x, m)| x - m).collect();
         (0..self.n_components())
             .map(|j| {

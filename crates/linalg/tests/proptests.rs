@@ -11,10 +11,12 @@ fn small_f64() -> impl Strategy<Value = f64> {
     prop_oneof![-100.0..100.0f64, -1.0..1.0f64]
 }
 
-fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+fn matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
-        prop::collection::vec(small_f64(), r * c)
-            .prop_map(move |data| Matrix::from_vec(r, c, data))
+        prop::collection::vec(small_f64(), r * c).prop_map(move |data| Matrix::from_vec(r, c, data))
     })
 }
 

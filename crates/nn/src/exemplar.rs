@@ -97,7 +97,10 @@ impl ExemplarBuffer {
 /// Greedy herding: picks up to `quota` members whose representation mean
 /// best tracks the group mean.
 fn herd(model: &Mlp, pool: &[Vec<f64>], members: &[usize], quota: usize) -> Vec<usize> {
-    let reprs: Vec<Vec<f64>> = members.iter().map(|&i| model.hidden_repr(&pool[i])).collect();
+    let reprs: Vec<Vec<f64>> = members
+        .iter()
+        .map(|&i| model.hidden_repr(&pool[i]))
+        .collect();
     let dim = reprs.first().map(Vec::len).unwrap_or(0);
     if dim == 0 {
         return members.iter().take(quota).copied().collect();

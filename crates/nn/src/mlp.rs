@@ -270,9 +270,7 @@ impl Mlp {
                         let soft_cur = softmax(&out.iter().map(|v| v / T).collect::<Vec<_>>());
                         let soft_prev =
                             softmax(&prev_out.iter().map(|v| v / T).collect::<Vec<_>>());
-                        for ((d, &sc), &sp) in
-                            delta.iter_mut().zip(&soft_cur).zip(&soft_prev)
-                        {
+                        for ((d, &sc), &sp) in delta.iter_mut().zip(&soft_cur).zip(&soft_prev) {
                             // d/dz of T^2 * CE(soft_prev, softmax(z/T)).
                             *d += lambda * T * (sc - sp);
                         }
@@ -610,9 +608,8 @@ mod tests {
         let t = softmax(&teacher.forward(&probe));
         let p = softmax(&plain.forward(&probe));
         let d = softmax(&distilled.forward(&probe));
-        let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let dist =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         assert!(dist(&t, &d) < dist(&t, &p) + 1e-9);
     }
 

@@ -101,7 +101,10 @@ impl std::fmt::Display for HarnessError {
                 write!(f, "{algorithm} does not apply to {task}")
             }
             HarnessError::InsufficientWindows { found } => {
-                write!(f, "prequential evaluation needs at least 2 windows, found {found}")
+                write!(
+                    f,
+                    "prequential evaluation needs at least 2 windows, found {found}"
+                )
             }
             HarnessError::EmptyStream => write!(f, "no window survived the stream"),
             HarnessError::SchemaMismatch {

@@ -1,0 +1,154 @@
+//! Deterministic work-stealing executor for sweep cells.
+//!
+//! A sweep is an embarrassingly parallel grid of (dataset, algorithm,
+//! seed) cells, but OEBench's results must be reproducible: running the
+//! same sweep with 1 or 16 workers has to produce the same report. The
+//! executor gets both properties by separating *scheduling* from
+//! *ordering*: workers claim cell indices from a shared atomic counter
+//! (natural work stealing — a worker stuck on a slow neural-network cell
+//! simply claims fewer cells), and every result lands in the slot of its
+//! cell index, so collection order is the cell order no matter which
+//! worker ran what. Each cell seeds its own RNGs from its coordinates,
+//! never from worker identity, making the computation itself
+//! schedule-independent.
+//!
+//! Thread-count resolution (strongest first): an explicit `--threads N`,
+//! the process-wide default installed by [`set_default_threads`] (the
+//! CLI layer sets this so deep call sites like the experiment drivers
+//! inherit the flag), the `OEBENCH_THREADS` environment variable, and
+//! finally [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide default worker count; 0 means "not set".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs a process-wide default worker count (the CLI's `--threads`
+/// flag). `None` or `Some(0)` clears it back to auto-detection.
+pub fn set_default_threads(threads: Option<usize>) {
+    DEFAULT_THREADS.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Resolves the worker count: `explicit` beats the
+/// [`set_default_threads`] default, which beats `OEBENCH_THREADS`, which
+/// beats the machine's available parallelism. Always at least 1.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        if n > 0 {
+            return n;
+        }
+    }
+    let default = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if default > 0 {
+        return default;
+    }
+    if let Some(n) = std::env::var("OEBENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `0..n` on up to `threads` workers and returns the
+/// results in index order.
+///
+/// Workers claim indices from a shared counter (work stealing by
+/// construction) and deposit each result in its index's slot, so the
+/// output is identical to `(0..n).map(f).collect()` whenever `f(i)`
+/// depends only on `i` — the parallel sweep stays bit-identical to the
+/// sequential one. `f` must not panic: a panicking worker aborts the
+/// scope (callers wanting isolation catch panics inside `f`, as
+/// `run_isolated` does).
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        let seq = parallel_map(64, 1, |i| i * i);
+        let par = parallel_map(64, 4, |i| i * i);
+        assert_eq!(seq, par);
+        assert_eq!(par[10], 100);
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        assert_eq!(parallel_map(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn uneven_work_is_stolen_not_blocked() {
+        // One slow item must not serialize the rest: with 2 workers the
+        // 15 fast items all complete while the slow one runs.
+        let out = parallel_map(16, 2, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn explicit_threads_beat_everything() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        // Zero means "unset", falling through to the next source.
+        assert!(resolve_threads(Some(0)) >= 1);
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn default_threads_are_consulted_when_no_explicit_value() {
+        set_default_threads(Some(5));
+        assert_eq!(resolve_threads(None), 5);
+        assert_eq!(resolve_threads(Some(2)), 2);
+        set_default_threads(None);
+        assert!(resolve_threads(None) >= 1);
+    }
+}

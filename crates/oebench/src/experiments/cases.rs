@@ -37,7 +37,11 @@ pub fn fig4(ctx: &ExpContext) -> ExperimentOutput {
             series[slot].push(1.0 - col.missing_ratio());
         }
     }
-    let mut t = TextTable::new(vec!["Window", "feature 0 valid ratio", "feature 1 valid ratio"]);
+    let mut t = TextTable::new(vec![
+        "Window",
+        "feature 0 valid ratio",
+        "feature 1 valid ratio",
+    ]);
     for (w, _) in windows.iter().enumerate() {
         t.row(vec![
             w.to_string(),

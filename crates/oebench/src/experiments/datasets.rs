@@ -65,7 +65,9 @@ pub fn table2(ctx: &ExpContext) -> ExperimentOutput {
 
 /// The drift / anomaly / missing level labels of each dataset, assigned
 /// by quartile across the collection.
-pub fn level_labels(stats: &[OeStats]) -> (Vec<&'static str>, Vec<&'static str>, Vec<&'static str>) {
+pub fn level_labels(
+    stats: &[OeStats],
+) -> (Vec<&'static str>, Vec<&'static str>, Vec<&'static str>) {
     let drift: Vec<f64> = stats
         .iter()
         .map(|s| (s.drift_score() + s.concept_score()) / 2.0)
@@ -137,7 +139,13 @@ pub fn fig2(ctx: &ExpContext, stats: &[OeStats]) -> ExperimentOutput {
     let sel = select_representatives(stats, 5, 42);
     let group_names = ["basic", "missing", "data-drift", "concept-drift", "outlier"];
     let mut t = TextTable::new(vec![
-        "Dataset", "Cluster", "Representative", "Task", "missing-xyz", "drift-xyz", "outlier-xyz",
+        "Dataset",
+        "Cluster",
+        "Representative",
+        "Task",
+        "missing-xyz",
+        "drift-xyz",
+        "outlier-xyz",
     ]);
     let mut rows_json = Vec::new();
     for (i, s) in stats.iter().enumerate() {
@@ -145,7 +153,11 @@ pub fn fig2(ctx: &ExpContext, stats: &[OeStats]) -> ExperimentOutput {
             let row = sel.group_coords[g].row(i);
             format!("({:.2}, {:.2}, {:.2})", row[0], row[1], row[2])
         };
-        let rep = if sel.representatives.contains(&i) { "*" } else { "" };
+        let rep = if sel.representatives.contains(&i) {
+            "*"
+        } else {
+            ""
+        };
         t.row(vec![
             s.name.clone(),
             sel.assignments[i].to_string(),
@@ -190,22 +202,30 @@ pub fn fig3(ctx: &ExpContext, stats: &[OeStats]) -> ExperimentOutput {
         .map(|(i, _)| i)
         .collect();
 
-    let score =
-        |name: &str, s: &OeStats| -> f64 {
-            match name {
-                "missing" => s.missing_score(),
-                "drift" => s.drift_score(),
-                "concept" => s.concept_score(),
-                _ => s.anomaly_score(),
-            }
-        };
+    let score = |name: &str, s: &OeStats| -> f64 {
+        match name {
+            "missing" => s.missing_score(),
+            "drift" => s.drift_score(),
+            "concept" => s.concept_score(),
+            _ => s.anomaly_score(),
+        }
+    };
     let mut t = TextTable::new(vec![
-        "Statistic", "Group", "min", "q1", "median", "q3", "max",
+        "Statistic",
+        "Group",
+        "min",
+        "q1",
+        "median",
+        "q3",
+        "max",
     ]);
     let mut json_rows = Vec::new();
     for stat_name in ["missing", "drift", "concept", "anomaly"] {
         let all: Vec<f64> = stats.iter().map(|s| score(stat_name, s)).collect();
-        let sel: Vec<f64> = selected_idx.iter().map(|&i| score(stat_name, &stats[i])).collect();
+        let sel: Vec<f64> = selected_idx
+            .iter()
+            .map(|&i| score(stat_name, &stats[i]))
+            .collect();
         for (group, values) in [("explored", &all), ("selected", &sel)] {
             let f = five_number(values);
             t.row(vec![
@@ -281,7 +301,11 @@ pub fn table13(ctx: &ExpContext) -> ExperimentOutput {
         } else {
             "X -> Y"
         };
-        let freq = if stats.drift_score() > 0.25 { "HIGH" } else { "LOW" };
+        let freq = if stats.drift_score() > 0.25 {
+            "HIGH"
+        } else {
+            "LOW"
+        };
         t.row(vec![
             name.to_string(),
             mechanism.to_string(),
@@ -316,7 +340,10 @@ mod tests {
     #[test]
     fn table2_matches_paper_histogram() {
         let out = table2(&tiny_ctx());
-        assert_eq!(out.json["size_histogram"], serde_json::json!([13, 17, 13, 12]));
+        assert_eq!(
+            out.json["size_histogram"],
+            serde_json::json!([13, 17, 13, 12])
+        );
         assert!(out.text.contains("OEBench-rs"));
     }
 

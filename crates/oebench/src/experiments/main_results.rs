@@ -55,37 +55,44 @@ pub fn run_matrix(
         return cached.clone();
     }
 
-    let mut cells = Vec::with_capacity(entries.len() * algorithms.len());
-    for entry in entries {
-        for &alg in algorithms {
-            let cfg = HarnessConfig::default();
-            let (summary, results) = run_seeds(
-                |seed| oeb_synth::generate(&entry.spec, seed),
-                alg,
-                &cfg,
-                &ctx.seeds,
-            );
-            let throughput = if results.is_empty() {
-                0.0
-            } else {
-                results.iter().map(|r| r.throughput).sum::<f64>() / results.len() as f64
-            };
-            let memory_kb = if results.is_empty() {
-                0.0
-            } else {
-                results.iter().map(|r| r.memory_bytes as f64).sum::<f64>()
-                    / results.len() as f64
-                    / 1024.0
-            };
-            cells.push(MatrixCell {
-                dataset: entry.spec.name.clone(),
-                algorithm: alg,
-                summary,
-                throughput,
-                memory_kb,
-            });
+    // Fan the (dataset x algorithm) grid across workers; collection is
+    // in grid order, so the matrix is identical for every worker count.
+    // Workers crossing the same dataset share its prepared stream
+    // through the prepare cache instead of preprocessing it per learner.
+    let threads = crate::executor::resolve_threads(None);
+    let grid: Vec<(usize, usize)> = (0..entries.len())
+        .flat_map(|e| (0..algorithms.len()).map(move |a| (e, a)))
+        .collect();
+    let cells = crate::executor::parallel_map(grid.len(), threads, |i| {
+        let (e, a) = grid[i];
+        let (entry, alg) = (&entries[e], algorithms[a]);
+        let cfg = HarnessConfig::default();
+        let (summary, results) = run_seeds(
+            |seed| oeb_synth::generate_cached(&entry.spec, seed),
+            alg,
+            &cfg,
+            &ctx.seeds,
+        );
+        let throughput = if results.is_empty() {
+            0.0
+        } else {
+            results.iter().map(|r| r.throughput).sum::<f64>() / results.len() as f64
+        };
+        let memory_kb = if results.is_empty() {
+            0.0
+        } else {
+            results.iter().map(|r| r.memory_bytes as f64).sum::<f64>()
+                / results.len() as f64
+                / 1024.0
+        };
+        MatrixCell {
+            dataset: entry.spec.name.clone(),
+            algorithm: alg,
+            summary,
+            throughput,
+            memory_kb,
         }
-    }
+    });
     let arc = Arc::new(cells);
     CACHE
         .lock()
@@ -268,7 +275,14 @@ pub fn fig9(ctx: &ExpContext, stats: &[OeStats]) -> ExperimentOutput {
         "Medium high" => oeb_synth::Level::MediumHigh,
         _ => oeb_synth::Level::High,
     };
-    let mut t = TextTable::new(vec!["Dataset", "Task", "Drift", "Anomaly", "Missing", "Recommended"]);
+    let mut t = TextTable::new(vec![
+        "Dataset",
+        "Task",
+        "Drift",
+        "Anomaly",
+        "Missing",
+        "Recommended",
+    ]);
     let mut rows_json = Vec::new();
     for (i, e) in registry.iter().enumerate() {
         let scenario = crate::recommend::Scenario {

@@ -11,6 +11,7 @@ pub mod sweeps;
 use crate::stats::{extract_stats, OeStats, StatsConfig};
 use oeb_synth::DatasetEntry;
 use oeb_tabular::StreamDataset;
+use std::sync::Arc;
 
 /// Shared experiment context.
 #[derive(Debug, Clone)]
@@ -48,9 +49,11 @@ impl ExpContext {
             .collect()
     }
 
-    /// Generates a dataset from an entry with the given seed.
-    pub fn dataset(&self, entry: &DatasetEntry, seed: u64) -> StreamDataset {
-        oeb_synth::generate(&entry.spec, seed)
+    /// Generates a dataset from an entry with the given seed, through
+    /// the process-wide generation cache: experiments touching the same
+    /// (spec, seed) share one materialized dataset.
+    pub fn dataset(&self, entry: &DatasetEntry, seed: u64) -> Arc<StreamDataset> {
+        oeb_synth::generate_cached(&entry.spec, seed)
     }
 
     /// Extracts open-environment statistics for every registry dataset

@@ -30,7 +30,7 @@ fn sweep(
         for &alg in algorithms {
             for (variant, cfg) in variants {
                 let (summary, results) = run_seeds(
-                    |seed| oeb_synth::generate(&entry.spec, seed),
+                    |seed| oeb_synth::generate_cached(&entry.spec, seed),
                     alg,
                     cfg,
                     &ctx.seeds,
@@ -38,8 +38,7 @@ fn sweep(
                 let train_seconds = if results.is_empty() {
                     0.0
                 } else {
-                    results.iter().map(|r| r.train_seconds).sum::<f64>()
-                        / results.len() as f64
+                    results.iter().map(|r| r.train_seconds).sum::<f64>() / results.len() as f64
                 };
                 cells.push(SweepCell {
                     dataset: entry
@@ -299,7 +298,8 @@ fn curve_experiment<V>(
     let mut text = String::new();
     let mut json_rows = Vec::new();
     for (entry, alg) in targets {
-        let dataset = oeb_synth::generate(&entry.spec, ctx.seeds.first().copied().unwrap_or(0));
+        let dataset =
+            oeb_synth::generate_cached(&entry.spec, ctx.seeds.first().copied().unwrap_or(0));
         for v in variants {
             let mut cfg = HarnessConfig::default();
             apply(&mut cfg, v);
@@ -410,7 +410,12 @@ pub fn fig19(ctx: &ExpContext) -> ExperimentOutput {
     let names: Vec<String> = variants.iter().map(|(n, _)| n.clone()).collect();
     let algs = [Algorithm::NaiveGbdt, Algorithm::SeaNn, Algorithm::SeaDt];
     let cells = sweep(ctx, &entries, &algs, &variants);
-    sweep_output("fig19", "Test error / loss vs ensemble size", &names, &cells)
+    sweep_output(
+        "fig19",
+        "Test error / loss vs ensemble size",
+        &names,
+        &cells,
+    )
 }
 
 /// Table 10: training wall-clock per epochs setting for the NN family,

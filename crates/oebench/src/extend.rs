@@ -209,8 +209,7 @@ mod tests {
             let rows: Vec<Vec<f64>> = range
                 .clone()
                 .map(|r| {
-                    d.table
-                        .numeric_row(r)[..4]
+                    d.table.numeric_row(r)[..4]
                         .iter()
                         .map(|&v| if v.is_finite() { v } else { 0.0 })
                         .collect()
@@ -219,7 +218,11 @@ mod tests {
             let ys: Vec<f64> = range.clone().map(|r| d.target_at(r)).collect();
             learner.train_window(&Matrix::from_rows(&rows), &ys);
         }
-        assert!(learner.n_resets <= 2, "{} spurious resets", learner.n_resets);
+        assert!(
+            learner.n_resets <= 2,
+            "{} spurious resets",
+            learner.n_resets
+        );
         assert!(baseline.mean_loss.is_finite());
     }
 }

@@ -9,8 +9,16 @@
 //! the per-window losses. The harness also records wall-clock train/test
 //! time (Table 5 / Table 10) and peak model memory (Table 6).
 //!
-//! The harness consumes [`WindowFrame`]s from any
-//! [`FrameSource`](oeb_faults::FrameSource) — in particular a
+//! Since the staged-pipeline refactor this module holds the public run
+//! API and its configuration types; the actual work happens in two
+//! stages in [`crate::prepare`]: [`prepare_cached`](crate::prepare::prepare_cached)
+//! materializes a shared, immutable [`PreparedStream`](crate::prepare::PreparedStream)
+//! per (dataset, seed, preprocessing config), and
+//! [`evaluate_prepared`](crate::prepare::evaluate_prepared) runs one
+//! learner over it. [`try_run_stream`] is the composition of the two.
+//!
+//! The harness consumes [`WindowFrame`](oeb_faults::WindowFrame)s from
+//! any [`FrameSource`](oeb_faults::FrameSource) — in particular a
 //! [`FaultInjector`](oeb_faults::FaultInjector)-wrapped stream — and
 //! degrades gracefully on hostile input per [`DegradePolicy`] instead of
 //! panicking: malformed windows can be skipped, imputation falls back to
@@ -18,19 +26,13 @@
 //! reset a bounded number of times.
 
 use crate::error::HarnessError;
-use crate::learners::{Algorithm, LearnerConfig, StreamLearner};
-use oeb_faults::{DatasetFrames, FaultInjector, FaultPlan, FrameSource, WindowFrame};
+use crate::learners::{Algorithm, LearnerConfig};
+use crate::prepare::{evaluate_prepared, prepare_cached, prepare_from_source};
+use oeb_faults::{FaultPlan, FrameSource};
 use oeb_linalg::Matrix;
-use oeb_outlier::{flag_by_sigma, Ecod, IForestConfig, IsolationForest};
-use oeb_preprocess::{
-    Imputer, KnnImputer, MeanImputer, RegressionImputer, StandardScaler, TargetScaler,
-    ZeroImputer,
-};
+use oeb_preprocess::{Imputer, KnnImputer, MeanImputer, RegressionImputer, ZeroImputer};
 use oeb_tabular::{StreamDataset, Task};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use std::time::Instant;
+use std::sync::Arc;
 
 /// Which imputer fills missing values before testing/training (§6.6).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,7 +48,7 @@ pub enum ImputerChoice {
 }
 
 impl ImputerChoice {
-    fn build(&self) -> Box<dyn Imputer> {
+    pub(crate) fn build(&self) -> Box<dyn Imputer> {
         match self {
             ImputerChoice::Knn(k) => Box::new(KnnImputer { k: *k }),
             ImputerChoice::Regression => Box::new(RegressionImputer::default()),
@@ -256,78 +258,23 @@ pub fn run_stream(
 
 /// Runs one `(dataset, algorithm)` pair, reporting failures as typed
 /// [`HarnessError`]s instead of panicking or silently returning `None`.
+///
+/// Composition of the two pipeline stages: the prepared stream comes
+/// from the keyed cache, so consecutive runs differing only in the
+/// learner (a sweep cell's ten algorithms, `run_seeds` callers) share
+/// one preprocessing pass.
 pub fn try_run_stream(
     dataset: &StreamDataset,
     algorithm: Algorithm,
     config: &HarnessConfig,
 ) -> Result<RunResult, HarnessError> {
     config.validate()?;
-    let dataset = if config.shuffle {
-        let mut order: Vec<usize> = (0..dataset.n_rows()).collect();
-        let mut rng = StdRng::seed_from_u64(config.seed ^ SHUFFLE_SEED);
-        order.shuffle(&mut rng);
-        std::borrow::Cow::Owned(dataset.permuted(&order))
-    } else {
-        std::borrow::Cow::Borrowed(dataset)
-    };
-    let dataset: &StreamDataset = &dataset;
-
-    // Select the feature columns, possibly discarding the most-missing.
-    let mut feature_cols = dataset.feature_cols();
-    if config.discard_most_missing > 0 {
-        feature_cols.sort_by(|&a, &b| {
-            let ra = dataset.table.column(a).missing_ratio();
-            let rb = dataset.table.column(b).missing_ratio();
-            ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let keep = feature_cols
-            .len()
-            .saturating_sub(config.discard_most_missing)
-            .max(1);
-        feature_cols.truncate(keep);
-        feature_cols.sort_unstable();
-    }
-
-    let mut frames = DatasetFrames::new(dataset, &feature_cols, config.window_factor);
-    let input_dim = frames.width();
-    let found = frames.n_windows();
-    if found < 2 {
-        return Err(HarnessError::InsufficientWindows { found });
-    }
-
-    // Oracle imputation reference: the whole encoded stream.
-    let oracle_reference = if config.oracle_imputation {
-        Some(frames.encoder().encode_all(&dataset.table))
-    } else {
-        None
-    };
-
-    match &config.fault_plan {
-        Some(plan) => {
-            let mut injected = FaultInjector::new(frames, plan.clone());
-            try_run_frames(
-                &mut injected,
-                dataset.task,
-                &dataset.name,
-                algorithm,
-                config,
-                oracle_reference.as_ref(),
-                Some(input_dim),
-            )
-        }
-        None => try_run_frames(
-            &mut frames,
-            dataset.task,
-            &dataset.name,
-            algorithm,
-            config,
-            oracle_reference.as_ref(),
-            Some(input_dim),
-        ),
-    }
+    let prepared = prepare_cached(dataset, config)?;
+    evaluate_prepared(&prepared, algorithm, config)
 }
 
-/// Runs the prequential protocol over an arbitrary frame source.
+/// Runs the prequential protocol over an arbitrary frame source
+/// (uncached — the source is consumed).
 ///
 /// `expected_dim` fixes the feature width the learner is built for; when
 /// `None` the first frame defines it. Frames with a different width are
@@ -342,234 +289,25 @@ pub fn try_run_frames<S: FrameSource>(
     expected_dim: Option<usize>,
 ) -> Result<RunResult, HarnessError> {
     config.validate()?;
-    let policy = config.degrade;
-    let imputer = config.imputer.build();
-    let mut learner_cfg = config.learner.clone();
-    learner_cfg.seed = learner_cfg.seed.wrapping_add(config.seed);
-
-    let mut expected = expected_dim;
-    let mut learner: Option<Box<dyn StreamLearner>> = None;
-    let mut scaler: Option<StandardScaler> = None;
-    let mut target_scaler: Option<TargetScaler> = None;
-    let mut reference_rows: Vec<Vec<f64>> = Vec::new();
-    let mut per_window_loss = Vec::new();
-    let mut degradations: Vec<String> = Vec::new();
-    let mut resets = 0usize;
-    // Windows that entered the pipeline (the old loop's positional `k`):
-    // window 0 is the warm-up, every later one is tested before training.
-    let mut seen = 0usize;
-    let mut train_seconds = 0.0;
-    let mut test_seconds = 0.0;
-    let mut items = 0usize;
-    let mut memory_peak = 0usize;
-
-    while let Some(frame) = source.next_frame() {
-        let dim = *expected.get_or_insert_with(|| frame.cols());
-        if frame.cols() != dim {
-            if policy.skip_bad_windows {
-                degradations.push(format!(
-                    "window {}: skipped, schema mismatch ({} columns, expected {dim})",
-                    frame.index,
-                    frame.cols()
-                ));
-                continue;
-            }
-            return Err(HarnessError::SchemaMismatch {
-                window: frame.index,
-                expected: dim,
-                got: frame.cols(),
-            });
-        }
-        if frame.rows() != frame.targets.len() {
-            if policy.skip_bad_windows {
-                degradations.push(format!(
-                    "window {}: skipped, {} rows vs {} targets",
-                    frame.index,
-                    frame.rows(),
-                    frame.targets.len()
-                ));
-                continue;
-            }
-            return Err(HarnessError::InvalidConfig(format!(
-                "window {}: {} feature rows but {} targets",
-                frame.index,
-                frame.rows(),
-                frame.targets.len()
-            )));
-        }
-        if frame.rows() == 0 {
-            continue;
-        }
-
-        let is_first = seen == 0;
-        let WindowFrame {
-            index,
-            features: mut feats,
-            mut targets,
-        } = frame;
-
-        // Warm-up window enters the imputation reference raw (§6.1);
-        // later windows enter imputed, below.
-        if is_first {
-            push_reference(&mut reference_rows, &feats, config.reference_cap);
-        }
-        impute_window(
-            imputer.as_ref(),
-            &mut feats,
-            oracle_reference,
-            &reference_rows,
-        );
-        if !feats.is_finite() {
-            if policy.imputer_fallback {
-                let reference = if reference_rows.is_empty() {
-                    feats.clone()
-                } else {
-                    Matrix::from_rows(&reference_rows)
-                };
-                MeanImputer.impute(&mut feats, &reference);
-                if !feats.is_finite() {
-                    ZeroImputer.impute(&mut feats, &reference);
-                }
-                degradations.push(format!(
-                    "window {index}: {} left non-finite cells, fell back to mean/zero",
-                    imputer.name()
-                ));
-            } else if policy.skip_bad_windows {
-                degradations.push(format!(
-                    "window {index}: skipped, {} left non-finite cells",
-                    imputer.name()
-                ));
-                continue;
-            } else {
-                return Err(HarnessError::ImputationFailed {
-                    window: index,
-                    detail: format!("{} left non-finite cells", imputer.name()),
-                });
-            }
-        }
-
-        if is_first {
-            // First-window statistics fix the scalers for the whole run.
-            scaler = Some(StandardScaler::fit(&feats));
-            target_scaler = match task {
-                Task::Regression => Some(TargetScaler::fit(&targets)),
-                Task::Classification { .. } => None,
-            };
-            learner = Some(algorithm.make(task, dim, &learner_cfg).ok_or_else(|| {
-                HarnessError::NotApplicable {
-                    algorithm: algorithm.name().to_string(),
-                    task: format!("{task:?}"),
-                }
-            })?);
-        } else {
-            push_reference(&mut reference_rows, &feats, config.reference_cap);
-        }
-
-        scaler.as_ref().expect("scaler set on warm-up").transform(&mut feats);
-        if let Some(ts) = &target_scaler {
-            for t in &mut targets {
-                *t = ts.transform(*t);
-            }
-        }
-
-        // Optional outlier removal before test and train (§6.8).
-        let (feats, targets) = match config.outlier_removal {
-            OutlierRemoval::None => (feats, targets),
-            OutlierRemoval::Ecod => {
-                let scores = Ecod::fit(&feats).score_all(&feats);
-                retain_unflagged(feats, targets, &scores)
-            }
-            OutlierRemoval::IForest => {
-                let forest = IsolationForest::fit(
-                    &feats,
-                    &IForestConfig {
-                        n_trees: 25,
-                        seed: config.seed ^ index as u64,
-                        ..Default::default()
-                    },
-                );
-                let scores = forest.score_all(&feats);
-                retain_unflagged(feats, targets, &scores)
-            }
-        };
-        if feats.rows() == 0 {
-            seen += 1;
-            continue;
-        }
-
-        let model = learner.as_mut().expect("learner set on warm-up");
-        if seen > 0 {
-            // Test phase.
-            let start = Instant::now();
-            let mut loss = 0.0;
-            for r in 0..feats.rows() {
-                let pred = model.predict(feats.row(r));
-                loss += match task {
-                    Task::Classification { .. } => f64::from(pred != targets[r]),
-                    Task::Regression => (pred - targets[r]).powi(2),
-                };
-            }
-            test_seconds += start.elapsed().as_secs_f64();
-            let window_loss = loss / feats.rows() as f64;
-            if !window_loss.is_finite() && policy.reset_on_nonfinite {
-                resets += 1;
-                if resets > policy.max_retries {
-                    return Err(HarnessError::NonFiniteLoss {
-                        window: index,
-                        retries: policy.max_retries,
-                    });
-                }
-                degradations.push(format!(
-                    "window {index}: non-finite loss, model reset ({resets}/{})",
-                    policy.max_retries
-                ));
-                *model = algorithm
-                    .make(task, dim, &learner_cfg)
-                    .expect("algorithm applied on warm-up");
-            } else {
-                per_window_loss.push(window_loss);
-                items += feats.rows();
-            }
-        }
-
-        // Train phase.
-        let start = Instant::now();
-        model.train_window(&feats, &targets);
-        train_seconds += start.elapsed().as_secs_f64();
-        items += feats.rows();
-        memory_peak = memory_peak.max(model.memory_bytes());
-        seen += 1;
-    }
-
-    let learner = match learner {
-        Some(l) => l,
-        None => return Err(HarnessError::EmptyStream),
-    };
-    let mean_loss = if per_window_loss.is_empty() {
-        f64::NAN
-    } else {
-        per_window_loss.iter().sum::<f64>() / per_window_loss.len() as f64
-    };
-    let elapsed = (train_seconds + test_seconds).max(1e-9);
-    Ok(RunResult {
-        dataset: dataset_name.to_string(),
-        algorithm: learner.name().to_string(),
-        per_window_loss,
-        mean_loss,
-        train_seconds,
-        test_seconds,
-        items,
-        throughput: items as f64 / elapsed,
-        memory_bytes: memory_peak,
-        degradations,
-    })
+    let prepared = prepare_from_source(
+        source,
+        task,
+        dataset_name,
+        config,
+        oracle_reference,
+        expected_dim,
+    )?;
+    evaluate_prepared(&prepared, algorithm, config)
 }
 
 /// Runs the same pair for several seeds; returns (mean, std) of the valid
 /// mean losses and the individual results. The paper repeats every
 /// experiment three times.
+///
+/// The closure returns an [`Arc`] so per-seed datasets can come straight
+/// from [`oeb_synth::generate_cached`] without cloning the table.
 pub fn run_seeds(
-    dataset_for_seed: impl Fn(u64) -> StreamDataset,
+    dataset_for_seed: impl Fn(u64) -> Arc<StreamDataset>,
     algorithm: Algorithm,
     config: &HarnessConfig,
     seeds: &[u64],
@@ -596,57 +334,10 @@ pub fn run_seeds(
     (summary, results)
 }
 
-fn impute_window(
-    imputer: &dyn Imputer,
-    window: &mut Matrix,
-    oracle: Option<&Matrix>,
-    reference_rows: &[Vec<f64>],
-) {
-    let has_missing = window.as_slice().iter().any(|x| !x.is_finite());
-    if !has_missing {
-        return;
-    }
-    match oracle {
-        Some(full) => imputer.impute(window, full),
-        None => {
-            let reference = if reference_rows.is_empty() {
-                window.clone()
-            } else {
-                Matrix::from_rows(reference_rows)
-            };
-            imputer.impute(window, &reference);
-        }
-    }
-}
-
-fn push_reference(reference: &mut Vec<Vec<f64>>, window: &Matrix, cap: usize) {
-    for r in 0..window.rows() {
-        reference.push(window.row(r).to_vec());
-    }
-    if reference.len() > cap {
-        let excess = reference.len() - cap;
-        reference.drain(..excess);
-    }
-}
-
-fn retain_unflagged(feats: Matrix, targets: Vec<f64>, scores: &[f64]) -> (Matrix, Vec<f64>) {
-    let flags = flag_by_sigma(scores, 3.0);
-    let keep: Vec<usize> = (0..feats.rows()).filter(|&r| !flags[r]).collect();
-    if keep.len() == feats.rows() {
-        return (feats, targets);
-    }
-    let rows: Vec<Vec<f64>> = keep.iter().map(|&r| feats.row(r).to_vec()).collect();
-    let ys: Vec<f64> = keep.iter().map(|&r| targets[r]).collect();
-    (Matrix::from_rows(&rows), ys)
-}
-
-/// Seed salt for the Figure 15 shuffled baseline (ASCII "shuf").
-const SHUFFLE_SEED: u64 = 0x73687566;
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oeb_faults::FrameVec;
+    use oeb_faults::{FrameVec, WindowFrame};
     use oeb_synth::{generate, registry_scaled};
 
     fn small_dataset(kind: &str) -> StreamDataset {
@@ -758,7 +449,10 @@ mod tests {
         let d = generate(&spec, 0);
         assert!(run_stream(&d, Algorithm::NaiveDt, &HarnessConfig::default()).is_none());
         let err = try_run_stream(&d, Algorithm::NaiveDt, &HarnessConfig::default()).unwrap_err();
-        assert!(matches!(err, HarnessError::InsufficientWindows { found: 1 }));
+        assert!(matches!(
+            err,
+            HarnessError::InsufficientWindows { found: 1 }
+        ));
     }
 
     #[test]
@@ -819,7 +513,7 @@ mod tests {
                     .iter()
                     .find(|e| e.spec.name == "Electricity Prices")
                     .unwrap();
-                generate(&entry.spec, seed)
+                oeb_synth::generate_cached(&entry.spec, seed)
             },
             Algorithm::NaiveDt,
             &HarnessConfig::default(),
@@ -964,8 +658,8 @@ mod tests {
         let task = Task::Classification { n_classes: 2 };
         let cfg = HarnessConfig::default();
         let mut src = FrameVec::new(frames.clone());
-        let r = try_run_frames(&mut src, task, "toy", Algorithm::NaiveDt, &cfg, None, None)
-            .unwrap();
+        let r =
+            try_run_frames(&mut src, task, "toy", Algorithm::NaiveDt, &cfg, None, None).unwrap();
         assert_eq!(r.per_window_loss.len(), 1); // window 1 skipped
         assert_eq!(r.degradations.len(), 1);
 
@@ -974,8 +668,16 @@ mod tests {
             ..Default::default()
         };
         let mut src = FrameVec::new(frames);
-        let err = try_run_frames(&mut src, task, "toy", Algorithm::NaiveDt, &strict, None, None)
-            .unwrap_err();
+        let err = try_run_frames(
+            &mut src,
+            task,
+            "toy",
+            Algorithm::NaiveDt,
+            &strict,
+            None,
+            None,
+        )
+        .unwrap_err();
         assert!(matches!(err, HarnessError::InvalidConfig(_)));
     }
 }

@@ -294,8 +294,7 @@ impl StreamLearner for IcarlNn {
         // Window plus replayed exemplars.
         let (train_x, train_y) = match self.buffer.as_training_data() {
             Some((bx, by)) => {
-                let mut rows: Vec<Vec<f64>> =
-                    (0..xs.rows()).map(|r| xs.row(r).to_vec()).collect();
+                let mut rows: Vec<Vec<f64>> = (0..xs.rows()).map(|r| xs.row(r).to_vec()).collect();
                 rows.extend((0..bx.rows()).map(|r| bx.row(r).to_vec()));
                 let mut targets = ys.to_vec();
                 targets.extend(by);
@@ -540,19 +539,15 @@ impl Algorithm {
             Algorithm::Ewc => Box::new(EwcNn::new(task, input_dim, cfg)),
             Algorithm::Lwf => Box::new(LwfNn::new(task, input_dim, cfg)),
             Algorithm::Icarl => Box::new(IcarlNn::new(task, input_dim, cfg)),
-            Algorithm::SeaNn => {
-                Box::new(SeaLearner::new(BaseKind::Nn, task, input_dim, cfg))
-            }
+            Algorithm::SeaNn => Box::new(SeaLearner::new(BaseKind::Nn, task, input_dim, cfg)),
             Algorithm::NaiveDt => Box::new(NaiveDt::new(task, &cfg)),
             Algorithm::NaiveGbdt => Box::new(NaiveGbdt::new(task, &cfg)),
-            Algorithm::SeaDt => {
-                Box::new(SeaLearner::new(BaseKind::Dt, task, input_dim, cfg))
+            Algorithm::SeaDt => Box::new(SeaLearner::new(BaseKind::Dt, task, input_dim, cfg)),
+            Algorithm::SeaGbdt => Box::new(SeaLearner::new(BaseKind::Gbdt, task, input_dim, cfg)),
+            Algorithm::Arf => {
+                return ArfLearner::new(task, input_dim, &cfg)
+                    .map(|l| Box::new(l) as Box<dyn StreamLearner>)
             }
-            Algorithm::SeaGbdt => {
-                Box::new(SeaLearner::new(BaseKind::Gbdt, task, input_dim, cfg))
-            }
-            Algorithm::Arf => return ArfLearner::new(task, input_dim, &cfg)
-                .map(|l| Box::new(l) as Box<dyn StreamLearner>),
         })
     }
 }
@@ -609,18 +604,16 @@ mod tests {
     fn trained_learners_beat_chance_on_separable_data() {
         let (xs, ys, task) = toy_clf();
         for alg in [Algorithm::NaiveNn, Algorithm::NaiveDt, Algorithm::NaiveGbdt] {
-            let mut learner = alg.make(task, xs.cols(), &LearnerConfig::default()).unwrap();
+            let mut learner = alg
+                .make(task, xs.cols(), &LearnerConfig::default())
+                .unwrap();
             for _ in 0..3 {
                 learner.train_window(&xs, &ys);
             }
             let correct = (0..xs.rows())
                 .filter(|&r| learner.predict(xs.row(r)) == ys[r])
                 .count();
-            assert!(
-                correct > 230,
-                "{}: {correct}/256 correct",
-                learner.name()
-            );
+            assert!(correct > 230, "{}: {correct}/256 correct", learner.name());
         }
     }
 

@@ -13,11 +13,13 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod error;
+pub mod executor;
 pub mod experiments;
 pub mod extend;
 pub mod harness;
 pub mod learners;
 pub mod plot;
+pub mod prepare;
 pub mod prequential;
 pub mod probe;
 pub mod recommend;
@@ -28,6 +30,7 @@ pub mod stats;
 pub mod sweep;
 
 pub use error::HarnessError;
+pub use executor::{parallel_map, resolve_threads, set_default_threads};
 pub use extend::DriftResetLearner;
 pub use harness::{
     run_seeds, run_stream, try_run_frames, try_run_stream, DegradePolicy, HarnessConfig,
@@ -35,6 +38,10 @@ pub use harness::{
 };
 pub use learners::{Algorithm, LearnerConfig, StreamLearner};
 pub use plot::{LinePlot, Series};
+pub use prepare::{
+    evaluate_prepared, prepare_cached, prepare_from_source, prepare_stream, PreparedStream,
+    PreparedWindow,
+};
 pub use prequential::{
     prequential_dataset, prequential_items, try_prequential_dataset, try_prequential_items,
     IncrementalClassifier, PrequentialResult,

@@ -163,7 +163,11 @@ impl LinePlot {
             for (i, &v) in s.values.iter().enumerate() {
                 if v.is_finite() {
                     let cmd = if pen_down { 'L' } else { 'M' };
-                    path.push_str(&format!("{cmd}{:.1},{:.1} ", x_of(i), y_of(v.clamp(y_lo, y_hi))));
+                    path.push_str(&format!(
+                        "{cmd}{:.1},{:.1} ",
+                        x_of(i),
+                        y_of(v.clamp(y_lo, y_hi))
+                    ));
                     pen_down = true;
                 } else {
                     pen_down = false;
@@ -217,7 +221,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -243,7 +249,13 @@ mod tests {
             .render();
         // Two pen-down segments -> two M commands inside one path.
         let path = svg.split("<path").nth(1).unwrap();
-        let d = path.split("d=\"").nth(1).unwrap().split('"').next().unwrap();
+        let d = path
+            .split("d=\"")
+            .nth(1)
+            .unwrap()
+            .split('"')
+            .next()
+            .unwrap();
         assert_eq!(d.matches('M').count(), 2);
     }
 

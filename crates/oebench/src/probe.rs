@@ -158,9 +158,7 @@ mod tests {
 
     #[test]
     fn nb_skips_nan_features() {
-        let rows: Vec<Vec<f64>> = (0..100)
-            .map(|i| vec![(i % 2) as f64 * 4.0, 0.5])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 2) as f64 * 4.0, 0.5]).collect();
         let ys: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
         let nb = GaussianNb::fit(&Matrix::from_rows(&rows), &ys, 2);
         assert_eq!(nb.predict(&[4.0, f64::NAN]), 1);

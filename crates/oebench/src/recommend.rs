@@ -100,7 +100,10 @@ mod tests {
     fn resource_constraints_always_pick_trees() {
         let mut s = scenario(true, Level::High, Level::High, Level::High);
         s.resource_constrained = true;
-        assert_eq!(recommend(&s), vec![Algorithm::NaiveDt, Algorithm::NaiveGbdt]);
+        assert_eq!(
+            recommend(&s),
+            vec![Algorithm::NaiveDt, Algorithm::NaiveGbdt]
+        );
     }
 
     #[test]

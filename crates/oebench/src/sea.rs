@@ -48,13 +48,8 @@ impl BaseModel {
                     Task::Classification { .. } => Objective::CrossEntropy,
                     Task::Regression => Objective::SquaredError,
                 };
-                let mut mlp = Mlp::new(
-                    input_dim,
-                    &cfg.hidden,
-                    task.output_width(),
-                    objective,
-                    seed,
-                );
+                let mut mlp =
+                    Mlp::new(input_dim, &cfg.hidden, task.output_width(), objective, seed);
                 train_window(
                     &mut mlp,
                     xs,
@@ -223,8 +218,15 @@ impl StreamLearner for SeaLearner {
             .seed
             .wrapping_mul(0x100000001B3)
             .wrapping_add(self.window_counter);
-        let candidate =
-            BaseModel::fit(self.kind, self.task, self.input_dim, xs, ys, &self.cfg, seed);
+        let candidate = BaseModel::fit(
+            self.kind,
+            self.task,
+            self.input_dim,
+            xs,
+            ys,
+            &self.cfg,
+            seed,
+        );
 
         if self.members.len() < self.cfg.ensemble_size.max(1) {
             self.members.push(candidate);
@@ -255,7 +257,10 @@ mod tests {
 
     fn window(offset: f64, n: usize) -> (Matrix, Vec<f64>) {
         let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![(i % 10) as f64 + offset]).collect();
-        let ys: Vec<f64> = rows.iter().map(|r| f64::from(r[0] >= offset + 5.0)).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| f64::from(r[0] >= offset + 5.0))
+            .collect();
         (Matrix::from_rows(&rows), ys)
     }
 
@@ -305,12 +310,7 @@ mod tests {
 
     #[test]
     fn empty_ensemble_predicts_zero() {
-        let sea = SeaLearner::new(
-            BaseKind::Nn,
-            Task::Regression,
-            2,
-            LearnerConfig::default(),
-        );
+        let sea = SeaLearner::new(BaseKind::Nn, Task::Regression, 2, LearnerConfig::default());
         assert_eq!(sea.predict(&[1.0, 2.0]), 0.0);
         assert_eq!(sea.memory_bytes(), 0);
     }

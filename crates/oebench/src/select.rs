@@ -114,16 +114,34 @@ mod tests {
             drift_hdddm: drift,
             drift_kdq: drift,
             drift_pcacd: drift,
-            drift_ks: AvgMax { avg: drift, max: drift },
-            drift_cdbd: AvgMax { avg: drift, max: drift },
-            drift_adwin: AvgMax { avg: drift, max: drift },
-            drift_hddm: AvgMax { avg: drift, max: drift },
+            drift_ks: AvgMax {
+                avg: drift,
+                max: drift,
+            },
+            drift_cdbd: AvgMax {
+                avg: drift,
+                max: drift,
+            },
+            drift_adwin: AvgMax {
+                avg: drift,
+                max: drift,
+            },
+            drift_hddm: AvgMax {
+                avg: drift,
+                max: drift,
+            },
             concept_ddm: drift,
             concept_eddm: drift,
             concept_adwin: drift,
             concept_perm: drift,
-            anomaly_ecod: AvgMax { avg: anomaly, max: anomaly },
-            anomaly_iforest: AvgMax { avg: anomaly, max: anomaly },
+            anomaly_ecod: AvgMax {
+                avg: anomaly,
+                max: anomaly,
+            },
+            anomaly_iforest: AvgMax {
+                avg: anomaly,
+                max: anomaly,
+            },
         }
     }
 

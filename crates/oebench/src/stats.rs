@@ -10,8 +10,8 @@
 
 use crate::probe::{GaussianNb, LinearProbe};
 use oeb_drift::{
-    perm_test, Adwin, BatchDriftDetector, Cdbd, ConceptDriftDetector, Ddm, DriftState, Eddm,
-    Hdddm, HddmA, KdqTreeDetector, KsDetector, PcaCd, PermConfig,
+    perm_test, Adwin, BatchDriftDetector, Cdbd, ConceptDriftDetector, Ddm, DriftState, Eddm, Hdddm,
+    HddmA, KdqTreeDetector, KsDetector, PcaCd, PermConfig,
 };
 use oeb_linalg::Matrix;
 use oeb_outlier::{anomaly_ratio, Ecod, IForestConfig, IsolationForest};
@@ -536,9 +536,7 @@ mod tests {
             .unwrap();
         let clean = entries
             .iter()
-            .find(|e| {
-                e.spec.anomaly_level == Level::Low && e.spec.name == "Safe Driver"
-            })
+            .find(|e| e.spec.anomaly_level == Level::Low && e.spec.name == "Safe Driver")
             .unwrap();
         let sa = extract_stats(&generate(&anomalous.spec, 0), &StatsConfig::default());
         let sc = extract_stats(&generate(&clean.spec, 0), &StatsConfig::default());

@@ -12,6 +12,7 @@
 //! produces the same final report as an uninterrupted one.
 
 use crate::error::HarnessError;
+use crate::executor::parallel_map;
 use crate::harness::{try_run_stream, HarnessConfig, RunResult};
 use crate::learners::Algorithm;
 use oeb_tabular::StreamDataset;
@@ -20,6 +21,7 @@ use std::collections::HashMap;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::Mutex;
 
 /// What happened to one (dataset, learner) run.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,8 +106,8 @@ impl SweepReport {
     }
 }
 
-/// Runs `datasets x algorithms` through the harness with panic isolation
-/// and optional checkpointing.
+/// Runs `datasets x algorithms` through the harness with panic isolation,
+/// optional checkpointing, and up to `threads` parallel workers.
 ///
 /// - `checkpoint`: when set, every finished pair is appended to this
 ///   JSON-lines file, and pairs already recorded there are *not* re-run —
@@ -115,53 +117,103 @@ impl SweepReport {
 ///   only the records finished so far; invoke again with the same
 ///   checkpoint to continue. This is how an interruption mid-sweep looks
 ///   to the caller.
+/// - `threads`: worker count (resolve with
+///   [`crate::executor::resolve_threads`]; 1 = sequential). The report is
+///   identical for every thread count: cells are scheduled greedily but
+///   collected in cell order, and each cell seeds its RNGs from its own
+///   coordinates. Only the *line order* inside the checkpoint file varies
+///   with scheduling, and resume never depends on it.
 pub fn run_sweep(
     datasets: &[StreamDataset],
     algorithms: &[Algorithm],
     config: &HarnessConfig,
     checkpoint: Option<&Path>,
     max_new_runs: Option<usize>,
+    threads: usize,
 ) -> Result<SweepReport, HarnessError> {
     config.validate()?;
     let mut done: HashMap<(String, String), RunOutcome> = HashMap::new();
     if let Some(path) = checkpoint {
         for record in load_checkpoint(path)? {
-            done.insert((record.dataset.clone(), record.algorithm.clone()), record.outcome);
+            done.insert(
+                (record.dataset.clone(), record.algorithm.clone()),
+                record.outcome,
+            );
         }
     }
 
-    let mut report = SweepReport::default();
-    let mut new_runs = 0usize;
-    for dataset in datasets {
-        for &algorithm in algorithms {
-            let key = (dataset.name.clone(), algorithm.name().to_string());
-            let outcome = match done.remove(&key) {
-                Some(outcome) => outcome,
-                None => {
-                    if let Some(limit) = max_new_runs {
-                        if new_runs >= limit {
-                            return Ok(report);
-                        }
-                    }
-                    new_runs += 1;
-                    let outcome = run_isolated(dataset, algorithm, config);
-                    let record = SweepRecord {
-                        dataset: key.0.clone(),
-                        algorithm: key.1.clone(),
-                        outcome: outcome.clone(),
-                    };
-                    if let Some(path) = checkpoint {
-                        append_checkpoint(path, &record)?;
-                    }
-                    outcome
+    // The full cell grid in report order (datasets outer, algorithms
+    // inner), each cell resolved from the checkpoint where possible.
+    let cells: Vec<(usize, usize)> = (0..datasets.len())
+        .flat_map(|d| (0..algorithms.len()).map(move |a| (d, a)))
+        .collect();
+    let mut outcomes: Vec<Option<RunOutcome>> = cells
+        .iter()
+        .map(|&(d, a)| {
+            done.get(&(datasets[d].name.clone(), algorithms[a].name().to_string()))
+                .cloned()
+        })
+        .collect();
+
+    // New work = unresolved cells in order, truncated to the run budget.
+    let mut to_run: Vec<usize> = (0..cells.len())
+        .filter(|&i| outcomes[i].is_none())
+        .collect();
+    if let Some(limit) = max_new_runs {
+        to_run.truncate(limit);
+    }
+
+    if !to_run.is_empty() {
+        // One writer, shared by all workers; appends happen as cells
+        // finish, so an interrupt loses at most the in-flight cells.
+        let writer: Option<Mutex<std::fs::File>> = match checkpoint {
+            Some(path) => Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| HarnessError::Io(format!("open {}: {e}", path.display())))?,
+            )),
+            None => None,
+        };
+        let append_error: Mutex<Option<HarnessError>> = Mutex::new(None);
+
+        let ran: Vec<RunOutcome> = parallel_map(to_run.len(), threads, |slot| {
+            let (d, a) = cells[to_run[slot]];
+            let outcome = run_isolated(&datasets[d], algorithms[a], config);
+            if let Some(writer) = &writer {
+                let record = SweepRecord {
+                    dataset: datasets[d].name.clone(),
+                    algorithm: algorithms[a].name().to_string(),
+                    outcome: outcome.clone(),
+                };
+                if let Err(e) = write_checkpoint_line(writer, &record) {
+                    append_error
+                        .lock()
+                        .expect("error slot poisoned")
+                        .get_or_insert(e);
                 }
-            };
-            report.records.push(SweepRecord {
-                dataset: key.0,
-                algorithm: key.1,
-                outcome,
-            });
+            }
+            outcome
+        });
+        if let Some(e) = append_error.into_inner().expect("error slot poisoned") {
+            return Err(e);
         }
+        for (slot, outcome) in to_run.iter().zip(ran) {
+            outcomes[*slot] = Some(outcome);
+        }
+    }
+
+    // The report is the prefix of the grid up to the first cell the run
+    // budget excluded — exactly where the sequential loop stopped.
+    let mut report = SweepReport::default();
+    for (&(d, a), outcome) in cells.iter().zip(outcomes) {
+        let Some(outcome) = outcome else { break };
+        report.records.push(SweepRecord {
+            dataset: datasets[d].name.clone(),
+            algorithm: algorithms[a].name().to_string(),
+            outcome,
+        });
     }
     Ok(report)
 }
@@ -234,9 +286,8 @@ fn record_to_json(record: &SweepRecord) -> Value {
 }
 
 fn field<'a>(v: &'a Value, key: &str, line: usize) -> Result<&'a Value, HarnessError> {
-    v.get(key).ok_or_else(|| {
-        HarnessError::Checkpoint(format!("line {line}: missing field {key:?}"))
-    })
+    v.get(key)
+        .ok_or_else(|| HarnessError::Checkpoint(format!("line {line}: missing field {key:?}")))
 }
 
 fn str_field(v: &Value, key: &str, line: usize) -> Result<String, HarnessError> {
@@ -252,9 +303,9 @@ fn f64_field(v: &Value, key: &str, line: usize) -> Result<f64, HarnessError> {
     if value.is_null() {
         return Ok(f64::NAN);
     }
-    value.as_f64().ok_or_else(|| {
-        HarnessError::Checkpoint(format!("line {line}: {key:?} not a number"))
-    })
+    value
+        .as_f64()
+        .ok_or_else(|| HarnessError::Checkpoint(format!("line {line}: {key:?} not a number")))
 }
 
 fn record_from_json(v: &Value, line: usize) -> Result<SweepRecord, HarnessError> {
@@ -274,7 +325,13 @@ fn record_from_json(v: &Value, line: usize) -> Result<SweepRecord, HarnessError>
                     HarnessError::Checkpoint(format!("line {line}: per_window_loss not an array"))
                 })?
                 .iter()
-                .map(|x| if x.is_null() { f64::NAN } else { x.as_f64().unwrap_or(f64::NAN) })
+                .map(|x| {
+                    if x.is_null() {
+                        f64::NAN
+                    } else {
+                        x.as_f64().unwrap_or(f64::NAN)
+                    }
+                })
                 .collect();
             let degradations = field(v, "degradations", line)?
                 .as_array()
@@ -323,14 +380,26 @@ pub fn load_checkpoint(path: &Path) -> Result<Vec<SweepRecord>, HarnessError> {
         if line.trim().is_empty() {
             continue;
         }
-        let value = serde_json::from_str(line).map_err(|e| {
-            HarnessError::Checkpoint(format!("line {}: {e}", i + 1))
-        })?;
+        let value = serde_json::from_str(line)
+            .map_err(|e| HarnessError::Checkpoint(format!("line {}: {e}", i + 1)))?;
         records.push(record_from_json(&value, i + 1)?);
     }
     Ok(records)
 }
 
+/// Serialises one record through the shared sweep writer (one line per
+/// record; the mutex keeps concurrent workers' lines from interleaving).
+fn write_checkpoint_line(
+    writer: &Mutex<std::fs::File>,
+    record: &SweepRecord,
+) -> Result<(), HarnessError> {
+    let line = serde_json::to_string(&record_to_json(record))
+        .map_err(|e| HarnessError::Checkpoint(e.to_string()))?;
+    let mut file = writer.lock().expect("checkpoint writer poisoned");
+    writeln!(file, "{line}").map_err(|e| HarnessError::Io(format!("write checkpoint: {e}")))
+}
+
+#[cfg(test)]
 fn append_checkpoint(path: &Path, record: &SweepRecord) -> Result<(), HarnessError> {
     let line = serde_json::to_string(&record_to_json(record))
         .map_err(|e| HarnessError::Checkpoint(e.to_string()))?;
@@ -359,7 +428,8 @@ mod tests {
     }
 
     fn temp_path(tag: &str) -> std::path::PathBuf {
-        let path = std::env::temp_dir().join(format!("oeb_sweep_{tag}_{}.jsonl", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("oeb_sweep_{tag}_{}.jsonl", std::process::id()));
         let _ = std::fs::remove_file(&path);
         path
     }
@@ -372,9 +442,8 @@ mod tests {
                     && x.algorithm == y.algorithm
                     && match (&x.outcome, &y.outcome) {
                         (RunOutcome::Completed(p), RunOutcome::Completed(q)) => {
-                            let bits = |v: &[f64]| {
-                                v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>()
-                            };
+                            let bits =
+                                |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
                             bits(&p.per_window_loss) == bits(&q.per_window_loss)
                                 && p.mean_loss.to_bits() == q.mean_loss.to_bits()
                                 && p.items == q.items
@@ -389,8 +458,15 @@ mod tests {
     fn sweep_records_every_pair() {
         let datasets = tiny_datasets();
         let algorithms = [Algorithm::NaiveDt, Algorithm::Arf];
-        let report = run_sweep(&datasets, &algorithms, &HarnessConfig::default(), None, None)
-            .unwrap();
+        let report = run_sweep(
+            &datasets,
+            &algorithms,
+            &HarnessConfig::default(),
+            None,
+            None,
+            1,
+        )
+        .unwrap();
         assert_eq!(report.records.len(), 4);
         let (completed, inapplicable, failed) = report.counts();
         // ARF does not apply to the regression dataset.
@@ -471,19 +547,33 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_matches_sequential() {
+        let datasets = tiny_datasets();
+        let algorithms = [Algorithm::NaiveDt, Algorithm::NaiveGbdt, Algorithm::Arf];
+        let cfg = HarnessConfig::default();
+        let seq = run_sweep(&datasets, &algorithms, &cfg, None, None, 1).unwrap();
+        let par = run_sweep(&datasets, &algorithms, &cfg, None, None, 4).unwrap();
+        assert!(
+            same_modulo_timing(&seq, &par),
+            "4-worker sweep diverged from the sequential one"
+        );
+    }
+
+    #[test]
     fn interrupted_sweep_resumes_to_the_same_report() {
         let datasets = tiny_datasets();
         let algorithms = [Algorithm::NaiveDt, Algorithm::NaiveGbdt];
         let cfg = HarnessConfig::default();
 
-        let uninterrupted = run_sweep(&datasets, &algorithms, &cfg, None, None).unwrap();
+        let uninterrupted = run_sweep(&datasets, &algorithms, &cfg, None, None, 1).unwrap();
         assert_eq!(uninterrupted.records.len(), 4);
 
-        // "Kill" the sweep after two runs, then resume from the checkpoint.
+        // "Kill" the sweep after two runs, then resume from the
+        // checkpoint — on two workers, to cross resume with parallelism.
         let path = temp_path("resume");
-        let partial = run_sweep(&datasets, &algorithms, &cfg, Some(&path), Some(2)).unwrap();
+        let partial = run_sweep(&datasets, &algorithms, &cfg, Some(&path), Some(2), 2).unwrap();
         assert_eq!(partial.records.len(), 2);
-        let resumed = run_sweep(&datasets, &algorithms, &cfg, Some(&path), None).unwrap();
+        let resumed = run_sweep(&datasets, &algorithms, &cfg, Some(&path), None, 2).unwrap();
         assert!(
             same_modulo_timing(&resumed, &uninterrupted),
             "resumed report differs from uninterrupted run"

@@ -234,7 +234,7 @@ proptest! {
         let algorithms = [Algorithm::NaiveDt, Algorithm::Arf];
         let cfg = resilient_config();
 
-        let uninterrupted = run_sweep(&datasets, &algorithms, &cfg, None, None).unwrap();
+        let uninterrupted = run_sweep(&datasets, &algorithms, &cfg, None, None, 1).unwrap();
         prop_assert_eq!(uninterrupted.records.len(), 4);
 
         let path = std::env::temp_dir().join(format!(
@@ -242,9 +242,9 @@ proptest! {
             std::process::id()
         ));
         let _ = std::fs::remove_file(&path);
-        let partial = run_sweep(&datasets, &algorithms, &cfg, Some(&path), Some(k)).unwrap();
+        let partial = run_sweep(&datasets, &algorithms, &cfg, Some(&path), Some(k), 2).unwrap();
         prop_assert!(partial.records.len() <= uninterrupted.records.len());
-        let resumed = run_sweep(&datasets, &algorithms, &cfg, Some(&path), None).unwrap();
+        let resumed = run_sweep(&datasets, &algorithms, &cfg, Some(&path), None, 2).unwrap();
         let _ = std::fs::remove_file(&path);
         prop_assert!(
             same_modulo_timing(&resumed, &uninterrupted),

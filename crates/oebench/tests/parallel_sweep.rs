@@ -1,0 +1,154 @@
+//! Determinism properties of the parallel sweep executor: for arbitrary
+//! worker counts, stream shapes and interruption points, a sweep must
+//! produce the same report as the sequential run — parallelism and
+//! checkpoint/resume may change *when* cells run, never *what* they
+//! compute.
+
+use oeb_core::{run_sweep, Algorithm, HarnessConfig, RunOutcome, SweepReport};
+use oeb_synth::{Balance, DriftPattern, LabelMechanism, Level, StreamSpec, TaskSpec};
+use oeb_tabular::{Domain, StreamDataset};
+use proptest::prelude::*;
+
+fn tiny_spec(name: &str, classification: bool, rows: usize, seed: u64) -> StreamSpec {
+    StreamSpec {
+        name: name.into(),
+        domain: Domain::Others,
+        n_rows: rows,
+        n_numeric: 3,
+        categorical: vec![],
+        task: if classification {
+            TaskSpec::Classification {
+                n_classes: 2,
+                mechanism: LabelMechanism::XToY,
+                balance: Balance::Balanced,
+                label_noise: 0.02,
+            }
+        } else {
+            TaskSpec::Regression { noise: 0.1 }
+        },
+        drift_pattern: DriftPattern::Gradual,
+        drift_level: Level::MediumLow,
+        anomaly_level: Level::Low,
+        anomaly_events: vec![],
+        missing_level: Level::MediumLow,
+        availability: vec![],
+        seasonal_cycles: 0.0,
+        default_window: 40,
+        seed,
+    }
+}
+
+fn grid_datasets(seed: u64) -> Vec<StreamDataset> {
+    vec![
+        oeb_synth::generate(&tiny_spec("par-clf", true, 240, seed), seed),
+        oeb_synth::generate(&tiny_spec("par-reg", false, 240, seed), seed),
+    ]
+}
+
+/// The deterministic half of a report: everything except wall-clock
+/// timing and throughput, floats compared by bit pattern. Two reports
+/// with equal digests are byte-identical on every reproducible field.
+fn digest(report: &SweepReport) -> Vec<String> {
+    report
+        .records
+        .iter()
+        .map(|r| {
+            let outcome = match &r.outcome {
+                RunOutcome::Completed(res) => {
+                    let losses: Vec<String> = res
+                        .per_window_loss
+                        .iter()
+                        .map(|l| format!("{:016x}", l.to_bits()))
+                        .collect();
+                    format!(
+                        "completed mean={:016x} items={} mem={} losses=[{}] deg={:?}",
+                        res.mean_loss.to_bits(),
+                        res.items,
+                        res.memory_bytes,
+                        losses.join(","),
+                        res.degradations,
+                    )
+                }
+                RunOutcome::Inapplicable => "inapplicable".into(),
+                RunOutcome::Failed { kind, reason } => format!("failed {kind}: {reason}"),
+            };
+            format!("{}|{}|{outcome}", r.dataset, r.algorithm)
+        })
+        .collect()
+}
+
+fn temp_checkpoint(tag: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "oeb_parallel_sweep_{tag}_{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Acceptance property: `--threads 4` produces a byte-identical
+    /// report to `--threads 1` on every deterministic field, for
+    /// arbitrary dataset seeds and run seeds.
+    #[test]
+    fn four_workers_match_one_worker_bit_for_bit(
+        data_seed in 0u64..50,
+        run_seed in 0u64..50,
+    ) {
+        let datasets = grid_datasets(data_seed);
+        let algorithms = [Algorithm::NaiveDt, Algorithm::NaiveGbdt, Algorithm::Arf];
+        let mut cfg = HarnessConfig {
+            seed: run_seed,
+            ..Default::default()
+        };
+        cfg.learner.epochs = 1;
+
+        let sequential = run_sweep(&datasets, &algorithms, &cfg, None, None, 1).unwrap();
+        let parallel = run_sweep(&datasets, &algorithms, &cfg, None, None, 4).unwrap();
+        prop_assert_eq!(digest(&sequential), digest(&parallel));
+    }
+
+    /// Kill the parallel sweep mid-flight at an arbitrary cell, then
+    /// resume from its checkpoint (again in parallel): the merged report
+    /// equals the uninterrupted sequential run's.
+    #[test]
+    fn killed_parallel_sweep_resumes_to_the_sequential_report(
+        kill_after in 0usize..6,
+        threads in 1usize..5,
+        run_seed in 0u64..30,
+    ) {
+        let datasets = grid_datasets(7);
+        let algorithms = [Algorithm::NaiveDt, Algorithm::Arf, Algorithm::NaiveGbdt];
+        let mut cfg = HarnessConfig {
+            seed: run_seed,
+            ..Default::default()
+        };
+        cfg.learner.epochs = 1;
+
+        let uninterrupted = run_sweep(&datasets, &algorithms, &cfg, None, None, 1).unwrap();
+        prop_assert_eq!(uninterrupted.records.len(), 6);
+
+        let path = temp_checkpoint(&format!("{kill_after}_{threads}_{run_seed}"));
+        let partial =
+            run_sweep(&datasets, &algorithms, &cfg, Some(&path), Some(kill_after), threads)
+                .unwrap();
+        // The partial report is a prefix of the sequential one.
+        prop_assert_eq!(
+            digest(&partial),
+            digest(&uninterrupted)[..partial.records.len()].to_vec()
+        );
+        let resumed =
+            run_sweep(&datasets, &algorithms, &cfg, Some(&path), None, threads).unwrap();
+        let checkpoint_lines = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count();
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(digest(&resumed), digest(&uninterrupted));
+        // No cell ran twice: one checkpoint line per grid cell.
+        prop_assert_eq!(checkpoint_lines, 6);
+    }
+}

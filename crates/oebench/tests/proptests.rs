@@ -6,9 +6,7 @@ use oeb_core::{
     assign_levels, fmt_mean_std, recommend, run_stream, Algorithm, HarnessConfig, ImputerChoice,
     LearnerConfig, Scenario,
 };
-use oeb_synth::{
-    generate, Balance, DriftPattern, LabelMechanism, Level, StreamSpec, TaskSpec,
-};
+use oeb_synth::{generate, Balance, DriftPattern, LabelMechanism, Level, StreamSpec, TaskSpec};
 use oeb_tabular::Domain;
 use proptest::prelude::*;
 

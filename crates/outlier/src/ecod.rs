@@ -104,7 +104,10 @@ mod tests {
         let model = Ecod::fit(&data);
         let inlier = model.score(&[0.1, 0.2]);
         let outlier = model.score(&[8.0, -7.0]);
-        assert!(outlier > inlier * 2.0, "outlier {outlier} vs inlier {inlier}");
+        assert!(
+            outlier > inlier * 2.0,
+            "outlier {outlier} vs inlier {inlier}"
+        );
     }
 
     #[test]

@@ -73,8 +73,7 @@ impl IsolationForest {
         let max_depth = (psi as f64).log2().ceil() as usize + 1;
         let trees = (0..config.n_trees)
             .map(|_| {
-                let sample: Vec<usize> =
-                    (0..psi).map(|_| rng.gen_range(0..data.rows())).collect();
+                let sample: Vec<usize> = (0..psi).map(|_| rng.gen_range(0..data.rows())).collect();
                 build_tree(data, &sample, 0, max_depth, &mut rng)
             })
             .collect();
@@ -99,7 +98,11 @@ impl IsolationForest {
                     right,
                 } => {
                     let x = row[*dim];
-                    node = if x.is_finite() && x < *at { left } else { right };
+                    node = if x.is_finite() && x < *at {
+                        left
+                    } else {
+                        right
+                    };
                     depth += 1.0;
                 }
             }

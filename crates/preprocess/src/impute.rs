@@ -143,8 +143,7 @@ impl Imputer for KnnImputer {
                     neighbours.push((d, j));
                 }
             }
-            neighbours
-                .sort_by(|a, b| a.0.total_cmp(&b.0));
+            neighbours.sort_by(|a, b| a.0.total_cmp(&b.0));
             for &c in &missing {
                 // Mean of column c over the k nearest rows observing it.
                 let mut sum = 0.0;
@@ -220,10 +219,7 @@ impl Imputer for RegressionImputer {
                         v
                     })
                     .collect();
-                let y: Vec<f64> = train_rows
-                    .iter()
-                    .map(|&r| reference[(r, target)])
-                    .collect();
+                let y: Vec<f64> = train_rows.iter().map(|&r| reference[(r, target)]).collect();
                 ridge_regression(&Matrix::from_rows(&rows), &y, self.lambda)
             } else {
                 None
@@ -280,7 +276,12 @@ mod tests {
         for r in 0..original.rows() {
             for c in 0..original.cols() {
                 if original[(r, c)].is_finite() {
-                    assert_eq!(data[(r, c)], original[(r, c)], "{} modified observed cell", imp.name());
+                    assert_eq!(
+                        data[(r, c)],
+                        original[(r, c)],
+                        "{} modified observed cell",
+                        imp.name()
+                    );
                 }
             }
         }
@@ -380,7 +381,10 @@ mod tests {
             assert_eq!(d[(0, 1)], 0.0, "{} fallback is not 0", imp.name());
         }
         KnnImputer { k: 2 }.impute(&mut data, &reference);
-        assert!((data[(0, 2)] - 5.5).abs() < 1e-9, "observed column not knn-filled");
+        assert!(
+            (data[(0, 2)] - 5.5).abs() < 1e-9,
+            "observed column not knn-filled"
+        );
     }
 
     #[test]

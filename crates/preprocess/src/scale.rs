@@ -104,7 +104,10 @@ impl TargetScaler {
     pub fn fit(targets: &[f64]) -> TargetScaler {
         let finite: Vec<f64> = targets.iter().copied().filter(|x| x.is_finite()).collect();
         if finite.is_empty() {
-            return TargetScaler { mean: 0.0, std: 1.0 };
+            return TargetScaler {
+                mean: 0.0,
+                std: 1.0,
+            };
         }
         let mean = oeb_linalg::mean(&finite);
         let std = oeb_linalg::std_dev(&finite);

@@ -21,10 +21,7 @@ fn holey_matrix() -> impl Strategy<Value = Matrix> {
             rows * cols,
         )
         .prop_map(move |cells| {
-            let mut data: Vec<f64> = cells
-                .into_iter()
-                .map(|c| c.unwrap_or(f64::NAN))
-                .collect();
+            let mut data: Vec<f64> = cells.into_iter().map(|c| c.unwrap_or(f64::NAN)).collect();
             // Guarantee one observed cell per column so means exist.
             for cell in data.iter_mut().take(cols) {
                 *cell = 1.0;

@@ -16,8 +16,7 @@
 //!   windows create columns that appear, vanish, and return (§5.1).
 
 use crate::spec::{
-    AnomalyEvent, Balance, DriftPattern, FeatureAvailability, LabelMechanism, StreamSpec,
-    TaskSpec,
+    AnomalyEvent, Balance, DriftPattern, FeatureAvailability, LabelMechanism, StreamSpec, TaskSpec,
 };
 use oeb_tabular::{Column, Field, Schema, StreamDataset, Table};
 use rand::rngs::StdRng;
@@ -59,8 +58,19 @@ pub fn generate(spec: &StreamSpec, seed: u64) -> StreamDataset {
     match &spec.task {
         TaskSpec::Regression { noise } => {
             generate_x_to_y(
-                spec, n, d, &regime, drift_mag, &base, &season_amp, &season_phase, &drift_dir,
-                &noise_sigma, &mut features, &mut targets, &mut rng,
+                spec,
+                n,
+                d,
+                &regime,
+                drift_mag,
+                &base,
+                &season_amp,
+                &season_phase,
+                &drift_dir,
+                &noise_sigma,
+                &mut features,
+                &mut targets,
+                &mut rng,
             );
             // Damp the component of the target that is linear in the
             // regime: real-world targets (power demand, PM2.5) drift by a
@@ -111,8 +121,20 @@ pub fn generate(spec: &StreamSpec, seed: u64) -> StreamDataset {
             // class priors (prior-probability drift, §2.2).
             let prior_drift = matches!(mechanism, LabelMechanism::YToX);
             generate_prototype_classes(
-                spec, n, d, *n_classes, &priors, prior_drift, &regime, drift_mag, &season_amp,
-                &season_phase, &noise_sigma, &mut features, &mut targets, &mut rng,
+                spec,
+                n,
+                d,
+                *n_classes,
+                &priors,
+                prior_drift,
+                &regime,
+                drift_mag,
+                &season_amp,
+                &season_phase,
+                &noise_sigma,
+                &mut features,
+                &mut targets,
+                &mut rng,
             );
             if *label_noise > 0.0 {
                 for t in targets.iter_mut() {
@@ -187,7 +209,9 @@ fn regime_curve<R: Rng>(spec: &StreamSpec, n: usize, rng: &mut R) -> Vec<f64> {
             for t in 0..n {
                 state += normal(rng) * step;
                 let u = t as f64 / n.max(1) as f64;
-                walk.push(state * 0.4 + 0.6 * 0.5 * (1.0 - (std::f64::consts::TAU * cycles * u).cos()));
+                walk.push(
+                    state * 0.4 + 0.6 * 0.5 * (1.0 - (std::f64::consts::TAU * cycles * u).cos()),
+                );
             }
             normalise_01(&mut walk);
             walk
@@ -763,7 +787,10 @@ mod tests {
         let col = d.table.column(0).present_values();
         let peak = col[980..1020].iter().copied().fold(0.0f64, f64::max);
         let normal_max = col[..900].iter().copied().fold(0.0f64, f64::max);
-        assert!(peak > 3.0 * normal_max.max(1.0), "peak {peak} vs {normal_max}");
+        assert!(
+            peak > 3.0 * normal_max.max(1.0),
+            "peak {peak} vs {normal_max}"
+        );
     }
 
     #[test]

@@ -11,10 +11,12 @@
 //! Table 9, drift patterns from the Table 13 audit); [`generate()`](fn@generate) turns a
 //! [`StreamSpec`] into a concrete [`oeb_tabular::StreamDataset`].
 
+pub mod cache;
 pub mod generate;
 pub mod registry;
 pub mod spec;
 
+pub use cache::generate_cached;
 pub use generate::generate;
 pub use registry::{by_name, registry, registry_scaled, selected, selected_five, DatasetEntry};
 pub use spec::{

@@ -834,9 +834,7 @@ pub fn by_name(name: &str) -> Option<DatasetEntry> {
 /// Looks up one of the five representative datasets by its short name
 /// (ROOM, ELECTRICITY, INSECTS, AIR, POWER).
 pub fn selected(short: &str) -> Option<DatasetEntry> {
-    registry()
-        .into_iter()
-        .find(|e| e.selected == Some(short))
+    registry().into_iter().find(|e| e.selected == Some(short))
 }
 
 /// The five representative datasets in the paper's Table 3/4 order.

@@ -38,8 +38,16 @@ fn arb_task() -> impl Strategy<Value = TaskSpec> {
         (2usize..6, any::<bool>(), any::<bool>()).prop_map(|(n, y2x, imb)| {
             TaskSpec::Classification {
                 n_classes: n,
-                mechanism: if y2x { LabelMechanism::YToX } else { LabelMechanism::XToY },
-                balance: if imb { Balance::Imbalanced } else { Balance::Balanced },
+                mechanism: if y2x {
+                    LabelMechanism::YToX
+                } else {
+                    LabelMechanism::XToY
+                },
+                balance: if imb {
+                    Balance::Imbalanced
+                } else {
+                    Balance::Balanced
+                },
                 label_noise: 0.02,
             }
         }),

@@ -87,15 +87,40 @@ impl Column {
     pub fn permute(&self, order: &[usize]) -> Column {
         match self {
             Column::Numeric(v) => Column::Numeric(order.iter().map(|&i| v[i]).collect()),
-            Column::Categorical(v) => {
-                Column::Categorical(order.iter().map(|&i| v[i]).collect())
-            }
+            Column::Categorical(v) => Column::Categorical(order.iter().map(|&i| v[i]).collect()),
         }
     }
 
     /// True for numeric columns.
     pub fn is_numeric(&self) -> bool {
         matches!(self, Column::Numeric(_))
+    }
+
+    /// Folds every cell into `hasher`: numeric cells by their bit pattern
+    /// (so any NaN payload hashes like the canonical NaN the equality in
+    /// [`PartialEq`] treats as equal), categorical cells by their
+    /// dictionary index. Used for content fingerprints of cached streams.
+    pub fn hash_into(&self, hasher: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        match self {
+            Column::Numeric(v) => {
+                0u8.hash(hasher);
+                for x in v {
+                    let bits = if x.is_nan() {
+                        f64::NAN.to_bits()
+                    } else {
+                        x.to_bits()
+                    };
+                    bits.hash(hasher);
+                }
+            }
+            Column::Categorical(v) => {
+                1u8.hash(hasher);
+                for c in v {
+                    c.hash(hasher);
+                }
+            }
+        }
     }
 }
 

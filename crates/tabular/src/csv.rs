@@ -38,10 +38,7 @@ impl std::fmt::Display for CsvError {
                 line,
                 found,
                 expected,
-            } => write!(
-                f,
-                "line {line}: found {found} fields, expected {expected}"
-            ),
+            } => write!(f, "line {line}: found {found} fields, expected {expected}"),
             CsvError::Empty => write!(f, "empty CSV input"),
             CsvError::UnterminatedQuote { line } => {
                 write!(f, "line {line}: unterminated quoted field")

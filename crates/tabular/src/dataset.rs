@@ -116,6 +116,21 @@ impl StreamDataset {
         window_ranges(self.n_rows(), size)
     }
 
+    /// A 64-bit content fingerprint covering name, task, target column,
+    /// default window and the full table content (see
+    /// [`Table::fingerprint`]). Equal datasets fingerprint identically;
+    /// the prepared-stream cache keys on this.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.name.hash(&mut h);
+        format!("{:?}", self.task).hash(&mut h);
+        self.target_col.hash(&mut h);
+        self.default_window.hash(&mut h);
+        self.table.fingerprint().hash(&mut h);
+        h.finish()
+    }
+
     /// Returns a copy with rows permuted (used by the paper's "no drift"
     /// shuffled baseline in §6.7).
     pub fn permuted(&self, order: &[usize]) -> StreamDataset {

@@ -97,7 +97,11 @@ impl Table {
     /// Copies the rows in `range` into a new table.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Table {
         assert!(range.end <= self.n_rows, "slice out of bounds");
-        let columns = self.columns.iter().map(|c| c.slice(range.clone())).collect();
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| c.slice(range.clone()))
+            .collect();
         Table {
             schema: self.schema.clone(),
             columns,
@@ -156,6 +160,32 @@ impl Table {
     /// methods that work on the unencoded representation.
     pub fn numeric_row(&self, row: usize) -> Vec<f64> {
         self.columns.iter().map(|c| c.numeric_at(row)).collect()
+    }
+
+    /// A 64-bit content fingerprint over shape, schema field names/kinds
+    /// and every cell. Two equal tables fingerprint identically; distinct
+    /// contents collide only with hash probability. Used as a cache key
+    /// component by the prepared-stream cache, where regenerating the
+    /// preprocessing costs far more than one pass over the cells.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.n_rows.hash(&mut h);
+        self.columns.len().hash(&mut h);
+        for field in self.schema.fields() {
+            field.name.hash(&mut h);
+            match &field.kind {
+                FieldKind::Numeric => 0u8.hash(&mut h),
+                FieldKind::Categorical { labels } => {
+                    1u8.hash(&mut h);
+                    labels.hash(&mut h);
+                }
+            }
+        }
+        for col in &self.columns {
+            col.hash_into(&mut h);
+        }
+        h.finish()
     }
 
     /// Appends all rows of `other` (same schema) to this table.
@@ -237,6 +267,26 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_tracks_content() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = sample();
+        if let Column::Numeric(v) = c.column_mut(0) {
+            v[0] = 99.0;
+        }
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // NaN payloads don't leak into the fingerprint: tables that
+        // compare equal (missing == missing) fingerprint equal.
+        let mut d = sample();
+        if let Column::Numeric(v) = d.column_mut(0) {
+            v[1] = f64::from_bits(f64::NAN.to_bits() ^ 1);
+        }
+        assert_eq!(a, d);
+        assert_eq!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
     #[should_panic(expected = "does not match its schema kind")]
     fn kind_mismatch_panics() {
         let schema = Schema::new(vec![Field::numeric("x")]);
@@ -249,10 +299,7 @@ mod tests {
         let schema = Schema::new(vec![Field::numeric("x"), Field::numeric("y")]);
         let _ = Table::new(
             schema,
-            vec![
-                Column::Numeric(vec![1.0, 2.0]),
-                Column::Numeric(vec![1.0]),
-            ],
+            vec![Column::Numeric(vec![1.0, 2.0]), Column::Numeric(vec![1.0])],
         );
     }
 

@@ -5,7 +5,10 @@
 ///
 /// The final window keeps the remainder if it holds at least `size / 2`
 /// rows; otherwise the remainder is merged into the previous window so no
-/// tiny trailing window skews per-window statistics.
+/// tiny trailing window skews per-window statistics. A non-empty stream
+/// shorter than one window yields a single partial window `0..n_rows`,
+/// never an empty list — even when `size` is near `usize::MAX` (as
+/// produced by [`scaled_window`] saturating on a huge factor).
 ///
 /// # Panics
 /// Panics when `size == 0`.
@@ -16,7 +19,9 @@ pub fn window_ranges(n_rows: usize, size: usize) -> Vec<std::ops::Range<usize>> 
     }
     let mut ranges = Vec::with_capacity(n_rows / size + 1);
     let mut start = 0;
-    while start + size <= n_rows {
+    // `n_rows - start >= size` rather than `start + size <= n_rows`:
+    // the sum overflows when `size` saturated to usize::MAX.
+    while n_rows - start >= size {
         ranges.push(start..start + size);
         start += size;
     }
@@ -86,6 +91,28 @@ mod tests {
     fn tiny_stream_single_window() {
         let w = window_ranges(3, 100);
         assert_eq!(w, vec![0..3]);
+    }
+
+    #[test]
+    fn stream_smaller_than_one_window_is_one_partial_window() {
+        // Satellite regression: a non-empty stream must never produce an
+        // empty range list, whatever the window size — including the
+        // usize::MAX that `scaled_window` saturates to on a huge factor
+        // (the old `start + size <= n_rows` loop condition overflowed).
+        for n in [1usize, 2, 50, 499] {
+            for size in [500usize, usize::MAX / 2, usize::MAX] {
+                assert_eq!(window_ranges(n, size), vec![0..n], "n={n} size={size}");
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_window_huge_factor_still_yields_one_window() {
+        // scaled_window saturates, window_ranges returns the partial
+        // window: the composition never loses the stream.
+        let size = scaled_window(1000, 1e300);
+        assert!(size >= 1000);
+        assert_eq!(window_ranges(37, size), vec![0..37]);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! invariants, CSV round-trips over arbitrary tables, and missing-value
 //! accounting.
 
-use oeb_tabular::{read_table, window_ranges, write_table, Column, Field, FieldKind, Schema, Table};
+use oeb_tabular::{
+    read_table, window_ranges, write_table, Column, Field, FieldKind, Schema, Table,
+};
 use proptest::prelude::*;
 
 /// Arbitrary cell text without CSV-hostile control characters we don't

@@ -167,7 +167,10 @@ impl AdaptiveRandomForest {
             .iter()
             .map(|m| {
                 m.tree.memory_bytes()
-                    + m.background.as_ref().map(HoeffdingTree::memory_bytes).unwrap_or(0)
+                    + m.background
+                        .as_ref()
+                        .map(HoeffdingTree::memory_bytes)
+                        .unwrap_or(0)
                     + 2 * 512
             })
             .sum()

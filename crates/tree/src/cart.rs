@@ -346,7 +346,11 @@ fn build(
             let right = total_agg.minus(&left);
             // Try the missing values on each side (once when there are
             // none — routing is then immaterial at fit time).
-            for nan_left in if has_nan { &[true, false][..] } else { &[true][..] } {
+            for nan_left in if has_nan {
+                &[true, false][..]
+            } else {
+                &[true][..]
+            } {
                 let (l, r) = if *nan_left {
                     (left.plus(&nan_agg), right.clone())
                 } else {

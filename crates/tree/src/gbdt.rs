@@ -82,12 +82,7 @@ impl Gbdt {
         }
     }
 
-    fn fit_classification(
-        xs: &Matrix,
-        ys: &[f64],
-        n_classes: usize,
-        config: &GbdtConfig,
-    ) -> Gbdt {
+    fn fit_classification(xs: &Matrix, ys: &[f64], n_classes: usize, config: &GbdtConfig) -> Gbdt {
         let n = xs.rows();
         // Log-prior initial scores.
         let mut counts = vec![1.0f64; n_classes];
@@ -204,7 +199,12 @@ mod tests {
                 .sum::<f64>()
                 / xs.rows() as f64
         };
-        assert!(mse(10) < mse(1), "10 rounds {} vs 1 round {}", mse(10), mse(1));
+        assert!(
+            mse(10) < mse(1),
+            "10 rounds {} vs 1 round {}",
+            mse(10),
+            mse(1)
+        );
     }
 
     #[test]

@@ -44,8 +44,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -321,20 +320,15 @@ impl HoeffdingTree {
                         let n = stats.total();
                         // Hoeffding bound with range R = log2(#classes).
                         let range = (n_classes as f64).log2().max(1.0);
-                        let eps = (range * range * (1.0 / config.delta).ln() / (2.0 * n))
-                            .sqrt();
+                        let eps = (range * range * (1.0 / config.delta).ln() / (2.0 * n)).sqrt();
                         if best_gain > 0.0
                             && (best_gain - second_gain > eps || eps < config.tie_threshold)
                         {
                             *node = Node::Split {
                                 feature,
                                 threshold,
-                                left: Box::new(Node::Leaf(LeafStats::new(
-                                    n_features, n_classes,
-                                ))),
-                                right: Box::new(Node::Leaf(LeafStats::new(
-                                    n_features, n_classes,
-                                ))),
+                                left: Box::new(Node::Leaf(LeafStats::new(n_features, n_classes))),
+                                right: Box::new(Node::Leaf(LeafStats::new(n_features, n_classes))),
                             };
                             new_nodes = 2;
                         }

@@ -11,18 +11,16 @@ use proptest::prelude::*;
 
 fn labelled_data() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>, usize)> {
     (8usize..60, 1usize..4, 2usize..4).prop_flat_map(|(n, d, classes)| {
-        prop::collection::vec(prop::collection::vec(-50.0..50.0f64, d), n).prop_map(
-            move |rows| {
-                let ys: Vec<f64> = rows
-                    .iter()
-                    .map(|r| {
-                        let s: f64 = r.iter().sum();
-                        ((s.abs() as usize) % classes) as f64
-                    })
-                    .collect();
-                (rows, ys, classes)
-            },
-        )
+        prop::collection::vec(prop::collection::vec(-50.0..50.0f64, d), n).prop_map(move |rows| {
+            let ys: Vec<f64> = rows
+                .iter()
+                .map(|r| {
+                    let s: f64 = r.iter().sum();
+                    ((s.abs() as usize) % classes) as f64
+                })
+                .collect();
+            (rows, ys, classes)
+        })
     })
 }
 

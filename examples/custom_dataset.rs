@@ -28,7 +28,9 @@ fn main() {
         } else {
             format!("{humidity}")
         };
-        csv.push_str(&format!("{hour},{temp:.2},{humidity_cell},{city},{demand:.2}\n"));
+        csv.push_str(&format!(
+            "{hour},{temp:.2},{humidity_cell},{city},{demand:.2}\n"
+        ));
     }
 
     let table = read_table(&csv).expect("valid CSV");

@@ -11,8 +11,8 @@
 //! ```
 
 use oebench::drift::{
-    Adwin, BatchDriftDetector, ConceptDriftDetector, Ddm, Eddm, Hdddm, KdqTreeDetector,
-    KsDetector, PcaCd,
+    Adwin, BatchDriftDetector, ConceptDriftDetector, Ddm, Eddm, Hdddm, KdqTreeDetector, KsDetector,
+    PcaCd,
 };
 use oebench::preprocess::OneHotEncoder;
 use oebench::tree::{HoeffdingConfig, HoeffdingTree};

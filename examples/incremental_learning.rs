@@ -28,11 +28,8 @@ fn main() {
     );
 
     // Item-level prequential accuracy: test each item, then train on it.
-    let mut hoeffding = HoeffdingTree::new(
-        dataset.n_features(),
-        n_classes,
-        HoeffdingConfig::default(),
-    );
+    let mut hoeffding =
+        HoeffdingTree::new(dataset.n_features(), n_classes, HoeffdingConfig::default());
     let ht = prequential_dataset(&mut hoeffding, &dataset, dataset.n_rows() / 10);
     println!(
         "Hoeffding tree  — prequential accuracy {:.3} ({} nodes)",

@@ -69,12 +69,28 @@ fn main() {
             .collect::<Vec<_>>()
             .join(" ")
     };
-    println!("  Naive-NN last windows: {} (mean {})", tail(&nn), if nn.mean_loss.is_finite() { format!("{:.3}", nn.mean_loss) } else { "N/A — exploded".into() });
-    println!("  Naive-DT last windows: {} (mean {:.3})", tail(&dt), dt.mean_loss);
+    println!(
+        "  Naive-NN last windows: {} (mean {})",
+        tail(&nn),
+        if nn.mean_loss.is_finite() {
+            format!("{:.3}", nn.mean_loss)
+        } else {
+            "N/A — exploded".into()
+        }
+    );
+    println!(
+        "  Naive-DT last windows: {} (mean {:.3})",
+        tail(&dt),
+        dt.mean_loss
+    );
 
     // Removing detected outliers before test/train (Figure 16).
     println!("\noutlier removal before test/train (Naive-DT mean MSE):");
-    for removal in [OutlierRemoval::None, OutlierRemoval::Ecod, OutlierRemoval::IForest] {
+    for removal in [
+        OutlierRemoval::None,
+        OutlierRemoval::Ecod,
+        OutlierRemoval::IForest,
+    ] {
         let cfg = HarnessConfig {
             outlier_removal: removal,
             ..Default::default()

@@ -193,7 +193,11 @@ mod tests {
         let mut g = c.benchmark_group("grouped");
         g.sample_size(3);
         g.bench_function("batched", |b| {
-            b.iter_batched(|| vec![1u64; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
         });
         g.finish();
     }

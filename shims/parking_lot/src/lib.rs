@@ -4,8 +4,8 @@
 //! guard, matching parking_lot's no-poisoning semantics.
 
 use std::sync::{
-    Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
-    RwLockReadGuard, RwLockWriteGuard,
+    Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock, RwLockReadGuard,
+    RwLockWriteGuard,
 };
 
 /// A mutex whose `lock` never returns a poison error.

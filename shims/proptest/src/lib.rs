@@ -323,10 +323,7 @@ mod regex_class {
         if rest.first() != Some(&'{') {
             return (1, 1);
         }
-        let body: String = rest[1..]
-            .iter()
-            .take_while(|&&c| c != '}')
-            .collect();
+        let body: String = rest[1..].iter().take_while(|&&c| c != '}').collect();
         match body.split_once(',') {
             Some((m, n)) => {
                 let m = m.trim().parse().unwrap_or(0);
@@ -574,12 +571,12 @@ macro_rules! prop_oneof {
 pub mod prelude {
     //! The glob-import surface, mirroring `proptest::prelude::*`.
 
-    pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
-        proptest, BoxedStrategy, Just, ProptestConfig, Strategy,
-    };
     /// `prop::collection::vec(..)` paths resolve through this alias.
     pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
 }
 
 #[cfg(test)]

@@ -106,8 +106,7 @@ impl PartialEq for Map {
     fn eq(&self, other: &Self) -> bool {
         // Key-set equality, order-insensitive (matches upstream's map
         // semantics even though we store insertion order).
-        self.len() == other.len()
-            && self.iter().all(|(k, v)| other.get(k) == Some(v))
+        self.len() == other.len() && self.iter().all(|(k, v)| other.get(k) == Some(v))
     }
 }
 
@@ -338,9 +337,7 @@ macro_rules! impl_to_json_value_via_from {
     )*};
 }
 
-impl_to_json_value_via_from!(
-    bool, f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize
-);
+impl_to_json_value_via_from!(bool, f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
 
 impl ToJsonValue for Value {
     fn to_json_value(&self) -> Value {

@@ -117,8 +117,7 @@ impl Parser<'_> {
                         .bytes
                         .get(start..end)
                         .ok_or_else(|| self.err("truncated UTF-8"))?;
-                    let s = std::str::from_utf8(chunk)
-                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?;
                     out.push_str(s);
                     self.pos = end;
                 }

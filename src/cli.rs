@@ -10,8 +10,8 @@
 //! ```
 
 use oeb_core::{
-    extract_stats, run_sweep, try_run_stream, Algorithm, HarnessConfig, HarnessError, Scenario,
-    StatsConfig,
+    extract_stats, resolve_threads, run_sweep, try_run_stream, Algorithm, HarnessConfig,
+    HarnessError, Scenario, StatsConfig,
 };
 use oeb_synth::Level;
 
@@ -90,10 +90,13 @@ pub struct CliOptions {
     pub scale: f64,
     /// Generation seed.
     pub seed: u64,
+    /// Sweep worker count; `None` falls back to `OEBENCH_THREADS` and
+    /// then the machine's available parallelism.
+    pub threads: Option<usize>,
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: oebench <command> [args] [--scale F] [--seed N]\n\
+pub const USAGE: &str = "usage: oebench <command> [args] [--scale F] [--seed N] [--threads N]\n\
 commands:\n\
   list                         list the 55 registry datasets\n\
   inspect <name>               generate a dataset and describe it\n\
@@ -105,7 +108,10 @@ commands:\n\
   export <name> --out <file>   write the generated stream as CSV\n\
   sweep --out <checkpoint>     checkpointed (dataset x algorithm) sweep over the\n\
                                five representative datasets; resumes from the\n\
-                               checkpoint file [--algorithm a] [--limit N]";
+                               checkpoint file [--algorithm a] [--limit N]\n\
+options:\n\
+  --threads N                  sweep worker count (default: OEBENCH_THREADS or\n\
+                               all cores); results are identical for any N";
 
 /// Maps a CLI algorithm slug to an [`Algorithm`].
 pub fn parse_algorithm(slug: &str) -> Option<Algorithm> {
@@ -130,6 +136,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
     let mut algorithm: Option<Algorithm> = None;
     let mut out: Option<String> = None;
     let mut limit: Option<usize> = None;
+    let mut threads: Option<usize> = None;
     let mut scale = 0.25f64;
     let mut seed = 0u64;
     let mut i = 0;
@@ -169,6 +176,17 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
                     CliError::usage(format!("--limit needs an integer\n{USAGE}"))
                 })?);
             }
+            "--threads" => {
+                i += 1;
+                threads = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&v: &usize| v > 0)
+                        .ok_or_else(|| {
+                            CliError::usage(format!("--threads needs a positive integer\n{USAGE}"))
+                        })?,
+                );
+            }
             "--help" | "-h" => return Err(CliError::usage(USAGE)),
             other => positional.push(other),
         }
@@ -205,6 +223,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
         command,
         scale,
         seed,
+        threads,
     })
 }
 
@@ -234,7 +253,9 @@ pub fn execute(opts: &CliOptions) -> Result<String, CliError> {
                     e.paper_rows,
                     e.spec.n_rows,
                     e.spec.default_window,
-                    e.selected.map(|s| format!(" | selected: {s}")).unwrap_or_default(),
+                    e.selected
+                        .map(|s| format!(" | selected: {s}"))
+                        .unwrap_or_default(),
                 ));
             }
             Ok(out)
@@ -361,8 +382,9 @@ pub fn execute(opts: &CliOptions) -> Result<String, CliError> {
             let entry = find_entry(name, opts.scale)?;
             let d = oeb_synth::generate(&entry.spec, opts.seed);
             let csv = oeb_tabular::write_table(&d.table);
-            std::fs::write(out, &csv)
-                .map_err(|e| CliError::from(HarnessError::Io(format!("cannot write {out}: {e}"))))?;
+            std::fs::write(out, &csv).map_err(|e| {
+                CliError::from(HarnessError::Io(format!("cannot write {out}: {e}")))
+            })?;
             Ok(format!(
                 "wrote {} rows x {} columns to {out}\n",
                 d.n_rows(),
@@ -392,6 +414,7 @@ pub fn execute(opts: &CliOptions) -> Result<String, CliError> {
                 &cfg,
                 Some(std::path::Path::new(out)),
                 *limit,
+                resolve_threads(opts.threads),
             )?;
             let (completed, inapplicable, failed) = report.counts();
             let mut text = String::new();
@@ -426,6 +449,16 @@ mod tests {
         assert_eq!(o.command, Command::List);
         assert_eq!(o.scale, 0.1);
         assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        let o = parse(&s(&["sweep", "--out", "c.jsonl", "--threads", "4"])).unwrap();
+        assert_eq!(o.threads, Some(4));
+        let o = parse(&s(&["list"])).unwrap();
+        assert_eq!(o.threads, None);
+        assert_eq!(parse(&s(&["list", "--threads", "0"])).unwrap_err().code, 2);
+        assert_eq!(parse(&s(&["list", "--threads", "x"])).unwrap_err().code, 2);
     }
 
     #[test]

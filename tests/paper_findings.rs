@@ -35,11 +35,13 @@ fn outlier_events_hit_nn_harder_than_dt() {
             .filter(|l| l.is_finite())
             .collect();
         let median = oebench::linalg::quantile(&finite, 0.5).max(1e-9);
-        let max = r
-            .per_window_loss
-            .iter()
-            .copied()
-            .fold(0.0f64, |a, b| if b.is_finite() { a.max(b) } else { f64::INFINITY });
+        let max = r.per_window_loss.iter().copied().fold(0.0f64, |a, b| {
+            if b.is_finite() {
+                a.max(b)
+            } else {
+                f64::INFINITY
+            }
+        });
         max / median
     };
     let nn_spike = spike_ratio(&nn);

@@ -27,7 +27,12 @@ fn full_pipeline_stats_selection_evaluation() {
     // Stage 2: extract open-environment statistics for each.
     let stats: Vec<OeStats> = entries
         .iter()
-        .map(|e| extract_stats(&oebench::synth::generate(&e.spec, 0), &StatsConfig::default()))
+        .map(|e| {
+            extract_stats(
+                &oebench::synth::generate(&e.spec, 0),
+                &StatsConfig::default(),
+            )
+        })
         .collect();
     for s in &stats {
         assert!(s.n_windows >= 2, "{} has too few windows", s.name);
