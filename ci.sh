@@ -8,6 +8,14 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Static invariant gate (oeb-lint): determinism, NaN-safety, and panic
+# hygiene rules over every workspace .rs file — see DESIGN.md, "Static
+# invariants". Exits nonzero with file:line:col diagnostics on any
+# violation; for remediation guidance run it by hand with hints:
+#   cargo run --release -p oeb-lint -- check --fix-hints
+cargo run --release -p oeb-lint -- check
+
 cargo fmt --check
 
 # Smoke: the staged pipeline + parallel executor end to end (Table 4 at

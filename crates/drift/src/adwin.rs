@@ -69,8 +69,8 @@ impl Adwin {
     /// Inserts a value; returns `true` when the window was cut (drift).
     pub fn insert(&mut self, value: f64) -> bool {
         // New item enters row 0 as a singleton bucket.
-        self.rows[0].sums.insert(0, value);
-        self.rows[0].sq_sums.insert(0, value * value);
+        self.rows[0].sums.insert(0, value); // oeb-lint: allow(panic-in-library) -- row 0 exists from construction
+        self.rows[0].sq_sums.insert(0, value * value); // oeb-lint: allow(panic-in-library) -- row 0 exists from construction
         self.total += 1;
         self.sum += value;
         self.compress();
@@ -93,10 +93,10 @@ impl Adwin {
                     self.rows.push(BucketRow::default());
                 }
                 // Merge the two oldest buckets of this row.
-                let s1 = self.rows[row].sums.pop().expect("len > max_buckets");
-                let s2 = self.rows[row].sums.pop().expect("len > max_buckets");
-                let q1 = self.rows[row].sq_sums.pop().expect("len > max_buckets");
-                let q2 = self.rows[row].sq_sums.pop().expect("len > max_buckets");
+                let s1 = self.rows[row].sums.pop().expect("len > max_buckets"); // oeb-lint: allow(panic-in-library) -- pop guarded by the len check above
+                let s2 = self.rows[row].sums.pop().expect("len > max_buckets"); // oeb-lint: allow(panic-in-library) -- pop guarded by the len check above
+                let q1 = self.rows[row].sq_sums.pop().expect("len > max_buckets"); // oeb-lint: allow(panic-in-library) -- sq_sums moves in lockstep with sums
+                let q2 = self.rows[row].sq_sums.pop().expect("len > max_buckets"); // oeb-lint: allow(panic-in-library) -- sq_sums moves in lockstep with sums
                 self.rows[row + 1].sums.insert(0, s1 + s2);
                 self.rows[row + 1].sq_sums.insert(0, q1 + q2);
                 row += 1;

@@ -142,11 +142,10 @@ impl Default for PcaCd {
 
 impl BatchDriftDetector for PcaCd {
     fn update(&mut self, window: &Matrix) -> DriftState {
-        if self.fitted.is_none() {
+        let Some((pca, ranges, ref_probs)) = self.fitted.as_ref() else {
             self.fit_reference(window);
             return DriftState::Stable;
-        }
-        let (pca, ranges, ref_probs) = self.fitted.as_ref().expect("fitted above");
+        };
         let clean = sanitize(window);
         let proj = pca.transform(&clean);
         // Average per-component KL divergence against the reference.

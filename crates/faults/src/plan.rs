@@ -125,6 +125,7 @@ impl FaultPlan {
 
     /// True when no fault can ever fire.
     pub fn is_clean(&self) -> bool {
+        // oeb-lint: allow(float-eq) -- a fault is inactive only at a rate of exactly 0.0
         self.rates().iter().all(|&(_, r)| r == 0.0)
     }
 

@@ -83,7 +83,7 @@ pub fn kmeans<R: Rng>(data: &Matrix, config: &KMeansConfig, rng: &mut R) -> KMea
             _ => best = Some(result),
         }
     }
-    best.expect("at least one k-means restart runs")
+    best.expect("at least one k-means restart runs") // oeb-lint: allow(panic-in-library) -- n_init.max(1) guarantees one iteration
 }
 
 fn kmeans_once<R: Rng>(data: &Matrix, config: &KMeansConfig, rng: &mut R) -> KMeansResult {

@@ -48,7 +48,7 @@ impl Matrix {
         if rows.is_empty() {
             return Matrix::zeros(0, 0);
         }
-        let cols = rows[0].len();
+        let cols = rows.first().map_or(0, Vec::len);
         let mut data = Vec::with_capacity(rows.len() * cols);
         for r in rows {
             assert_eq!(r.len(), cols, "ragged rows passed to Matrix::from_rows");
@@ -146,6 +146,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
+                // oeb-lint: allow(float-eq) -- exact-zero sparsity skip; any nonzero must multiply
                 if a == 0.0 {
                     continue;
                 }

@@ -1,0 +1,423 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The rules in this crate match on token shapes, not on raw text, so
+//! the lexer has to get the hard cases right: a `partial_cmp` inside a
+//! string literal or a doc comment is not a violation, `'a` is a
+//! lifetime while `'a'` is a char, `r#"..."#` swallows quotes, and
+//! block comments nest. Everything else — full expression parsing,
+//! type inference — is deliberately out of scope; rules compensate
+//! with small look-ahead/look-behind windows over the token stream.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`for`, `HashMap`, `partial_cmp`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// Integer literal (`42`, `0xff`, `1_000u32`).
+    Int,
+    /// Float literal (`1.0`, `1e-5`, `2f64`).
+    Float,
+    /// String, raw string, byte string, or char literal.
+    Literal,
+    /// `//` or `/* */` comment (kept: suppressions live here).
+    Comment,
+    /// Punctuation; multi-char operators (`==`, `::`, `..`) are one token.
+    Punct,
+}
+
+/// One lexed token with its position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// Multi-character operators, longest first so matching is greedy.
+const OPERATORS: &[&str] = &[
+    "..=", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens, comments included. Unterminated literals
+/// and comments are tolerated (the token simply runs to end of file):
+/// a linter must never panic on the code it inspects.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let (line, col, start) = (cur.line, cur.col, cur.pos);
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+                continue;
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                while cur.peek(0).is_some_and(|c| c != b'\n') {
+                    cur.bump();
+                }
+                TokenKind::Comment
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                TokenKind::Comment
+            }
+            b'r' | b'b' if starts_raw_string(&cur) => {
+                lex_raw_string(&mut cur);
+                TokenKind::Literal
+            }
+            b'b' if cur.peek(1) == Some(b'"') => {
+                cur.bump();
+                lex_quoted(&mut cur, b'"');
+                TokenKind::Literal
+            }
+            b'b' if cur.peek(1) == Some(b'\'') => {
+                cur.bump();
+                lex_quoted(&mut cur, b'\'');
+                TokenKind::Literal
+            }
+            b'"' => {
+                lex_quoted(&mut cur, b'"');
+                TokenKind::Literal
+            }
+            b'\'' => lex_lifetime_or_char(&mut cur),
+            _ if is_ident_start(b) => {
+                while cur.peek(0).is_some_and(is_ident_cont) {
+                    cur.bump();
+                }
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => lex_number(&mut cur),
+            _ => {
+                let rest = &src[cur.pos..];
+                let op = OPERATORS.iter().find(|op| rest.starts_with(**op));
+                for _ in 0..op.map_or(1, |op| op.len()) {
+                    cur.bump();
+                }
+                TokenKind::Punct
+            }
+        };
+        tokens.push(Token {
+            kind,
+            text: src[start..cur.pos].to_string(),
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+/// `r"`, `r#"`, `br"`, `br#"` … introduce a raw (byte) string.
+fn starts_raw_string(cur: &Cursor) -> bool {
+    let mut i = 1;
+    if cur.peek(0) == Some(b'b') {
+        if cur.peek(1) != Some(b'r') {
+            return false;
+        }
+        i = 2;
+    }
+    loop {
+        match cur.peek(i) {
+            Some(b'#') => i += 1,
+            Some(b'"') => return true,
+            _ => return false,
+        }
+    }
+}
+
+fn lex_raw_string(cur: &mut Cursor) {
+    if cur.peek(0) == Some(b'b') {
+        cur.bump();
+    }
+    cur.bump(); // 'r'
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    'scan: while let Some(b) = cur.bump() {
+        if b == b'"' {
+            for i in 0..hashes {
+                if cur.peek(i) != Some(b'#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            return;
+        }
+    }
+}
+
+/// A `"..."` or `'...'` body with `\`-escapes; consumes the closing quote.
+fn lex_quoted(cur: &mut Cursor, quote: u8) {
+    cur.bump(); // opening quote
+    while let Some(b) = cur.bump() {
+        if b == b'\\' {
+            cur.bump();
+        } else if b == quote {
+            return;
+        }
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+fn lex_lifetime_or_char(cur: &mut Cursor) -> TokenKind {
+    let next = cur.peek(1);
+    let after = cur.peek(2);
+    if next == Some(b'\\') || (next.is_some_and(|b| b != b'\'') && after == Some(b'\'')) {
+        lex_quoted(cur, b'\'');
+        return TokenKind::Literal;
+    }
+    if next.is_some_and(is_ident_start) {
+        cur.bump(); // '
+        while cur.peek(0).is_some_and(is_ident_cont) {
+            cur.bump();
+        }
+        return TokenKind::Lifetime;
+    }
+    // Degenerate char like `' '`.
+    lex_quoted(cur, b'\'');
+    TokenKind::Literal
+}
+
+/// Integer or float. Decimal numbers become floats when they carry a
+/// fraction, an exponent, or an `f32`/`f64` suffix; `1..2` and
+/// `1.method()` keep the `1` an integer, matching rustc.
+fn lex_number(cur: &mut Cursor) -> TokenKind {
+    let radix_prefix = cur.peek(0) == Some(b'0')
+        && matches!(cur.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+    if radix_prefix {
+        cur.bump();
+        cur.bump();
+        while cur.peek(0).is_some_and(is_ident_cont) {
+            cur.bump();
+        }
+        return TokenKind::Int;
+    }
+    let mut float = false;
+    while cur.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+        cur.bump();
+    }
+    if cur.peek(0) == Some(b'.')
+        && cur.peek(1) != Some(b'.')
+        && !cur.peek(1).is_some_and(is_ident_start)
+    {
+        float = true;
+        cur.bump();
+        while cur.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+            cur.bump();
+        }
+    }
+    if matches!(cur.peek(0), Some(b'e' | b'E'))
+        && (cur.peek(1).is_some_and(|b| b.is_ascii_digit())
+            || (matches!(cur.peek(1), Some(b'+' | b'-'))
+                && cur.peek(2).is_some_and(|b| b.is_ascii_digit())))
+    {
+        float = true;
+        cur.bump();
+        cur.bump();
+        while cur.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+            cur.bump();
+        }
+    }
+    // Type suffix (`u32`, `f64`, …) decides floatness for e.g. `2f64`.
+    let suffix_start = cur.pos;
+    while cur.peek(0).is_some_and(is_ident_cont) {
+        cur.bump();
+    }
+    let suffix = &cur.src[suffix_start..cur.pos];
+    if suffix == b"f32" || suffix == b"f64" {
+        float = true;
+    }
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "partial_cmp .unwrap()";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || (t != "partial_cmp" && t != "unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = kinds(r###"let s = r#"a "quoted" thread_rng"#; x"###);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            1
+        );
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "x"));
+        assert!(!toks.iter().any(|(_, t)| t == "thread_rng"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Literal)
+            .collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 1, "{toks:?}");
+        assert_eq!(chars[0].1, "'a'");
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let toks = kinds(r"let q = '\''; let n = '\n';");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let toks = kinds("/* outer /* inner */ still comment */ ident");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert_eq!(toks[1].1, "ident");
+    }
+
+    #[test]
+    fn numbers_classify_floats_vs_ints() {
+        for (src, kind) in [
+            ("1.0", TokenKind::Float),
+            ("1e-5", TokenKind::Float),
+            ("2f64", TokenKind::Float),
+            ("7", TokenKind::Int),
+            ("0xff", TokenKind::Int),
+            ("1_000u32", TokenKind::Int),
+        ] {
+            assert_eq!(kinds(src)[0].0, kind, "{src}");
+        }
+        // `1..2` is a range of ints; `1.max(2)` is a method on an int.
+        let range = kinds("1..2");
+        assert_eq!(range[0].0, TokenKind::Int);
+        assert_eq!(range[1].1, "..");
+        let method = kinds("1.max(2)");
+        assert_eq!(method[0].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let toks = kinds("a == b != c :: d .. e");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, ["==", "!=", "::", ".."]);
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["\"open", "r#\"open", "/* open", "'"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! # oeb-lint
+//!
+//! A from-scratch static invariant checker for this workspace. The
+//! reproduction's value rests on properties the compiler cannot see:
+//! bit-identical results at any thread count, seeded randomness
+//! everywhere, NaN-tolerant numeric kernels, and panic-isolated sweep
+//! workers that never die on malformed input. Proptests catch
+//! violations after the fact; this crate catches them at review time.
+//!
+//! Pipeline: a hand-rolled [`lexer`] turns each `.rs` file into a
+//! line/column-tracked token stream; [`engine`] classifies the file
+//! (library / test / bench / example, `#[cfg(test)]` regions, inline
+//! `// oeb-lint: allow(..)` suppressions); [`rules`] runs six invariant
+//! checks over the comment-free tokens. The `oeb-lint` binary walks the
+//! workspace and gates CI:
+//!
+//! ```text
+//! cargo run -p oeb-lint -- check [--json] [--fix-hints]
+//! ```
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{check_file, to_json, Diagnostic, FileKind, Severity, SourceFile};
+pub use rules::{all as all_rules, Rule};
+
+/// Directories (workspace-relative prefixes) the walker never descends
+/// into: build output, vendored dependency shims (external API stubs,
+/// not workspace code), and the lint fixtures, which contain violations
+/// on purpose.
+pub const EXCLUDED_PREFIXES: &[&str] = &["target", "shims", "crates/lint/tests/fixtures"];
+
+/// Walks `root` for workspace `.rs` files, sorted so diagnostics are
+/// emitted in a stable order on every platform (`read_dir` order is
+/// OS-dependent — the same invariant this crate lints for).
+pub fn workspace_files(root: &std::path::Path) -> std::io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let Ok(rel) = path.strip_prefix(root) else {
+                continue;
+            };
+            let rel_str = rel.to_string_lossy().replace('\\', "/");
+            if EXCLUDED_PREFIXES.iter().any(|p| rel_str == *p) || rel_str.starts_with('.') {
+                continue;
+            }
+            if path.is_dir() {
+                stack.push(path);
+            } else if rel_str.ends_with(".rs") {
+                files.push(rel_str);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Runs every rule over every workspace file under `root`.
+pub fn check_workspace(
+    root: &std::path::Path,
+    warn_rules: &[String],
+) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for rel in workspace_files(root)? {
+        let file = SourceFile::load(root, &rel)?;
+        diags.extend(check_file(&file, warn_rules));
+    }
+    Ok(diags)
+}

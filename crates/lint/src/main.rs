@@ -1,0 +1,167 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! oeb-lint check [--json] [--fix-hints] [--warn <rule>]... [--root <dir>] [paths...]
+//! oeb-lint rules
+//! ```
+//!
+//! Exit codes: 0 clean (warnings allowed), 1 violations at error
+//! severity, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use oeb_lint::engine::{check_file, render_human, to_json, Severity, SourceFile};
+use oeb_lint::{rules, workspace_files};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(&args[1..]),
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: oeb-lint <check [--json] [--fix-hints] [--warn <rule>]... [--root <dir>] [paths...] | rules>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_rules() {
+    for r in rules::all() {
+        println!(
+            "{} [{}]\n    invariant: {}\n    hint: {}",
+            r.name,
+            r.severity.label(),
+            r.invariant,
+            r.hint
+        );
+    }
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut fix_hints = false;
+    let mut warn_rules: Vec<String> = Vec::new();
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fix-hints" => fix_hints = true,
+            "--warn" => match it.next() {
+                Some(name) if rules::by_name(name).is_some() => warn_rules.push(name.clone()),
+                Some(name) => {
+                    eprintln!("oeb-lint: unknown rule `{name}` (see `oeb-lint rules`)");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("oeb-lint: --warn needs a rule name");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("oeb-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("oeb-lint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+
+    let root = match root.or_else(default_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("oeb-lint: could not locate the workspace root (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let rels = if paths.is_empty() {
+        match workspace_files(&root) {
+            Ok(files) => files,
+            Err(e) => {
+                eprintln!("oeb-lint: walking {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        paths
+    };
+
+    let mut diags = Vec::new();
+    for rel in &rels {
+        let file = match SourceFile::load(&root, rel) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("oeb-lint: reading {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        diags.extend(check_file(&file, &warn_rules));
+    }
+
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    if json {
+        match serde_json::to_string_pretty(&to_json(&diags)) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("oeb-lint: serialising diagnostics: {e:?}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        for d in &diags {
+            print!("{}", render_human(d, fix_hints));
+        }
+        let rule_count = rules::all().len();
+        let file_count = rels.len();
+        println!(
+            "oeb-lint: {file_count} files, {rule_count} rules, {errors} errors, {warnings} warnings"
+        );
+    }
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root: the manifest dir's grandparent when cargo runs
+/// us (`crates/lint` → repo root), else the nearest ancestor of the
+/// current directory holding a `Cargo.toml` with a `[workspace]` table.
+fn default_root() -> Option<PathBuf> {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let candidate = PathBuf::from(&manifest).join("../..");
+        if is_workspace_root(&candidate) {
+            return Some(candidate);
+        }
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if is_workspace_root(&dir) {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn is_workspace_root(dir: &std::path::Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml"))
+        .map(|s| s.contains("[workspace]"))
+        .unwrap_or(false)
+}

@@ -1,0 +1,451 @@
+//! The rule set: each rule encodes one workspace invariant that the
+//! compiler cannot check. Rules are heuristic by design — they match
+//! token shapes, not types — and every rule supports inline
+//! `// oeb-lint: allow(<rule>)` suppression for the cases where a human
+//! has judged the pattern safe (see DESIGN.md, "Static invariants").
+
+use crate::engine::{diag, Diagnostic, FileKind, Severity, SourceFile};
+use crate::lexer::{Token, TokenKind};
+
+/// One registered rule.
+pub struct Rule {
+    /// Kebab-case rule id, as used in `allow(...)`.
+    pub name: &'static str,
+    pub severity: Severity,
+    /// The invariant the rule encodes, for `oeb-lint rules` and docs.
+    pub invariant: &'static str,
+    /// Fix hint attached to every diagnostic of this rule.
+    pub hint: &'static str,
+    pub check: fn(&Rule, &SourceFile) -> Vec<Diagnostic>,
+}
+
+/// Crates whose `src/` is held to panic-hygiene rules: numeric and
+/// streaming kernels that run inside panic-isolated sweep workers,
+/// where a panic costs a whole (dataset, algorithm) cell.
+const KERNEL_CRATES: &[&str] = &[
+    "drift",
+    "faults",
+    "linalg",
+    "nn",
+    "outlier",
+    "preprocess",
+    "synth",
+    "tabular",
+    "tree",
+];
+
+/// The active rule set, in diagnostic-output order.
+pub fn all() -> &'static [Rule] {
+    &[
+        Rule {
+            name: "nondeterministic-iteration",
+            severity: Severity::Error,
+            invariant: "ordered output never derives from HashMap/HashSet iteration order \
+                        without a subsequent total sort",
+            hint: "collect then sort with a total key (e.g. `(Reverse(count), name)`), \
+                   or use a BTreeMap/BTreeSet",
+            check: nondeterministic_iteration,
+        },
+        Rule {
+            name: "unseeded-rng",
+            severity: Severity::Error,
+            invariant: "every random source is seeded; results are bit-identical across runs",
+            hint: "use `StdRng::seed_from_u64(seed)` with a seed threaded from the config",
+            check: unseeded_rng,
+        },
+        Rule {
+            name: "wall-clock-in-results",
+            severity: Severity::Error,
+            invariant: "result values never depend on the wall clock (timing lives in \
+                        crates/bench)",
+            hint: "move timing into crates/bench, or annotate why the measured duration \
+                   is itself the reported metric",
+            check: wall_clock_in_results,
+        },
+        Rule {
+            name: "nan-partial-cmp",
+            severity: Severity::Error,
+            invariant: "float comparisons never panic on NaN",
+            hint: "use `total_cmp`, or make the NaN policy explicit with \
+                   `partial_cmp(..).unwrap_or(Ordering::..)`",
+            check: nan_partial_cmp,
+        },
+        Rule {
+            name: "panic-in-library",
+            severity: Severity::Error,
+            invariant: "kernel crates do not panic on malformed input \
+                        (unwrap/expect/constant indexing)",
+            hint: "return a Result/Option, use `.get(i)`, or allow-annotate with the \
+                   invariant that makes the panic unreachable",
+            check: panic_in_library,
+        },
+        Rule {
+            name: "float-eq",
+            severity: Severity::Error,
+            invariant: "floats are never compared with `==`/`!=` against literals",
+            hint: "compare with an epsilon (`(x - y).abs() < tol`), or allow-annotate \
+                   an intentional exact comparison (e.g. a zero-pivot guard)",
+            check: float_eq,
+        },
+    ]
+}
+
+/// Looks up a rule by name (used by the CLI to validate `--warn`).
+pub fn by_name(name: &str) -> Option<&'static Rule> {
+    all().iter().find(|r| r.name == name)
+}
+
+// --- unseeded-rng -------------------------------------------------------
+
+/// Constructors that pull entropy from the environment. Any one of them
+/// makes a run irreproducible, so they are banned everywhere — tests
+/// and examples included.
+fn unseeded_rng(rule: &Rule, file: &SourceFile) -> Vec<Diagnostic> {
+    file.tokens
+        .iter()
+        .filter(|t| {
+            t.kind == TokenKind::Ident
+                && matches!(t.text.as_str(), "thread_rng" | "from_entropy" | "OsRng")
+        })
+        .map(|t| {
+            diag(
+                rule,
+                file,
+                t,
+                format!("`{}` draws entropy from the environment", t.text),
+            )
+        })
+        .collect()
+}
+
+// --- wall-clock-in-results ----------------------------------------------
+
+/// `Instant::now` / `SystemTime` outside `crates/bench` and outside
+/// test/bench/example code: wall-clock readings must not flow into
+/// result artifacts.
+fn wall_clock_in_results(rule: &Rule, file: &SourceFile) -> Vec<Diagnostic> {
+    if file.crate_name.as_deref() == Some("bench") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in file.tokens.iter().enumerate() {
+        if file.is_test_code(t.line) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "SystemTime" => true,
+            "Instant" => {
+                ident_at(&file.tokens, i + 2, "now") && punct_at(&file.tokens, i + 1, "::")
+            }
+            _ => false,
+        };
+        if flagged {
+            out.push(diag(
+                rule,
+                file,
+                t,
+                format!("`{}` reads the wall clock outside crates/bench", t.text),
+            ));
+        }
+    }
+    out
+}
+
+// --- nan-partial-cmp ----------------------------------------------------
+
+/// `partial_cmp(..).unwrap()` (or `.expect(..)`) panics the moment a
+/// NaN reaches the comparison — exactly when a degraded stream needs
+/// the pipeline to keep going. Applies to tests too: a NaN-panicking
+/// assertion helper is still a NaN-panicking comparison.
+fn nan_partial_cmp(rule: &Rule, file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in file.tokens.iter().enumerate() {
+        if !t.is_ident("partial_cmp") {
+            continue;
+        }
+        let window = &file.tokens[i..file.tokens.len().min(i + 9)];
+        if window
+            .iter()
+            .any(|w| w.kind == TokenKind::Ident && (w.text == "unwrap" || w.text == "expect"))
+        {
+            out.push(diag(
+                rule,
+                file,
+                t,
+                "`partial_cmp(..).unwrap()` panics on NaN".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+// --- float-eq -----------------------------------------------------------
+
+/// `==` / `!=` with a float literal (or `f64::NAN`-style constant) on
+/// either side. Library code only: tests legitimately assert exact
+/// values that the code under test produced deterministically.
+fn float_eq(rule: &Rule, file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in file.tokens.iter().enumerate() {
+        if !(t.is_punct("==") || t.is_punct("!=")) || file.is_test_code(t.line) {
+            continue;
+        }
+        let prev_is_float = i > 0 && file.tokens[i - 1].kind == TokenKind::Float;
+        // Right side: optional unary minus, then a float literal or a
+        // `f64::NAN` / `f32::INFINITY` style constant.
+        let mut j = i + 1;
+        if punct_at(&file.tokens, j, "-") {
+            j += 1;
+        }
+        let next_is_float = file
+            .tokens
+            .get(j)
+            .is_some_and(|n| n.kind == TokenKind::Float);
+        let next_is_nan_const = file
+            .tokens
+            .get(j)
+            .is_some_and(|n| n.text == "f64" || n.text == "f32")
+            && punct_at(&file.tokens, j + 1, "::");
+        if prev_is_float || next_is_float || next_is_nan_const {
+            out.push(diag(
+                rule,
+                file,
+                t,
+                format!("`{}` compares a float for exact equality", t.text),
+            ));
+        }
+    }
+    out
+}
+
+// --- panic-in-library ---------------------------------------------------
+
+/// `unwrap` / `expect` / constant-literal indexing in non-test code of
+/// kernel crates. Each surviving use carries an allow-annotation naming
+/// the invariant that makes it unreachable.
+fn panic_in_library(rule: &Rule, file: &SourceFile) -> Vec<Diagnostic> {
+    let in_kernel = file.kind == FileKind::Library
+        && file
+            .crate_name
+            .as_deref()
+            .is_some_and(|c| KERNEL_CRATES.contains(&c));
+    if !in_kernel {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in file.tokens.iter().enumerate() {
+        if file.is_test_code(t.line) {
+            continue;
+        }
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i > 0
+            && punct_at(&file.tokens, i - 1, ".")
+        {
+            out.push(diag(
+                rule,
+                file,
+                t,
+                format!("`.{}()` can panic in kernel code", t.text),
+            ));
+        }
+        // `expr[3]`: an integer literal index directly after an index-able
+        // expression (`ident[`, `)[`, `][`). Array literals (`[0; 4]`,
+        // `vec![0]`) and attributes (`#[..]`) do not match this shape.
+        if t.is_punct("[")
+            && i > 0
+            && indexable_end(&file.tokens[i - 1])
+            && file
+                .tokens
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokenKind::Int)
+            && punct_at(&file.tokens, i + 2, "]")
+        {
+            out.push(diag(
+                rule,
+                file,
+                t,
+                format!(
+                    "constant index `[{}]` can panic on short input",
+                    file.tokens[i + 1].text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Tokens an index expression can end with.
+fn indexable_end(t: &Token) -> bool {
+    t.kind == TokenKind::Ident || t.is_punct(")") || t.is_punct("]")
+}
+
+// --- nondeterministic-iteration -----------------------------------------
+
+/// Iteration methods whose order reflects the hash map's internal
+/// layout.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Identifiers that make a downstream use order-insensitive (a total
+/// sort) or order-restoring (an ordered collection), plus reductions
+/// that are commutative over the element types this workspace uses.
+const ORDER_ABSOLVERS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_by_cached_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "sum",
+    "count",
+    "len",
+    "min",
+    "max",
+    "all",
+    "any",
+    "contains",
+    "contains_key",
+    "is_empty",
+];
+
+/// Flags iteration over identifiers bound to `HashMap`/`HashSet` unless
+/// a sort (or another order-insensitive consumer) appears within the
+/// same or the next statement. Flow-insensitive and file-local on
+/// purpose: a cross-function false positive is one `allow` away, a
+/// missed unordered iteration is a flaky results table.
+fn nondeterministic_iteration(rule: &Rule, file: &SourceFile) -> Vec<Diagnostic> {
+    let tracked = hash_bound_names(&file.tokens);
+    if tracked.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in file.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !tracked.contains(&t.text) {
+            continue;
+        }
+        // `name.iter()` / `name.keys()` / … or a bare `for x in name {`.
+        let method_iter = punct_at(&file.tokens, i + 1, ".")
+            && file
+                .tokens
+                .get(i + 2)
+                .is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()));
+        let for_iter = is_for_in_target(&file.tokens, i);
+        if !(method_iter || for_iter) {
+            continue;
+        }
+        if absolved(&file.tokens, i) {
+            continue;
+        }
+        out.push(diag(
+            rule,
+            file,
+            t,
+            format!(
+                "iteration over hash-ordered `{}` reaches ordered output",
+                t.text
+            ),
+        ));
+    }
+    out
+}
+
+/// Collects identifiers bound to a `HashMap`/`HashSet` anywhere in the
+/// file: `let [mut] name: HashMap<..>`, struct fields and fn params
+/// (`name: &mut HashMap<..>`), and `let name = HashMap::new()`.
+fn hash_bound_names(tokens: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk left over `&`, `mut`, `<` (nested generics) to the binder.
+        let mut j = i;
+        while j > 0 && (tokens[j - 1].is_punct("&") || tokens[j - 1].is_ident("mut")) {
+            j -= 1;
+        }
+        let name = if j >= 2
+            && tokens[j - 1].is_punct(":")
+            && tokens[j - 2].kind == TokenKind::Ident
+        {
+            // `name: HashMap<..>` — annotation, field, or param.
+            Some(tokens[j - 2].text.clone())
+        } else if j >= 2 && tokens[j - 1].is_punct("=") && tokens[j - 2].kind == TokenKind::Ident {
+            // `let name = HashMap::new()`.
+            Some(tokens[j - 2].text.clone())
+        } else {
+            None
+        };
+        if let Some(n) = name {
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+    }
+    names
+}
+
+/// True when token `i` is the iterated expression of a `for` loop:
+/// `for <pat> in [&][mut] name {`. The name must head the expression
+/// (`for x in map.keys()` is handled by the method pattern instead).
+fn is_for_in_target(tokens: &[Token], i: usize) -> bool {
+    // Walk left over `&` / `mut` to the `in`.
+    let mut j = i;
+    while j > 0 && (tokens[j - 1].is_punct("&") || tokens[j - 1].is_ident("mut")) {
+        j -= 1;
+    }
+    if !(j > 0 && tokens[j - 1].is_ident("in")) {
+        return false;
+    }
+    // Reject `for x in name.something()` — the method pattern owns it.
+    if punct_at(tokens, i + 1, ".") {
+        return false;
+    }
+    // Confirm a `for` opens this construct within a short window
+    // (patterns are small: `for (k, v) in …`).
+    tokens[..j.saturating_sub(1)]
+        .iter()
+        .rev()
+        .take(12)
+        .any(|t| t.is_ident("for"))
+}
+
+/// Looks ahead from the iteration site to the end of the *next*
+/// statement for a sort or an order-insensitive consumer.
+fn absolved(tokens: &[Token], i: usize) -> bool {
+    let mut semis = 0;
+    for t in tokens.iter().skip(i + 1).take(90) {
+        if t.kind == TokenKind::Ident && ORDER_ABSOLVERS.contains(&t.text.as_str()) {
+            return true;
+        }
+        if t.is_punct(";") {
+            semis += 1;
+            if semis == 2 {
+                return false;
+            }
+        }
+    }
+    false
+}
+
+// --- small token helpers ------------------------------------------------
+
+fn ident_at(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_ident(text))
+}
+
+fn punct_at(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct(text))
+}

@@ -1,0 +1,8 @@
+pub fn is_unit(x: f64) -> bool {
+    (x - 1.0).abs() < 1e-12
+}
+
+pub fn is_exactly_zero(x: f64) -> bool {
+    // oeb-lint: allow(float-eq) -- exact-zero guard: only 0.0 short-circuits the kernel
+    x == 0.0
+}

@@ -1,0 +1,3 @@
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}

@@ -1,0 +1,27 @@
+use std::cmp::Ordering;
+
+pub fn argmax(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+pub fn argmax_nan_low(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        // Explicit NaN policy: NaN compares as lowest, never panics.
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(Ordering::Less))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+pub fn argmax_suppressed(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        // oeb-lint: allow(nan-partial-cmp) -- caller filters NaN upstream
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}

@@ -1,0 +1,16 @@
+use std::collections::HashMap;
+
+pub fn winners(counts: &HashMap<String, usize>) -> Vec<(String, usize)> {
+    // oeb-lint: allow(nondeterministic-iteration) -- caller sorts before rendering
+    counts.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}
+
+pub fn winners_sorted(counts: &HashMap<String, usize>) -> Vec<(String, usize)> {
+    let mut rows: Vec<(String, usize)> = counts.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    rows
+}
+
+pub fn total(counts: &HashMap<String, usize>) -> usize {
+    counts.values().sum()
+}

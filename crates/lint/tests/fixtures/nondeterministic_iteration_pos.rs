@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub fn winners(counts: &HashMap<String, usize>) -> Vec<(String, usize)> {
+    counts.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}

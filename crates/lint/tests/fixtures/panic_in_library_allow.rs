@@ -1,0 +1,20 @@
+pub fn head(xs: &[f64]) -> Option<f64> {
+    xs.first().copied()
+}
+
+pub fn head_checked(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "head_checked needs a non-empty slice");
+    // oeb-lint: allow(panic-in-library) -- guarded by the assert above
+    xs[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(head(&[1.0, 2.0]).unwrap(), 1.0);
+        assert_eq!([4.0, 5.0][1], 5.0);
+    }
+}

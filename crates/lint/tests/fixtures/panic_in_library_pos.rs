@@ -1,0 +1,7 @@
+pub fn head(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap()
+}
+
+pub fn second(xs: &[f64]) -> f64 {
+    xs[1]
+}

@@ -1,0 +1,7 @@
+use rand::Rng;
+
+pub fn jitter() -> f64 {
+    // oeb-lint: allow(unseeded-rng) -- demo snippet, never reaches results
+    let mut rng = rand::thread_rng();
+    rng.gen::<f64>()
+}

@@ -1,0 +1,6 @@
+use rand::Rng;
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen::<f64>()
+}

@@ -98,6 +98,7 @@ impl Mlp {
         sizes.push(output);
         let layers = sizes
             .windows(2)
+            // oeb-lint: allow(panic-in-library) -- windows(2) yields exactly two elements
             .map(|p| Layer::new(p[0], p[1], &mut rng))
             .collect();
         Mlp { layers, objective }
@@ -116,12 +117,12 @@ impl Mlp {
 
     /// Input width.
     pub fn input_dim(&self) -> usize {
-        self.layers[0].n_in
+        self.layers[0].n_in // oeb-lint: allow(panic-in-library) -- layers non-empty: new() always pushes input+output sizes
     }
 
     /// Output width.
     pub fn output_dim(&self) -> usize {
-        self.layers.last().expect("non-empty").n_out
+        self.layers.last().expect("non-empty").n_out // oeb-lint: allow(panic-in-library) -- layers non-empty by construction
     }
 
     /// Flattened copy of all parameters (weights then biases, per layer).
@@ -196,6 +197,7 @@ impl Mlp {
                 -(p[c].max(1e-12)).ln()
             }
             Objective::SquaredError => {
+                // oeb-lint: allow(panic-in-library) -- squared-error nets have output dim 1
                 let d = out[0] - y;
                 d * d
             }
@@ -242,7 +244,7 @@ impl Mlp {
                 acts.push(next.clone());
                 std::mem::swap(&mut cur, &mut next);
             }
-            let out = acts.last().expect("output activation");
+            let out = acts.last().expect("output activation"); // oeb-lint: allow(panic-in-library) -- forward() yields one activation per layer
 
             // Output-layer delta.
             let mut delta: Vec<f64> = match self.objective {
@@ -255,6 +257,7 @@ impl Mlp {
                     d
                 }
                 Objective::SquaredError => {
+                    // oeb-lint: allow(panic-in-library) -- squared-error nets have output dim 1
                     let diff = out[0] - y;
                     total_loss += diff * diff;
                     vec![2.0 * diff]
@@ -276,6 +279,7 @@ impl Mlp {
                         }
                     }
                     Objective::SquaredError => {
+                        // oeb-lint: allow(panic-in-library) -- squared-error nets have output dim 1
                         delta[0] += lambda * 2.0 * (out[0] - prev_out[0]);
                     }
                 }
@@ -390,7 +394,7 @@ impl Mlp {
             acts.push(next.clone());
             std::mem::swap(&mut cur, &mut next);
         }
-        let out = acts.last().expect("output");
+        let out = acts.last().expect("output"); // oeb-lint: allow(panic-in-library) -- forward() yields one activation per layer
         let mut delta: Vec<f64> = match self.objective {
             Objective::CrossEntropy => {
                 let mut p = softmax(out);
@@ -398,6 +402,7 @@ impl Mlp {
                 p[c] -= 1.0;
                 p
             }
+            // oeb-lint: allow(panic-in-library) -- squared-error nets have output dim 1
             Objective::SquaredError => vec![2.0 * (out[0] - y)],
         };
         let mut flat = vec![0.0; self.n_params()];

@@ -246,7 +246,9 @@ pub fn table9(ctx: &ExpContext) -> ExperimentOutput {
         }
     }
     let mut win_rows: Vec<(&str, usize)> = wins.iter().map(|(k, v)| (*k, *v)).collect();
-    win_rows.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    // Total sort key: `Reverse(count)` alone would leave co-winners with
+    // equal counts in HashMap iteration order, which varies run to run.
+    win_rows.sort_by_key(|&(name, n)| (std::cmp::Reverse(n), name));
     let mut wins_text =
         String::from("\nCo-winner counts (within 2% of each dataset's best; no silver bullet):\n");
     for (alg, n) in &win_rows {

@@ -376,7 +376,7 @@ pub fn evaluate_prepared(
         let model = learner.as_mut().expect("learner set on warm-up");
         if seen > 0 {
             // Test phase.
-            let start = Instant::now();
+            let start = Instant::now(); // oeb-lint: allow(wall-clock-in-results) -- the measured duration IS the reported metric
             let mut loss = 0.0;
             for r in 0..feats.rows() {
                 let pred = model.predict(feats.row(r));
@@ -409,7 +409,7 @@ pub fn evaluate_prepared(
         }
 
         // Train phase.
-        let start = Instant::now();
+        let start = Instant::now(); // oeb-lint: allow(wall-clock-in-results) -- the measured duration IS the reported metric
         model.train_window(feats, targets);
         train_seconds += start.elapsed().as_secs_f64();
         items += feats.rows();

@@ -130,6 +130,20 @@ impl IsolationForest {
     }
 }
 
+/// Index of the highest-scoring row, NaN-tolerantly: NaN scores are
+/// skipped rather than compared (a NaN score means the detector saw a
+/// fully degenerate row, not a record-setting outlier), and equal
+/// scores break toward the last occurrence (`max_by` semantics).
+/// Returns `None` when no finite score exists.
+pub fn top_score_index(scores: &[f64]) -> Option<usize> {
+    scores
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.is_nan())
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+}
+
 fn build_tree(
     data: &Matrix,
     idx: &[usize],
@@ -192,13 +206,20 @@ mod tests {
         let data = cluster_with_outlier();
         let forest = IsolationForest::fit(&data, &IForestConfig::default());
         let scores = forest.score_all(&data);
-        let (argmax, _) = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap();
+        let argmax = top_score_index(&scores).expect("scores are finite");
         assert_eq!(argmax, 300, "outlier row should score highest");
         assert!(scores[300] > 0.6, "outlier score {}", scores[300]);
+    }
+
+    /// Regression: the old argmax used `partial_cmp(..).unwrap()` and
+    /// panicked the moment a NaN score appeared (e.g. a fully-degenerate
+    /// row under fault injection). NaN must be skipped, not fatal.
+    #[test]
+    fn top_score_index_tolerates_nan() {
+        assert_eq!(top_score_index(&[0.2, f64::NAN, 0.9, 0.4]), Some(2));
+        assert_eq!(top_score_index(&[f64::NAN, 0.1]), Some(1));
+        assert_eq!(top_score_index(&[f64::NAN, f64::NAN]), None);
+        assert_eq!(top_score_index(&[]), None);
     }
 
     #[test]

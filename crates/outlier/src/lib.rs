@@ -11,4 +11,4 @@ pub mod iforest;
 
 pub use ecod::Ecod;
 pub use flag::{anomaly_ratio, flag_by_sigma};
-pub use iforest::{IForestConfig, IsolationForest};
+pub use iforest::{top_score_index, IForestConfig, IsolationForest};

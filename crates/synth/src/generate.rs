@@ -272,6 +272,7 @@ fn generate_x_to_y<R: Rng>(
         }
         // A mild interaction term so trees and NNs are both exercised.
         if d >= 2 {
+            // oeb-lint: allow(panic-in-library) -- guarded by d >= 2
             score += 0.3 * (features[0][t] * features[1][t]).tanh();
         }
         targets[t] = score;

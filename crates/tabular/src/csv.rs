@@ -119,7 +119,7 @@ pub fn parse_records(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
 /// missing values.
 pub fn read_table(text: &str) -> Result<Table, CsvError> {
     let records = parse_records(text)?;
-    let header = &records[0];
+    let header = records.first().ok_or(CsvError::Empty)?;
     let n_cols = header.len();
     for (i, rec) in records.iter().enumerate().skip(1) {
         if rec.len() != n_cols {
@@ -146,6 +146,7 @@ pub fn read_table(text: &str) -> Result<Table, CsvError> {
                         if r[c].is_empty() {
                             f64::NAN
                         } else {
+                            // oeb-lint: allow(panic-in-library) -- every cell pre-scanned as parseable above
                             r[c].trim().parse().expect("checked numeric")
                         }
                     })

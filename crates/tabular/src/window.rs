@@ -29,8 +29,8 @@ pub fn window_ranges(n_rows: usize, size: usize) -> Vec<std::ops::Range<usize>> 
     if remainder > 0 {
         if remainder * 2 >= size || ranges.is_empty() {
             ranges.push(start..n_rows);
-        } else {
-            let last = ranges.pop().expect("non-empty ranges");
+        } else if let Some(last) = ranges.pop() {
+            // Small remainder: fold it into the final full window.
             ranges.push(last.start..n_rows);
         }
     }

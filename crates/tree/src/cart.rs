@@ -319,6 +319,7 @@ fn build(
             continue;
         }
         sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // oeb-lint: allow(panic-in-library) -- guarded by the len >= 2 check above
         if sorted[0].0 == sorted[sorted.len() - 1].0 {
             continue;
         }

@@ -141,6 +141,7 @@ impl Gbdt {
     pub fn predict(&self, x: &[f64]) -> f64 {
         let scores = self.scores(x);
         match self.task {
+            // oeb-lint: allow(panic-in-library) -- regression ensembles score exactly one output
             TreeTask::Regression => scores[0],
             TreeTask::Classification { .. } => oeb_nn::argmax(&scores) as f64,
         }
