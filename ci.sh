@@ -25,6 +25,12 @@ trap 'rm -rf "$smoke_dir"' EXIT
 cargo run --release -p oeb-bench --bin repro -- table4 \
     --scale 0.05 --seeds 1 --threads 4 --out "$smoke_dir"
 
+# Smoke: compute kernels (blocked GEMM, pruned KNN imputation) vs their
+# scalar references — asserts bit-identical outputs while timing, so a
+# kernel regression fails CI here rather than skewing a golden artifact.
+cargo run --release -p oeb-bench --bin bench_kernels -- \
+    --quick --out "$smoke_dir/BENCH_kernels.json"
+
 # Benchmark artifact: staged (shared prepare + worker pool) vs the
 # per-cell sequential baseline over the five-dataset sweep.
 cargo run --release -p oeb-bench --bin bench_sweep -- \

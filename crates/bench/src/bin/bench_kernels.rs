@@ -1,0 +1,246 @@
+//! Microbenchmarks for the compute-kernel layer, emitted as
+//! `BENCH_kernels.json`.
+//!
+//! Two comparisons, both against the retained pre-kernel reference
+//! implementations so the speedup is measured against what the repo
+//! actually shipped before the kernel layer:
+//!
+//! * **matmul** — GFLOP/s of the historical scalar `ikj` loop vs the
+//!   register-blocked GEMM ([`oeb_linalg::kernels::matmul_blocked_into`])
+//!   at three square sizes;
+//! * **KNN imputation** — wall-clock of the brute-force ranking imputer
+//!   ([`oeb_preprocess::impute::knn_impute_reference`]) vs the pruned
+//!   bounded-neighbour-list rewrite behind
+//!   [`oeb_preprocess::KnnImputer`].
+//!
+//! Every timed pair is also checked for bit-identical outputs — the
+//! kernel layer's contract is "faster, same bits", and the benchmark
+//! refuses to report a speedup for wrong answers.
+//!
+//! Usage: `bench_kernels [--quick] [--out FILE]`
+
+use oeb_linalg::{kernels, Matrix};
+use oeb_preprocess::impute::knn_impute_reference;
+use oeb_preprocess::{Imputer, KnnImputer};
+use std::time::Instant;
+
+struct Options {
+    quick: bool,
+    out: String,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let usage = "usage: bench_kernels [--quick] [--out FILE]";
+    let mut opts = Options {
+        quick: false,
+        out: "BENCH_kernels.json".into(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => {
+                i += 1;
+                opts.out = args
+                    .get(i)
+                    .cloned()
+                    .ok_or(format!("--out needs a path\n{usage}"))?;
+            }
+            _ => return Err(usage.to_string()),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// Deterministic pseudo-random fill (same LCG family as the kernel unit
+/// tests); benchmark inputs must not depend on ambient entropy.
+fn lcg_vec(n: usize, seed: &mut u64) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            *seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((*seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// The pre-kernel `ikj` matmul, reproduced verbatim as the scalar
+/// baseline (this is the loop `Matrix::matmul` shipped before the
+/// kernel layer).
+fn matmul_ikj_reference(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    out.as_mut_slice().fill(0.0);
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let v = a[(i, k)];
+            // oeb-lint: allow(float-eq) -- exact-zero sparsity skip, mirrors the shipped loop
+            if v == 0.0 {
+                continue;
+            }
+            let brow = b.row(k);
+            let dst = out.row_mut(i);
+            for (d, &x) in dst.iter_mut().zip(brow) {
+                *d += v * x;
+            }
+        }
+    }
+}
+
+/// Median-of-reps wall-clock for one closure, in seconds.
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn bench_matmul(size: usize, reps: usize, seed: &mut u64) -> serde_json::Value {
+    let a = Matrix::from_vec(size, size, lcg_vec(size * size, seed));
+    let b = Matrix::from_vec(size, size, lcg_vec(size * size, seed));
+    let mut scalar_out = Matrix::zeros(size, size);
+    let mut blocked_out = Matrix::zeros(size, size);
+
+    let scalar_seconds = time_median(reps, || matmul_ikj_reference(&a, &b, &mut scalar_out));
+    let blocked_seconds = time_median(reps, || {
+        kernels::matmul_blocked_into(&a, &b, &mut blocked_out)
+    });
+
+    for (x, y) in scalar_out.as_slice().iter().zip(blocked_out.as_slice()) {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "blocked GEMM diverged from the scalar reference at size {size}"
+        );
+    }
+
+    let flops = 2.0 * (size * size * size) as f64;
+    let scalar_gflops = flops / scalar_seconds.max(1e-12) / 1e9;
+    let blocked_gflops = flops / blocked_seconds.max(1e-12) / 1e9;
+    let speedup = scalar_seconds / blocked_seconds.max(1e-12);
+    eprintln!(
+        "[bench_kernels] matmul {size}x{size}: scalar {scalar_gflops:.2} GFLOP/s, \
+         blocked {blocked_gflops:.2} GFLOP/s ({speedup:.2}x)"
+    );
+    serde_json::json!({
+        "size": size as u64,
+        "scalar_seconds": scalar_seconds,
+        "blocked_seconds": blocked_seconds,
+        "scalar_gflops": scalar_gflops,
+        "blocked_gflops": blocked_gflops,
+        "speedup": speedup,
+    })
+}
+
+/// A reference/window pair with `missing_pct`% cells blanked to NaN,
+/// sized like a prepare-stage imputation call.
+fn holey(rows: usize, cols: usize, missing_pct: u64, seed: &mut u64) -> Matrix {
+    let mut data = lcg_vec(rows * cols, seed);
+    for v in data.iter_mut() {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if (*seed >> 33) % 100 < missing_pct {
+            *v = f64::NAN;
+        }
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn bench_knn(
+    window_rows: usize,
+    ref_rows: usize,
+    cols: usize,
+    reps: usize,
+    seed: &mut u64,
+) -> serde_json::Value {
+    let window = holey(window_rows, cols, 20, seed);
+    let reference = holey(ref_rows, cols, 20, seed);
+    let imputer = KnnImputer::default();
+
+    let mut brute_out = Matrix::zeros(0, 0);
+    let brute_seconds = time_median(reps, || {
+        let mut w = window.clone();
+        knn_impute_reference(imputer.k, &mut w, &reference);
+        brute_out = w;
+    });
+    let mut pruned_out = Matrix::zeros(0, 0);
+    let pruned_seconds = time_median(reps, || {
+        let mut w = window.clone();
+        imputer.impute(&mut w, &reference);
+        pruned_out = w;
+    });
+
+    for (x, y) in brute_out.as_slice().iter().zip(pruned_out.as_slice()) {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "pruned KNN imputation diverged from the brute-force reference"
+        );
+    }
+
+    let speedup = brute_seconds / pruned_seconds.max(1e-12);
+    eprintln!(
+        "[bench_kernels] knn impute {window_rows}x{cols} vs {ref_rows} refs: \
+         brute {brute_seconds:.4}s, pruned {pruned_seconds:.4}s ({speedup:.2}x)"
+    );
+    serde_json::json!({
+        "window_rows": window_rows as u64,
+        "reference_rows": ref_rows as u64,
+        "cols": cols as u64,
+        "missing_pct": 20u64,
+        "k": imputer.k as u64,
+        "brute_seconds": brute_seconds,
+        "pruned_seconds": pruned_seconds,
+        "speedup": speedup,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut seed = 0x0eb4_c0de_u64;
+
+    let (sizes, reps): (&[usize], usize) = if opts.quick {
+        (&[32, 64, 96], 3)
+    } else {
+        (&[64, 128, 256], 7)
+    };
+    let matmul: Vec<serde_json::Value> = sizes
+        .iter()
+        .map(|&s| bench_matmul(s, reps, &mut seed))
+        .collect();
+
+    let knn = if opts.quick {
+        bench_knn(40, 120, 12, 3, &mut seed)
+    } else {
+        bench_knn(120, 500, 24, 5, &mut seed)
+    };
+
+    let json = serde_json::json!({
+        "benchmark": "compute kernels: blocked GEMM and pruned KNN imputation vs scalar references",
+        "quick": opts.quick,
+        "matmul": matmul,
+        "knn_impute": knn,
+    });
+    std::fs::write(
+        &opts.out,
+        serde_json::to_string_pretty(&json).expect("json serialises"),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    });
+    eprintln!("[bench_kernels] -> {}", opts.out);
+}

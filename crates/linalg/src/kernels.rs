@@ -1,0 +1,686 @@
+//! Compute kernels: a register-blocked GEMM with packed B panels and
+//! fused slice primitives (`dot` / `axpy` / `scale_add`), all
+//! **bit-identical** to the naive scalar loops they replace.
+//!
+//! Bit-identity is the load-bearing invariant of this module. Every
+//! output element's floating-point accumulation happens in exactly the
+//! same order as the scalar reference: blocking reorders *which*
+//! elements are computed when, never the k-order within one element,
+//! and the fused slice kernels unroll with a **single** accumulator so
+//! the addition chain is unchanged. The determinism proptests and every
+//! golden artifact therefore see the same bits at 2-4x the throughput.
+//!
+//! The GEMM follows the classic Goto blocking scheme scaled down to
+//! this crate's needs:
+//!
+//! * B is packed into `KC x NC` row-major panels so the microkernel
+//!   streams contiguous memory regardless of B's width;
+//! * the microkernel holds an `MR x NR` tile of output accumulators in
+//!   registers across the whole k-block, turning the scalar path's
+//!   per-k load/store of the output row into register traffic;
+//! * k-blocks resume from the partially accumulated output value, so
+//!   splitting k preserves the sequential addition chain.
+//!
+//! The scalar reference's exact-zero skip (`a == 0.0` contributes
+//! nothing) is *observable* under IEEE-754 only against non-finite B
+//! values (`0.0 * inf = NaN`); panels that pack any non-finite value
+//! therefore take a guarded tile that replicates the skip exactly,
+//! while all-finite panels take a branch-free tile whose dropped skip
+//! is provably a bitwise no-op (see [`micro_block`] — the accumulator
+//! chain can never hold `-0.0`, so adding `±0.0` never changes bits).
+
+use crate::matrix::Matrix;
+
+/// Rows of A per register tile.
+const MR: usize = 4;
+/// Columns of B per register tile (two 256-bit vectors of f64).
+const NR: usize = 8;
+/// Columns of B packed per panel (one cache-resident stripe).
+const NC: usize = 128;
+/// Depth of one packed panel; bounds panel memory to `KC * NC * 8` bytes.
+const KC: usize = 256;
+/// Problem sizes below this many multiply-adds stay on the scalar path,
+/// where panel packing would cost more than it saves.
+const BLOCKED_MIN_MULADDS: usize = 16 * 16 * 16;
+
+// ---------------------------------------------------------------------
+// Fused slice kernels.
+
+/// Dot product with a 4-wide unrolled single-accumulator loop.
+///
+/// Operates over the common prefix when lengths differ (the same
+/// truncation the naive `zip` loop performed).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    // -0.0 is the identity `iter::Sum<f64>` folds from (it preserves the
+    // sign of a -0.0 first term, +0.0 does not), so starting there keeps
+    // this bit-identical to the historical `.zip().map().sum()` chain.
+    dot_from(-0.0, a, b)
+}
+
+/// `init + sum_i a[i] * b[i]`, accumulated left to right from `init`.
+///
+/// The explicit starting value lets callers fuse a bias or prior sum
+/// into the chain without changing the addition order (`z = b; z += ...`
+/// is *not* the same chain as `b + dot(..)`).
+#[inline]
+pub fn dot_from(init: f64, a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = init;
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (qa, qb) in (&mut ca).zip(&mut cb) {
+        // chunks_exact(4) only yields 4-element slices, so the patterns
+        // always match; destructuring keeps the unroll index-free.
+        if let ([x0, x1, x2, x3], [y0, y1, y2, y3]) = (qa, qb) {
+            acc += x0 * y0;
+            acc += x1 * y1;
+            acc += x2 * y2;
+            acc += x3 * y3;
+        }
+    }
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// `init - sum_i a[i] * b[i]`, subtracted left to right from `init`
+/// (the back-substitution chain of a triangular solve).
+#[inline]
+pub fn dot_sub_from(init: f64, a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = init;
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (qa, qb) in (&mut ca).zip(&mut cb) {
+        if let ([x0, x1, x2, x3], [y0, y1, y2, y3]) = (qa, qb) {
+            acc -= x0 * y0;
+            acc -= x1 * y1;
+            acc -= x2 * y2;
+            acc -= x3 * y3;
+        }
+    }
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        acc -= x * y;
+    }
+    acc
+}
+
+/// Squared Euclidean distance, 4-wide unrolled single accumulator.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    // -0.0 start: see `dot` (bit-identity with the `.sum()` reference).
+    let mut acc = -0.0;
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (qa, qb) in (&mut ca).zip(&mut cb) {
+        if let ([x0, x1, x2, x3], [y0, y1, y2, y3]) = (qa, qb) {
+            let d0 = x0 - y0;
+            acc += d0 * d0;
+            let d1 = x1 - y1;
+            acc += d1 * d1;
+            let d2 = x2 - y2;
+            acc += d2 * d2;
+            let d3 = x3 - y3;
+            acc += d3 * d3;
+        }
+    }
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// `y[i] += a * x[i]` over the common prefix, 4-wide unrolled.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &mut y[..n]);
+    let mut cx = x.chunks_exact(4);
+    let mut cy = y.chunks_exact_mut(4);
+    for (qx, qy) in (&mut cx).zip(&mut cy) {
+        if let ([x0, x1, x2, x3], [y0, y1, y2, y3]) = (qx, qy) {
+            *y0 += a * x0;
+            *y1 += a * x1;
+            *y2 += a * x2;
+            *y3 += a * x3;
+        }
+    }
+    for (xv, yv) in cx.remainder().iter().zip(cy.into_remainder()) {
+        *yv += a * xv;
+    }
+}
+
+/// `y[i] += x[i]` over the common prefix.
+#[inline]
+pub fn add_assign(y: &mut [f64], x: &[f64]) {
+    let n = x.len().min(y.len());
+    for (yv, xv) in y[..n].iter_mut().zip(&x[..n]) {
+        *yv += xv;
+    }
+}
+
+/// `y[i] -= x[i]` over the common prefix.
+#[inline]
+pub fn sub_assign(y: &mut [f64], x: &[f64]) {
+    let n = x.len().min(y.len());
+    for (yv, xv) in y[..n].iter_mut().zip(&x[..n]) {
+        *yv -= xv;
+    }
+}
+
+/// `y[i] = s * y[i] + x[i]` over the common prefix, 4-wide unrolled
+/// (one fused pass over a decayed accumulator plus a fresh term).
+#[inline]
+pub fn scale_add(s: f64, x: &[f64], y: &mut [f64]) {
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &mut y[..n]);
+    let mut cx = x.chunks_exact(4);
+    let mut cy = y.chunks_exact_mut(4);
+    for (qx, qy) in (&mut cx).zip(&mut cy) {
+        if let ([x0, x1, x2, x3], [y0, y1, y2, y3]) = (qx, qy) {
+            *y0 = s * *y0 + x0;
+            *y1 = s * *y1 + x1;
+            *y2 = s * *y2 + x2;
+            *y3 = s * *y3 + x3;
+        }
+    }
+    for (xv, yv) in cx.remainder().iter().zip(cy.into_remainder()) {
+        *yv = s * *yv + xv;
+    }
+}
+
+/// `sum_i (xs[i] - m)^2` with a 4-wide unrolled single accumulator
+/// (bit-identical to the mapped `.sum()` chain it replaces).
+#[inline]
+pub fn sq_dev_sum(xs: &[f64], m: f64) -> f64 {
+    // -0.0 start: see `dot` (bit-identity with the `.sum()` reference).
+    let mut acc = -0.0;
+    let mut cs = xs.chunks_exact(4);
+    for q in &mut cs {
+        if let [x0, x1, x2, x3] = q {
+            let d0 = x0 - m;
+            acc += d0 * d0;
+            let d1 = x1 - m;
+            acc += d1 * d1;
+            let d2 = x2 - m;
+            acc += d2 * d2;
+            let d3 = x3 - m;
+            acc += d3 * d3;
+        }
+    }
+    for x in cs.remainder() {
+        let d = x - m;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Left-to-right sum with a 4-wide unrolled single accumulator
+/// (bit-identical to `xs.iter().sum::<f64>()`).
+#[inline]
+pub fn sum(xs: &[f64]) -> f64 {
+    // -0.0 start: see `dot` (bit-identity with the `.sum()` reference).
+    let mut acc = -0.0;
+    let mut cs = xs.chunks_exact(4);
+    for q in &mut cs {
+        if let [x0, x1, x2, x3] = q {
+            acc += x0;
+            acc += x1;
+            acc += x2;
+            acc += x3;
+        }
+    }
+    for x in cs.remainder() {
+        acc += x;
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------
+// GEMM.
+
+fn assert_gemm_shapes(a: &Matrix, b: &Matrix, out: &Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul dimension mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    assert_eq!(
+        out.shape(),
+        (a.rows(), b.cols()),
+        "matmul output shape mismatch: got {}x{}, need {}x{}",
+        out.rows(),
+        out.cols(),
+        a.rows(),
+        b.cols()
+    );
+}
+
+/// `out = a * b` into a preallocated output, choosing the blocked or
+/// scalar path by problem size. Both paths are bit-identical.
+///
+/// # Panics
+/// Panics on inner-dimension or output-shape mismatch.
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_gemm_shapes(a, b, out);
+    out.as_mut_slice().fill(0.0);
+    if a.rows() * a.cols() * b.cols() < BLOCKED_MIN_MULADDS {
+        scalar_accumulate(a, b, out);
+    } else {
+        blocked_accumulate(a, b, out);
+    }
+}
+
+/// The scalar `ikj` reference: the pre-kernel `Matrix::matmul` loop.
+/// Kept public so the equivalence proptests and the kernel benchmark
+/// compare against the exact historical path.
+pub fn matmul_scalar_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_gemm_shapes(a, b, out);
+    out.as_mut_slice().fill(0.0);
+    scalar_accumulate(a, b, out);
+}
+
+/// The blocked path without the size dispatch, public for the
+/// equivalence proptests (which must exercise blocking even on shapes
+/// the dispatcher would route to the scalar path).
+pub fn matmul_blocked_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_gemm_shapes(a, b, out);
+    out.as_mut_slice().fill(0.0);
+    blocked_accumulate(a, b, out);
+}
+
+/// `ikj` loop order: the inner loop streams contiguous rows of B into
+/// the output row via [`axpy`] (same chain as the historical loop).
+fn scalar_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    for i in 0..a.rows() {
+        let arow = a.row(i);
+        let dst = out.row_mut(i);
+        for (k, &av) in arow.iter().enumerate() {
+            // oeb-lint: allow(float-eq) -- exact-zero sparsity skip; any nonzero must multiply
+            if av == 0.0 {
+                continue;
+            }
+            axpy(av, b.row(k), dst);
+        }
+    }
+}
+
+/// Whether the fast tile should be compiled for 256-bit vectors.
+/// Detection is cached by the standard library. The choice cannot
+/// change bits: both codegen variants execute the identical sequence of
+/// scalar-per-lane IEEE multiplies and adds, only the register width
+/// differs (and Rust never licenses FMA contraction).
+fn wide_tile_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn blocked_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    let (m, kdim, n) = (a.rows(), a.cols(), b.cols());
+    if m == 0 || kdim == 0 || n == 0 {
+        return;
+    }
+    let wide = wide_tile_available();
+    let mut panel = vec![0.0f64; KC.min(kdim) * NC.min(n)];
+    for jb in (0..n).step_by(NC) {
+        let nc = NC.min(n - jb);
+        for kb in (0..kdim).step_by(KC) {
+            let kc = KC.min(kdim - kb);
+            // Pack B[kb.., jb..] row-major into the panel so the
+            // microkernel reads a dense `kc x nc` stripe.
+            for k in 0..kc {
+                let brow = &b.row(kb + k)[jb..jb + nc];
+                panel[k * nc..k * nc + nc].copy_from_slice(brow);
+            }
+            // The branch-free fast tile is only bit-safe when every
+            // packed value is finite (see `micro_block`); one pass over
+            // the panel is amortised across all `m / MR` tile rows.
+            let finite = panel[..kc * nc].iter().all(|v| v.is_finite());
+            for ib in (0..m).step_by(MR) {
+                let mr = MR.min(m - ib);
+                micro_block(a, ib, mr, kb, kc, jb, nc, &panel, finite, wide, out);
+            }
+        }
+    }
+}
+
+/// Computes the `mr x nc` output stripe at (`ib`, `jb`) for one k-block,
+/// walking `NR`-wide register tiles across the packed panel.
+///
+/// Full tiles over all-finite panels take a branch-free kernel that
+/// drops the scalar reference's `av == 0.0` skip. That is bitwise safe
+/// because with finite `pv` the skipped term `av * pv` is `±0.0`, and:
+///
+/// * adding `-0.0` never changes any IEEE-754 value;
+/// * adding `+0.0` only changes `-0.0` (to `+0.0`), and an accumulator
+///   chain seeded from the `+0.0`-filled output can never hold `-0.0` —
+///   in round-to-nearest a sum is `-0.0` only when *both* operands are
+///   `-0.0`, so `-0.0` cannot enter a chain that starts at `+0.0`.
+///
+/// With a non-finite packed value the skip is observable
+/// (`0.0 * inf = NaN`), so those panels take the guarded tile, which
+/// replicates the skip exactly. Edge tiles always take the guarded path.
+#[allow(clippy::too_many_arguments)]
+fn micro_block(
+    a: &Matrix,
+    ib: usize,
+    mr: usize,
+    kb: usize,
+    kc: usize,
+    jb: usize,
+    nc: usize,
+    panel: &[f64],
+    panel_finite: bool,
+    wide: bool,
+    out: &mut Matrix,
+) {
+    // A rows restricted to this k-block, hoisted out of the tile loop.
+    let mut arows: [&[f64]; MR] = [&[]; MR];
+    for (ii, arow) in arows.iter_mut().enumerate().take(mr) {
+        *arow = &a.row(ib + ii)[kb..kb + kc];
+    }
+    let mut jj = 0;
+    while jj < nc {
+        let nr = NR.min(nc - jj);
+        // Resume from the output accumulated by earlier k-blocks: the
+        // per-element addition chain stays strictly k-sequential.
+        let mut acc = [[0.0f64; NR]; MR];
+        for ii in 0..mr {
+            let orow = &out.row(ib + ii)[jb + jj..jb + jj + nr];
+            acc[ii][..nr].copy_from_slice(orow);
+        }
+        if panel_finite && mr == MR && nr == NR {
+            #[cfg(target_arch = "x86_64")]
+            if wide {
+                // SAFETY: only reached when run-time AVX2 detection
+                // succeeded (`wide_tile_available`).
+                unsafe { tile_kernel_avx2(&arows, panel, nc, jj, &mut acc) };
+                store_tile(&acc, mr, nr, ib, jb + jj, out);
+                jj += nr;
+                continue;
+            }
+            let _ = wide;
+            tile_kernel(&arows, panel, nc, jj, &mut acc);
+        } else {
+            guarded_tile(&arows, mr, kc, panel, nc, jj, nr, &mut acc);
+        }
+        store_tile(&acc, mr, nr, ib, jb + jj, out);
+        jj += nr;
+    }
+}
+
+/// Writes the `mr x nr` accumulator tile back to `out` at (`ib`, `j0`).
+fn store_tile(acc: &[[f64; NR]; MR], mr: usize, nr: usize, ib: usize, j0: usize, out: &mut Matrix) {
+    for ii in 0..mr {
+        let orow = &mut out.row_mut(ib + ii)[j0..j0 + nr];
+        orow.copy_from_slice(&acc[ii][..nr]);
+    }
+}
+
+/// The branch-free full-tile kernel: `MR` broadcast A values against an
+/// `NR`-wide panel stripe per k step, all accumulators held in
+/// registers. Iterator zips keep the inner loop free of bounds checks.
+#[inline(always)]
+fn tile_kernel(
+    arows: &[&[f64]; MR],
+    panel: &[f64],
+    nc: usize,
+    jj: usize,
+    acc: &mut [[f64; NR]; MR],
+) {
+    let [a0, a1, a2, a3] = *arows;
+    let [mut c0, mut c1, mut c2, mut c3] = *acc;
+    for (((&av0, &av1), (&av2, &av3)), prow) in a0
+        .iter()
+        .zip(a1.iter())
+        .zip(a2.iter().zip(a3.iter()))
+        .zip(panel.chunks_exact(nc))
+    {
+        let p = &prow[jj..jj + NR];
+        for r in 0..NR {
+            c0[r] += av0 * p[r];
+            c1[r] += av1 * p[r];
+            c2[r] += av2 * p[r];
+            c3[r] += av3 * p[r];
+        }
+    }
+    *acc = [c0, c1, c2, c3];
+}
+
+/// [`tile_kernel`] compiled with AVX2 enabled (256-bit moves and
+/// arithmetic). No FMA: `target_feature` does not license contraction,
+/// every multiply and add stays a distinct IEEE operation, so the wider
+/// codegen cannot change a single output bit.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn tile_kernel_avx2(
+    arows: &[&[f64]; MR],
+    panel: &[f64],
+    nc: usize,
+    jj: usize,
+    acc: &mut [[f64; NR]; MR],
+) {
+    tile_kernel(arows, panel, nc, jj, acc);
+}
+
+/// The exact-semantics tile: replicates the scalar reference's
+/// `av == 0.0` skip. Used for edge tiles and for panels carrying
+/// non-finite values, where the skip is observable.
+#[allow(clippy::too_many_arguments)]
+fn guarded_tile(
+    arows: &[&[f64]; MR],
+    mr: usize,
+    kc: usize,
+    panel: &[f64],
+    nc: usize,
+    jj: usize,
+    nr: usize,
+    acc: &mut [[f64; NR]; MR],
+) {
+    for k in 0..kc {
+        let prow = &panel[k * nc + jj..k * nc + jj + nr];
+        for ii in 0..mr {
+            let av = arows[ii][k];
+            // oeb-lint: allow(float-eq) -- mirrors the scalar reference's exact-zero skip
+            if av == 0.0 {
+                continue;
+            }
+            for (r, &pv) in prow.iter().enumerate() {
+                acc[ii][r] += av * pv;
+            }
+        }
+    }
+}
+
+/// Matrix-vector product into a reused output buffer.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn matvec_into(a: &Matrix, v: &[f64], out: &mut Vec<f64>) {
+    assert_eq!(a.cols(), v.len(), "matvec dimension mismatch");
+    out.clear();
+    out.extend((0..a.rows()).map(|r| dot(a.row(r), v)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    fn lcg_vec(n: usize, seed: &mut u64) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                *seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((*seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dot_matches_naive_bitwise() {
+        let mut seed = 7;
+        for n in [0, 1, 3, 4, 5, 7, 8, 17, 64, 100] {
+            let a = lcg_vec(n, &mut seed);
+            let b = lcg_vec(n, &mut seed);
+            assert_eq!(dot(&a, &b).to_bits(), naive_dot(&a, &b).to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn dot_from_continues_the_chain() {
+        let a = [1.5, -2.0, 0.25];
+        let b = [4.0, 1.0, -8.0];
+        let mut z = 10.0;
+        for (x, y) in a.iter().zip(&b) {
+            z += x * y;
+        }
+        assert_eq!(dot_from(10.0, &a, &b).to_bits(), z.to_bits());
+    }
+
+    #[test]
+    fn dot_sub_from_matches_sequential_subtraction() {
+        let mut seed = 3;
+        let a = lcg_vec(11, &mut seed);
+        let b = lcg_vec(11, &mut seed);
+        let mut z = 2.5;
+        for (x, y) in a.iter().zip(&b) {
+            z -= x * y;
+        }
+        assert_eq!(dot_sub_from(2.5, &a, &b).to_bits(), z.to_bits());
+    }
+
+    #[test]
+    fn axpy_matches_scalar_loop_bitwise() {
+        let mut seed = 11;
+        for n in [0, 1, 4, 6, 9, 33] {
+            let x = lcg_vec(n, &mut seed);
+            let mut y = lcg_vec(n, &mut seed);
+            let mut expect = y.clone();
+            for (e, xv) in expect.iter_mut().zip(&x) {
+                *e += 0.37 * xv;
+            }
+            axpy(0.37, &x, &mut y);
+            for (got, want) in y.iter().zip(&expect) {
+                assert_eq!(got.to_bits(), want.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_add_matches_scalar_loop_bitwise() {
+        let mut seed = 13;
+        let x = lcg_vec(10, &mut seed);
+        let mut y = lcg_vec(10, &mut seed);
+        let mut expect = y.clone();
+        for (e, xv) in expect.iter_mut().zip(&x) {
+            *e = 0.9 * *e + xv;
+        }
+        scale_add(0.9, &x, &mut y);
+        for (got, want) in y.iter().zip(&expect) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn sum_and_sq_dist_match_iterator_chains() {
+        let mut seed = 17;
+        for n in [0, 1, 2, 4, 5, 31] {
+            let a = lcg_vec(n, &mut seed);
+            let b = lcg_vec(n, &mut seed);
+            assert_eq!(sum(&a).to_bits(), a.iter().sum::<f64>().to_bits());
+            let naive: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| {
+                    let d = x - y;
+                    d * d
+                })
+                .sum();
+            assert_eq!(sq_dist(&a, &b).to_bits(), naive.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_matches_scalar_on_awkward_shapes() {
+        let mut seed = 23;
+        for (m, k, n) in [
+            (0, 0, 0),
+            (0, 3, 4),
+            (3, 0, 4),
+            (1, 1, 1),
+            (5, 3, 2),
+            (64, 2, 3),
+            (3, 2, 70),
+            (17, 300, 5),
+            (33, 33, 33),
+        ] {
+            let a = Matrix::from_vec(m, k, lcg_vec(m * k, &mut seed));
+            let b = Matrix::from_vec(k, n, lcg_vec(k * n, &mut seed));
+            let mut blocked = Matrix::zeros(m, n);
+            let mut scalar = Matrix::zeros(m, n);
+            matmul_blocked_into(&a, &b, &mut blocked);
+            matmul_scalar_into(&a, &b, &mut scalar);
+            for (x, y) in blocked.as_slice().iter().zip(scalar.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "shape {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_replicates_the_zero_skip_nan_semantics() {
+        // A zero in A skips a non-finite B row in both paths; a nonzero
+        // must propagate the NaN. This is the observable part of the
+        // sparsity skip, so the two paths must agree exactly.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let b = Matrix::from_rows(&[vec![f64::INFINITY, 2.0], vec![3.0, f64::NAN]]);
+        let mut blocked = Matrix::zeros(2, 2);
+        let mut scalar = Matrix::zeros(2, 2);
+        matmul_blocked_into(&a, &b, &mut blocked);
+        matmul_scalar_into(&a, &b, &mut scalar);
+        for (x, y) in blocked.as_slice().iter().zip(scalar.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(blocked[(0, 0)], 3.0); // the inf row was skipped
+        assert!(blocked[(0, 1)].is_nan()); // the NaN column was not
+        assert_eq!(blocked[(1, 1)], 2.0); // zero in A skipped the NaN
+    }
+
+    #[test]
+    fn matvec_into_reuses_the_buffer() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let mut out = vec![99.0; 7];
+        matvec_into(&a, &[1.0, 1.0], &mut out);
+        assert_eq!(out, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul output shape mismatch")]
+    fn wrong_output_shape_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 3);
+        matmul_into(&a, &b, &mut out);
+    }
+}

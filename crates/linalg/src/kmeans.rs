@@ -5,6 +5,7 @@
 //! open-environment feature space and the dataset nearest each centroid is
 //! selected.
 
+use crate::kernels;
 use crate::matrix::{sq_dist, Matrix};
 use rand::Rng;
 
@@ -92,6 +93,9 @@ fn kmeans_once<R: Rng>(data: &Matrix, config: &KMeansConfig, rng: &mut R) -> KMe
     let mut centroids = plus_plus_init(data, k, rng);
     let mut assignments = vec![0usize; n];
     let mut iterations = 0;
+    // Accumulators reused across Lloyd iterations instead of reallocated.
+    let mut sums = Matrix::zeros(k, d);
+    let mut counts = vec![0usize; k];
 
     for it in 0..config.max_iter {
         iterations = it + 1;
@@ -110,29 +114,34 @@ fn kmeans_once<R: Rng>(data: &Matrix, config: &KMeansConfig, rng: &mut R) -> KMe
             assignments[r] = best_c;
         }
         // Update step.
-        let mut sums = Matrix::zeros(k, d);
-        let mut counts = vec![0usize; k];
+        sums.as_mut_slice().fill(0.0);
+        counts.fill(0);
         for r in 0..n {
             let c = assignments[r];
             counts[c] += 1;
-            for (s, &x) in sums.row_mut(c).iter_mut().zip(data.row(r)) {
-                *s += x;
-            }
+            kernels::add_assign(sums.row_mut(c), data.row(r));
         }
         let mut movement = 0.0;
         for c in 0..k {
             if counts[c] == 0 {
                 // Re-seed an empty cluster at a random data point.
                 let r = rng.gen_range(0..n);
-                let point = data.row(r).to_vec();
-                movement += sq_dist(centroids.row(c), &point);
-                centroids.row_mut(c).copy_from_slice(&point);
+                movement += sq_dist(centroids.row(c), data.row(r));
+                centroids.row_mut(c).copy_from_slice(data.row(r));
                 continue;
             }
             let inv = 1.0 / counts[c] as f64;
-            let new: Vec<f64> = sums.row(c).iter().map(|s| s * inv).collect();
-            movement += sq_dist(centroids.row(c), &new);
-            centroids.row_mut(c).copy_from_slice(&new);
+            // Fused mean/movement/write-back: one pass, no temporary row.
+            // `delta` starts at -0.0 and accumulates squared diffs in
+            // column order — the same chain as `sq_dist(old, new)`.
+            let mut delta = -0.0;
+            for (cur, &s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
+                let newv = s * inv;
+                let diff = *cur - newv;
+                delta += diff * diff;
+                *cur = newv;
+            }
+            movement += delta;
         }
         if movement < config.tol {
             break;

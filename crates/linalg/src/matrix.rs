@@ -2,8 +2,10 @@
 //! benchmark pipeline needs (products, transposes, row/column views).
 //!
 //! The benchmark operates on datasets with at most a few thousand columns,
-//! so a simple contiguous `Vec<f64>` layout is both the fastest and the
-//! simplest representation; no blocking or SIMD tricks are required.
+//! so a simple contiguous `Vec<f64>` layout is the right representation.
+//! Hot arithmetic (products, dot products, distances) is delegated to the
+//! [`crate::kernels`] module, whose blocked/unrolled loops are bit-identical
+//! to the naive reference loops they replaced.
 
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
@@ -114,6 +116,27 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Mutably borrow two distinct rows at once (for row elimination and
+    /// swaps without cloning either row).
+    ///
+    /// # Panics
+    /// Panics if `a == b` or either index is out of range.
+    pub fn rows_pair_mut(&mut self, a: usize, b: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(
+            a != b && a < self.rows && b < self.rows,
+            "rows_pair_mut needs two distinct in-range rows, got {a} and {b} of {}",
+            self.rows
+        );
+        let cols = self.cols;
+        if a < b {
+            let (lo, hi) = self.data.split_at_mut(b * cols);
+            (&mut lo[a * cols..(a + 1) * cols], &mut hi[..cols])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(a * cols);
+            (&mut hi[..cols], &mut lo[b * cols..(b + 1) * cols])
+        }
+    }
+
     /// Copy of column `c`.
     pub fn col(&self, c: usize) -> Vec<f64> {
         debug_assert!(c < self.cols);
@@ -136,34 +159,29 @@ impl Matrix {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul dimension mismatch: {}x{} * {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // ikj loop order keeps the inner loop streaming over contiguous rows.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                // oeb-lint: allow(float-eq) -- exact-zero sparsity skip; any nonzero must multiply
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let dst = out.row_mut(i);
-                for (d, &b) in dst.iter_mut().zip(orow) {
-                    *d += a * b;
-                }
-            }
-        }
+        crate::kernels::matmul_into(self, other, &mut out);
         out
+    }
+
+    /// Matrix product into a preallocated output (see
+    /// [`crate::kernels::matmul_into`]).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        crate::kernels::matmul_into(self, other, out);
     }
 
     /// Matrix–vector product `self * v`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
         (0..self.rows).map(|r| dot(self.row(r), v)).collect()
+    }
+
+    /// Matrix–vector product into a reused output buffer.
+    pub fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        crate::kernels::matvec_into(self, v, out);
     }
 
     /// Element-wise in-place scaling.
@@ -180,9 +198,7 @@ impl Matrix {
         }
         let mut means = vec![0.0; self.cols];
         for r in 0..self.rows {
-            for (m, &x) in means.iter_mut().zip(self.row(r)) {
-                *m += x;
-            }
+            crate::kernels::add_assign(&mut means, self.row(r));
         }
         let n = self.rows as f64;
         for m in &mut means {
@@ -210,9 +226,7 @@ impl Matrix {
         let means = self.col_means();
         for r in 0..self.rows {
             let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
-            for (x, &m) in row.iter_mut().zip(&means) {
-                *x -= m;
-            }
+            crate::kernels::sub_assign(row, &means);
         }
         means
     }
@@ -283,12 +297,14 @@ impl Sub for &Matrix {
     }
 }
 
-impl Mul<f64> for &Matrix {
+impl Mul<f64> for Matrix {
     type Output = Matrix;
-    fn mul(self, s: f64) -> Matrix {
-        let mut m = self.clone();
-        m.scale(s);
-        m
+    /// Consuming scalar multiply: scales the buffer in place instead of
+    /// cloning it first (callers that need to keep the original can
+    /// `clone()` explicitly).
+    fn mul(mut self, s: f64) -> Matrix {
+        self.scale(s);
+        self
     }
 }
 
@@ -309,20 +325,14 @@ impl fmt::Debug for Matrix {
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    crate::kernels::dot(a, b)
 }
 
 /// Squared Euclidean distance between two equal-length slices.
 #[inline]
 pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
+    crate::kernels::sq_dist(a, b)
 }
 
 /// Euclidean distance between two equal-length slices.
@@ -411,6 +421,26 @@ mod tests {
         assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
         assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
         assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn consuming_scalar_mul_scales_in_place() {
+        let a = Matrix::from_rows(&[vec![1.0, -2.0], vec![0.5, 4.0]]);
+        let ptr = a.as_slice().as_ptr();
+        let scaled = a * 2.0;
+        // The buffer is reused, not cloned.
+        assert_eq!(scaled.as_slice().as_ptr(), ptr);
+        assert_eq!(scaled.row(0), &[2.0, -4.0]);
+        assert_eq!(scaled.row(1), &[1.0, 8.0]);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let mut out = Matrix::zeros(2, 2);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! pivoting, plus a ridge-regression least-squares helper used by the
 //! regression imputer and the PERM concept-drift probe.
 
+use crate::kernels;
 use crate::matrix::Matrix;
 
 /// Solves `a * x = b` for square `a` using Gaussian elimination with
@@ -29,14 +30,13 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
             return None;
         }
         if pivot != col {
-            for c in 0..n {
-                let tmp = m[(col, c)];
-                m[(col, c)] = m[(pivot, c)];
-                m[(pivot, c)] = tmp;
-            }
+            let (a_row, b_row) = m.rows_pair_mut(col, pivot);
+            a_row.swap_with_slice(b_row);
             rhs.swap(col, pivot);
         }
-        // Eliminate below.
+        // Eliminate below. `y -= f * x` is `y += (-f) * x` bit-for-bit
+        // (negation is exact), so the fused axpy kernel preserves the
+        // historical update chain.
         let diag = m[(col, col)];
         for r in (col + 1)..n {
             let factor = m[(r, col)] / diag;
@@ -44,20 +44,15 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
             if factor == 0.0 {
                 continue;
             }
-            for c in col..n {
-                let v = m[(col, c)];
-                m[(r, c)] -= factor * v;
-            }
+            let (prow, trow) = m.rows_pair_mut(col, r);
+            kernels::axpy(-factor, &prow[col..], &mut trow[col..]);
             rhs[r] -= factor * rhs[col];
         }
     }
-    // Back substitution.
+    // Back substitution: the sequential subtraction chain from rhs[col].
     let mut x = vec![0.0; n];
     for col in (0..n).rev() {
-        let mut s = rhs[col];
-        for c in (col + 1)..n {
-            s -= m[(col, c)] * x[c];
-        }
+        let s = kernels::dot_sub_from(rhs[col], &m.row(col)[col + 1..], &x[col + 1..]);
         x[col] = s / m[(col, col)];
     }
     Some(x)

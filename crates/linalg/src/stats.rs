@@ -1,12 +1,14 @@
 //! Scalar statistics, histograms, and distribution-distance measures used
 //! throughout the drift detectors and the statistics-extraction pipeline.
 
+use crate::kernels;
+
 /// Arithmetic mean; `0.0` on empty input.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    xs.iter().sum::<f64>() / xs.len() as f64
+    kernels::sum(xs) / xs.len() as f64
 }
 
 /// Population variance; `0.0` on empty input.
@@ -15,7 +17,7 @@ pub fn variance(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(xs);
-    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+    kernels::sq_dev_sum(xs, m) / xs.len() as f64
 }
 
 /// Population standard deviation.

@@ -6,6 +6,7 @@
 //! thousand points, where exact t-SNE is comfortably fast and avoids the
 //! approximation error of Barnes-Hut.
 
+use crate::kernels;
 use crate::matrix::{sq_dist, Matrix};
 use rand::Rng;
 
@@ -54,6 +55,9 @@ pub fn tsne<R: Rng>(data: &Matrix, config: &TsneConfig, rng: &mut R) -> Matrix {
     let p = joint_probabilities(data, config.perplexity);
     let mut gains = vec![1.0f64; n * dims];
     let mut velocity = vec![0.0f64; n * dims];
+    // Affinity and gradient scratch reused across iterations.
+    let mut num = vec![0.0f64; n * n];
+    let mut grad = vec![0.0f64; n * dims];
     let exaggeration_end = config.iterations / 4;
 
     for iter in 0..config.iterations {
@@ -65,7 +69,7 @@ pub fn tsne<R: Rng>(data: &Matrix, config: &TsneConfig, rng: &mut R) -> Matrix {
         let momentum = if iter < exaggeration_end { 0.5 } else { 0.8 };
 
         // Student-t affinities in the embedding.
-        let mut num = vec![0.0f64; n * n];
+        num.fill(0.0);
         let mut z = 0.0;
         for i in 0..n {
             for j in (i + 1)..n {
@@ -78,7 +82,7 @@ pub fn tsne<R: Rng>(data: &Matrix, config: &TsneConfig, rng: &mut R) -> Matrix {
         let z = z.max(1e-12);
 
         // Gradient: 4 * sum_j (p_ij - q_ij) q'_ij (y_i - y_j).
-        let mut grad = vec![0.0f64; n * dims];
+        grad.fill(0.0);
         for i in 0..n {
             for j in 0..n {
                 if i == j {
@@ -104,17 +108,13 @@ pub fn tsne<R: Rng>(data: &Matrix, config: &TsneConfig, rng: &mut R) -> Matrix {
                 momentum * velocity[idx] - config.learning_rate * gains[idx] * grad[idx];
         }
         for i in 0..n {
-            for d in 0..dims {
-                y[(i, d)] += velocity[i * dims + d];
-            }
+            kernels::add_assign(y.row_mut(i), &velocity[i * dims..(i + 1) * dims]);
         }
 
         // Keep the embedding centred.
         let means = y.col_means();
         for i in 0..n {
-            for d in 0..dims {
-                y[(i, d)] -= means[d];
-            }
+            kernels::sub_assign(y.row_mut(i), &means);
         }
     }
     y

@@ -2,13 +2,60 @@
 //! identities that must hold for arbitrary well-formed inputs.
 
 use oeb_linalg::{
-    five_number, hellinger, kl_divergence, ks_p_value, ks_statistic, quantile, ridge_regression,
-    solve, symmetric_eigen, Histogram, Matrix, Pca,
+    five_number, hellinger, kernels, kl_divergence, ks_p_value, ks_statistic, quantile,
+    ridge_regression, solve, symmetric_eigen, Histogram, Matrix, Pca,
 };
 use proptest::prelude::*;
 
 fn small_f64() -> impl Strategy<Value = f64> {
     prop_oneof![-100.0..100.0f64, -1.0..1.0f64]
+}
+
+/// Values for the bit-identity suites: mixes exact zeros in so the
+/// GEMM sparsity skip is exercised, not just the dense path.
+fn kernel_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![3 => -100.0..100.0f64, 1 => Just(0.0), 1 => Just(-0.0)]
+}
+
+/// GEMM shapes biased towards the awkward cases: empty products,
+/// scalars, and tall/skinny panels that straddle the register blocks.
+fn gemm_shape() -> impl Strategy<Value = (usize, usize, usize)> {
+    prop_oneof![
+        // Degenerate: any dimension may be zero.
+        (0..3usize, 0..3usize, 0..3usize),
+        // 1x1 and other tiny products.
+        (1..3usize, 1..3usize, 1..3usize),
+        // Tall/skinny: long k against narrow m/n.
+        (1..4usize, 30..70usize, 1..4usize),
+        // Wide outputs crossing the 4-wide register tile edge.
+        (1..10usize, 1..10usize, 1..14usize),
+        // General small blocks.
+        (1..12usize, 1..12usize, 1..12usize),
+    ]
+}
+
+fn gemm_operands() -> impl Strategy<Value = (Matrix, Matrix)> {
+    gemm_shape().prop_flat_map(|(m, k, n)| {
+        (
+            prop::collection::vec(kernel_f64(), m * k),
+            prop::collection::vec(kernel_f64(), k * n),
+        )
+            .prop_map(move |(a, b)| (Matrix::from_vec(m, k, a), Matrix::from_vec(k, n, b)))
+    })
+}
+
+fn assert_bits_eq(lhs: &Matrix, rhs: &Matrix) {
+    prop_assert_eq!(lhs.shape(), rhs.shape());
+    for (i, (x, y)) in lhs.as_slice().iter().zip(rhs.as_slice()).enumerate() {
+        prop_assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "element {} differs: {} vs {}",
+            i,
+            x,
+            y
+        );
+    }
 }
 
 fn matrix(
@@ -179,5 +226,122 @@ proptest! {
         let d = ks_statistic(&xs, &shifted);
         prop_assert!((d - 1.0).abs() < 1e-12);
         prop_assert!(ks_p_value(d, xs.len(), xs.len()) <= 1.0);
+    }
+}
+
+// Bit-identity suites for the compute kernels: the blocked GEMM and the
+// unrolled slice kernels must reproduce the scalar reference *bitwise*,
+// not just within a tolerance — reordering within one output element's
+// k-accumulation would silently change rounding and break the
+// reproducibility guarantees downstream (sweep determinism, golden
+// artifacts).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn blocked_gemm_is_bit_identical_to_scalar((a, b) in gemm_operands()) {
+        let mut scalar = Matrix::zeros(a.rows(), b.cols());
+        let mut blocked = Matrix::zeros(a.rows(), b.cols());
+        kernels::matmul_scalar_into(&a, &b, &mut scalar);
+        // Call the blocked path directly: the dispatcher would route
+        // these small shapes to the scalar kernel, and the whole point
+        // is to exercise panel packing and tile edges on them.
+        kernels::matmul_blocked_into(&a, &b, &mut blocked);
+        assert_bits_eq(&scalar, &blocked);
+    }
+
+    #[test]
+    fn dispatching_matmul_matches_operator((a, b) in gemm_operands()) {
+        let via_operator = a.matmul(&b);
+        let mut via_into = Matrix::zeros(a.rows(), b.cols());
+        kernels::matmul_into(&a, &b, &mut via_into);
+        assert_bits_eq(&via_operator, &via_into);
+    }
+
+    #[test]
+    fn dot_is_bit_identical_to_sum_chain(
+        pair in prop::collection::vec((kernel_f64(), kernel_f64()), 0..40)
+    ) {
+        let xs: Vec<f64> = pair.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pair.iter().map(|p| p.1).collect();
+        let naive: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+        prop_assert_eq!(kernels::dot(&xs, &ys).to_bits(), naive.to_bits());
+        // Seeded variant must match an accumulator loop started at init.
+        let mut seeded = 7.25;
+        for (x, y) in xs.iter().zip(&ys) {
+            seeded += x * y;
+        }
+        prop_assert_eq!(kernels::dot_from(7.25, &xs, &ys).to_bits(), seeded.to_bits());
+    }
+
+    #[test]
+    fn axpy_is_bit_identical_to_scalar_loop(
+        a in kernel_f64(),
+        pair in prop::collection::vec((kernel_f64(), kernel_f64()), 0..40)
+    ) {
+        let xs: Vec<f64> = pair.iter().map(|p| p.0).collect();
+        let mut ys: Vec<f64> = pair.iter().map(|p| p.1).collect();
+        let mut naive = ys.clone();
+        for (yi, x) in naive.iter_mut().zip(&xs) {
+            *yi += a * x;
+        }
+        kernels::axpy(a, &xs, &mut ys);
+        for (x, y) in ys.iter().zip(&naive) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn scale_add_is_bit_identical_to_scalar_loop(
+        s in kernel_f64(),
+        pair in prop::collection::vec((kernel_f64(), kernel_f64()), 0..40)
+    ) {
+        let xs: Vec<f64> = pair.iter().map(|p| p.0).collect();
+        let mut ys: Vec<f64> = pair.iter().map(|p| p.1).collect();
+        let mut naive = ys.clone();
+        for (yi, x) in naive.iter_mut().zip(&xs) {
+            *yi = s * *yi + x;
+        }
+        kernels::scale_add(s, &xs, &mut ys);
+        for (x, y) in ys.iter().zip(&naive) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn sum_and_sq_dist_are_bit_identical_to_iterator_chains(
+        pair in prop::collection::vec((kernel_f64(), kernel_f64()), 0..40)
+    ) {
+        let xs: Vec<f64> = pair.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pair.iter().map(|p| p.1).collect();
+        let naive_sum: f64 = xs.iter().sum();
+        prop_assert_eq!(kernels::sum(&xs).to_bits(), naive_sum.to_bits());
+        let naive_dist: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        prop_assert_eq!(kernels::sq_dist(&xs, &ys).to_bits(), naive_dist.to_bits());
+    }
+
+    #[test]
+    fn matmul_is_bit_identical_across_four_threads((a, b) in gemm_operands()) {
+        let mut sequential = Matrix::zeros(a.rows(), b.cols());
+        kernels::matmul_into(&a, &b, &mut sequential);
+        let results: Vec<Matrix> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Matrix::zeros(a.rows(), b.cols());
+                        kernels::matmul_into(&a, &b, &mut out);
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for out in &results {
+            assert_bits_eq(&sequential, out);
+        }
     }
 }

@@ -16,5 +16,5 @@ pub mod mlp;
 pub mod trainer;
 
 pub use exemplar::ExemplarBuffer;
-pub use mlp::{argmax, softmax, Mlp, Objective, TrainOpts};
+pub use mlp::{argmax, softmax, softmax_into, Mlp, Objective, TrainOpts};
 pub use trainer::{train_window, Regularizer, SgdConfig};

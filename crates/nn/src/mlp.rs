@@ -7,7 +7,7 @@
 //! the paper's §5.3 finding that a single absurd cell can blow a neural
 //! network up (loss → ∞) is a behaviour this reproduction must preserve.
 
-use oeb_linalg::Matrix;
+use oeb_linalg::{kernels, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -52,11 +52,9 @@ impl Layer {
         out.clear();
         for o in 0..self.n_out {
             let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
-            let mut z = self.b[o];
-            for (wi, xi) in row.iter().zip(x) {
-                z += wi * xi;
-            }
-            out.push(z);
+            // dot_from starts the chain at the bias, preserving the
+            // historical `z = b; z += w*x` accumulation order.
+            out.push(kernels::dot_from(self.b[o], row, x));
         }
     }
 }
@@ -219,50 +217,57 @@ impl Mlp {
         if rows.is_empty() {
             return 0.0;
         }
+        let n_layers = self.layers.len();
         let mut grads: Vec<(Vec<f64>, Vec<f64>)> = self
             .layers
             .iter()
             .map(|l| (vec![0.0; l.w.len()], vec![0.0; l.b.len()]))
             .collect();
         let mut total_loss = 0.0;
+        // Activation and delta scratch reused across the whole batch: the
+        // historical per-sample `Vec` allocations dominated small-window
+        // training time.
+        let mut acts: Vec<Vec<f64>> = vec![Vec::new(); n_layers + 1];
+        let mut delta: Vec<f64> = Vec::new();
+        let mut prev_delta: Vec<f64> = Vec::new();
 
         for &r in rows {
             let x = xs.row(r);
             let y = ys[r];
-            // Forward with cached pre- and post-activations.
-            let mut acts: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len() + 1);
-            acts.push(x.to_vec());
-            let mut cur = x.to_vec();
-            let mut next = Vec::new();
-            for (i, layer) in self.layers.iter().enumerate() {
-                layer.forward(&cur, &mut next);
-                if i + 1 < self.layers.len() {
-                    for v in &mut next {
+            // Forward with cached post-activations.
+            // oeb-lint: allow(panic-in-library) -- acts has n_layers + 1 >= 1 entries by construction
+            acts[0].clear();
+            // oeb-lint: allow(panic-in-library) -- acts has n_layers + 1 >= 1 entries by construction
+            acts[0].extend_from_slice(x);
+            for li in 0..n_layers {
+                let (done, rest) = acts.split_at_mut(li + 1);
+                // oeb-lint: allow(panic-in-library) -- li < n_layers, so rest is non-empty
+                let next = &mut rest[0];
+                self.layers[li].forward(&done[li], next);
+                if li + 1 < n_layers {
+                    for v in next.iter_mut() {
                         *v = v.max(0.0);
                     }
                 }
-                acts.push(next.clone());
-                std::mem::swap(&mut cur, &mut next);
             }
-            let out = acts.last().expect("output activation"); // oeb-lint: allow(panic-in-library) -- forward() yields one activation per layer
+            let out = &acts[n_layers];
 
             // Output-layer delta.
-            let mut delta: Vec<f64> = match self.objective {
+            delta.clear();
+            match self.objective {
                 Objective::CrossEntropy => {
-                    let p = softmax(out);
-                    let c = (y as usize).min(p.len() - 1);
-                    total_loss += -(p[c].max(1e-12)).ln();
-                    let mut d = p;
-                    d[c] -= 1.0;
-                    d
+                    softmax_into(out, &mut delta);
+                    let c = (y as usize).min(delta.len() - 1);
+                    total_loss += -(delta[c].max(1e-12)).ln();
+                    delta[c] -= 1.0;
                 }
                 Objective::SquaredError => {
                     // oeb-lint: allow(panic-in-library) -- squared-error nets have output dim 1
                     let diff = out[0] - y;
                     total_loss += diff * diff;
-                    vec![2.0 * diff]
+                    delta.push(2.0 * diff);
                 }
-            };
+            }
 
             // LwF distillation adds to the output delta.
             if let Some((prev, lambda)) = &opts.distill {
@@ -285,27 +290,23 @@ impl Mlp {
                 }
             }
 
-            // Backward through the stack.
-            for li in (0..self.layers.len()).rev() {
+            // Backward through the stack; both accumulations are fused
+            // axpy kernels with the historical element order.
+            for li in (0..n_layers).rev() {
                 let input = &acts[li];
                 let layer = &self.layers[li];
                 let (gw, gb) = &mut grads[li];
                 for o in 0..layer.n_out {
                     let d = delta[o];
                     gb[o] += d;
-                    let grow = &mut gw[o * layer.n_in..(o + 1) * layer.n_in];
-                    for (g, &xi) in grow.iter_mut().zip(input) {
-                        *g += d * xi;
-                    }
+                    kernels::axpy(d, input, &mut gw[o * layer.n_in..(o + 1) * layer.n_in]);
                 }
                 if li > 0 {
-                    let mut prev_delta = vec![0.0; layer.n_in];
+                    prev_delta.clear();
+                    prev_delta.resize(layer.n_in, 0.0);
                     for o in 0..layer.n_out {
-                        let d = delta[o];
                         let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
-                        for (pd, &wi) in prev_delta.iter_mut().zip(row) {
-                            *pd += d * wi;
-                        }
+                        kernels::axpy(delta[o], row, &mut prev_delta);
                     }
                     // ReLU mask of the layer input (which was an output of
                     // the previous layer, already rectified).
@@ -314,7 +315,7 @@ impl Mlp {
                             *pd = 0.0;
                         }
                     }
-                    delta = prev_delta;
+                    std::mem::swap(&mut delta, &mut prev_delta);
                 }
             }
         }
@@ -427,11 +428,8 @@ impl Mlp {
             if li > 0 {
                 let mut prev = vec![0.0; layer.n_in];
                 for o in 0..layer.n_out {
-                    let d = delta[o];
                     let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
-                    for (p, &wi) in prev.iter_mut().zip(row) {
-                        *p += d * wi;
-                    }
+                    kernels::axpy(delta[o], row, &mut prev);
                 }
                 for (p, &a) in prev.iter_mut().zip(&acts[li]) {
                     if a <= 0.0 {
@@ -447,15 +445,26 @@ impl Mlp {
 
 /// Softmax with max-shift for stability.
 pub fn softmax(z: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(z.len());
+    softmax_into(z, &mut out);
+    out
+}
+
+/// [`softmax`] into a reused buffer (bit-identical, allocation-free).
+pub fn softmax_into(z: &[f64], out: &mut Vec<f64>) {
+    out.clear();
     let m = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if !m.is_finite() {
         // Degenerate logits (the paper's exploding-NN scenario): a uniform
         // distribution keeps downstream arithmetic defined.
-        return vec![1.0 / z.len() as f64; z.len()];
+        out.resize(z.len(), 1.0 / z.len() as f64);
+        return;
     }
-    let exps: Vec<f64> = z.iter().map(|v| (v - m).exp()).collect();
-    let sum: f64 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    out.extend(z.iter().map(|v| (v - m).exp()));
+    let sum = kernels::sum(out);
+    for e in out.iter_mut() {
+        *e /= sum;
+    }
 }
 
 /// Index of the largest element (first on ties).

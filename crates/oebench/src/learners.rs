@@ -291,14 +291,20 @@ impl StreamLearner for IcarlNn {
     }
 
     fn train_window(&mut self, xs: &Matrix, ys: &[f64]) {
-        // Window plus replayed exemplars.
+        // Window plus replayed exemplars, concatenated flat (the old
+        // per-row Vec-of-Vec staging allocated one Vec per sample per
+        // window before re-packing).
         let (train_x, train_y) = match self.buffer.as_training_data() {
             Some((bx, by)) => {
-                let mut rows: Vec<Vec<f64>> = (0..xs.rows()).map(|r| xs.row(r).to_vec()).collect();
-                rows.extend((0..bx.rows()).map(|r| bx.row(r).to_vec()));
+                let mut flat = Vec::with_capacity((xs.rows() + bx.rows()) * xs.cols());
+                flat.extend_from_slice(xs.as_slice());
+                flat.extend_from_slice(bx.as_slice());
                 let mut targets = ys.to_vec();
                 targets.extend(by);
-                (Matrix::from_rows(&rows), targets)
+                (
+                    Matrix::from_vec(xs.rows() + bx.rows(), xs.cols(), flat),
+                    targets,
+                )
             }
             None => (xs.clone(), ys.to_vec()),
         };

@@ -177,7 +177,7 @@ pub fn prepare_from_source<S: FrameSource>(
     let mut expected = expected_dim;
     let mut scaler: Option<StandardScaler> = None;
     let mut target_scaler: Option<TargetScaler> = None;
-    let mut reference_rows: Vec<Vec<f64>> = Vec::new();
+    let mut reference = ReferenceBuffer::new();
     let mut windows: Vec<PreparedWindow> = Vec::new();
     // Degradations since the last emitted window; flushed into the next
     // emission so evaluate replays them in chronological order.
@@ -231,24 +231,19 @@ pub fn prepare_from_source<S: FrameSource>(
         // Warm-up window enters the imputation reference raw (§6.1);
         // later windows enter imputed, below.
         if is_first {
-            push_reference(&mut reference_rows, &feats, config.reference_cap);
+            reference.push_window(&feats, config.reference_cap);
         }
-        impute_window(
-            imputer.as_ref(),
-            &mut feats,
-            oracle_reference,
-            &reference_rows,
-        );
+        impute_window(imputer.as_ref(), &mut feats, oracle_reference, &reference);
         if !feats.is_finite() {
             if policy.imputer_fallback {
-                let reference = if reference_rows.is_empty() {
+                let fallback_ref = if reference.is_empty() {
                     feats.clone()
                 } else {
-                    Matrix::from_rows(&reference_rows)
+                    reference.to_matrix()
                 };
-                MeanImputer.impute(&mut feats, &reference);
+                MeanImputer.impute(&mut feats, &fallback_ref);
                 if !feats.is_finite() {
-                    ZeroImputer.impute(&mut feats, &reference);
+                    ZeroImputer.impute(&mut feats, &fallback_ref);
                 }
                 pending.push(format!(
                     "window {index}: {} left non-finite cells, fell back to mean/zero",
@@ -276,7 +271,7 @@ pub fn prepare_from_source<S: FrameSource>(
                 Task::Classification { .. } => None,
             };
         } else {
-            push_reference(&mut reference_rows, &feats, config.reference_cap);
+            reference.push_window(&feats, config.reference_cap);
         }
 
         scaler
@@ -535,11 +530,59 @@ pub fn prepare_cached(
     computed
 }
 
+/// Rolling imputation reference held as one flat row-major buffer.
+///
+/// The historical `Vec<Vec<f64>>` allocated one `Vec` per pushed row and
+/// re-packed the whole window history into a fresh `Matrix` on every
+/// window; this keeps the same rows (same order, same trimming) in a
+/// single contiguous buffer that materialises with one memcpy.
+struct ReferenceBuffer {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl ReferenceBuffer {
+    fn new() -> Self {
+        ReferenceBuffer {
+            dim: 0,
+            data: Vec::new(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn rows(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// Appends every row of `window`, then trims the oldest rows above
+    /// `cap` (the same FIFO semantics as the historical per-row push).
+    fn push_window(&mut self, window: &Matrix, cap: usize) {
+        if window.rows() == 0 {
+            return;
+        }
+        self.dim = window.cols();
+        self.data.extend_from_slice(window.as_slice());
+        let rows = self.rows();
+        if rows > cap {
+            let excess = rows - cap;
+            self.data.drain(..excess * self.dim);
+        }
+    }
+
+    /// Materialises the buffer as a matrix for the imputer.
+    fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.rows(), self.dim, self.data.clone())
+    }
+}
+
 fn impute_window(
     imputer: &dyn Imputer,
     window: &mut Matrix,
     oracle: Option<&Matrix>,
-    reference_rows: &[Vec<f64>],
+    reference: &ReferenceBuffer,
 ) {
     let has_missing = window.as_slice().iter().any(|x| !x.is_finite());
     if !has_missing {
@@ -548,23 +591,13 @@ fn impute_window(
     match oracle {
         Some(full) => imputer.impute(window, full),
         None => {
-            let reference = if reference_rows.is_empty() {
-                window.clone()
+            if reference.is_empty() {
+                let self_ref = window.clone();
+                imputer.impute(window, &self_ref);
             } else {
-                Matrix::from_rows(reference_rows)
-            };
-            imputer.impute(window, &reference);
+                imputer.impute(window, &reference.to_matrix());
+            }
         }
-    }
-}
-
-fn push_reference(reference: &mut Vec<Vec<f64>>, window: &Matrix, cap: usize) {
-    for r in 0..window.rows() {
-        reference.push(window.row(r).to_vec());
-    }
-    if reference.len() > cap {
-        let excess = reference.len() - cap;
-        reference.drain(..excess);
     }
 }
 

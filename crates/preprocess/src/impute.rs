@@ -6,6 +6,7 @@
 //! trait so the Figure 14 experiment can sweep them uniformly.
 
 use oeb_linalg::{ridge_regression, Matrix};
+use oeb_tabular::FiniteMask;
 
 /// Fills NaN cells of `data`, using `reference` as the source of knowledge
 /// (for the "oracle vs normal" distinction of Figure 5: oracle passes the
@@ -123,52 +124,206 @@ impl Imputer for KnnImputer {
         // rather than panicking mid-stream (the harness additionally
         // rejects k = 0 at configuration time).
         let k = self.k.max(1);
-        let fallback = nan_col_means(reference);
-        let n_ref = reference.rows();
-        for r in 0..data.rows() {
-            let missing: Vec<usize> = data
-                .row(r)
-                .iter()
-                .enumerate()
-                .filter(|(_, x)| !x.is_finite())
-                .map(|(c, _)| c)
-                .collect();
-            if missing.is_empty() {
-                continue;
-            }
-            // Rank reference rows by NaN-aware distance to this row.
-            let mut neighbours: Vec<(f64, usize)> = Vec::with_capacity(n_ref);
-            for j in 0..n_ref {
-                if let Some(d) = nan_sq_dist(data.row(r), reference.row(j)) {
-                    neighbours.push((d, j));
-                }
-            }
-            neighbours.sort_by(|a, b| a.0.total_cmp(&b.0));
-            for &c in &missing {
-                // Mean of column c over the k nearest rows observing it.
-                let mut sum = 0.0;
-                let mut count = 0usize;
-                for &(_, j) in &neighbours {
-                    let v = reference[(j, c)];
-                    if v.is_finite() {
-                        sum += v;
-                        count += 1;
-                        if count == k {
-                            break;
-                        }
-                    }
-                }
-                data[(r, c)] = if count > 0 {
-                    sum / count as f64
-                } else {
-                    fallback[c]
-                };
-            }
+        if data.cols() == reference.cols() {
+            knn_impute_pruned(k, data, reference);
+        } else {
+            // Mismatched widths only arise in adversarial tests; the
+            // reference path reproduces the historical truncating-zip
+            // semantics there.
+            knn_impute_reference(k, data, reference);
         }
     }
 
     fn name(&self) -> String {
         format!("knn(k={})", self.k)
+    }
+}
+
+/// The pre-kernel brute-force KNN imputation: rank *every* reference row by
+/// NaN-aware distance, then per missing column take the first `k` ranked
+/// rows observing it. Retained verbatim as the semantic reference — the
+/// pruned path must match it bit for bit (asserted by tests and the kernel
+/// benchmark).
+pub fn knn_impute_reference(k: usize, data: &mut Matrix, reference: &Matrix) {
+    let k = k.max(1);
+    let fallback = nan_col_means(reference);
+    let n_ref = reference.rows();
+    for r in 0..data.rows() {
+        let missing: Vec<usize> = data
+            .row(r)
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| !x.is_finite())
+            .map(|(c, _)| c)
+            .collect();
+        if missing.is_empty() {
+            continue;
+        }
+        // Rank reference rows by NaN-aware distance to this row.
+        let mut neighbours: Vec<(f64, usize)> = Vec::with_capacity(n_ref);
+        for j in 0..n_ref {
+            if let Some(d) = nan_sq_dist(data.row(r), reference.row(j)) {
+                neighbours.push((d, j));
+            }
+        }
+        neighbours.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for &c in &missing {
+            // Mean of column c over the k nearest rows observing it.
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for &(_, j) in &neighbours {
+                let v = reference[(j, c)];
+                if v.is_finite() {
+                    sum += v;
+                    count += 1;
+                    if count == k {
+                        break;
+                    }
+                }
+            }
+            data[(r, c)] = if count > 0 {
+                sum / count as f64
+            } else {
+                fallback[c]
+            };
+        }
+    }
+}
+
+/// Pruned KNN imputation, bit-identical to [`knn_impute_reference`].
+///
+/// Instead of ranking every reference row, each missing column keeps a
+/// bounded list of its `k` best donors ordered by `(distance, row)`. A
+/// candidate row is abandoned mid-distance once its running lower bound
+/// `partial_sum * d / co_observed` meets the *loosest* donor-list bound it
+/// could still improve — valid because the partial sum is nondecreasing
+/// and the exact co-observed count is known up front from the finiteness
+/// bitmasks, so the running value only ever grows toward the final
+/// distance.
+///
+/// Equivalence with the reference path rests on two invariants:
+/// * the reference's stable sort orders ties by ascending row index, and
+///   candidates arrive here in ascending row order, so a tie never
+///   displaces an incumbent (`dist >= bound` rejects, strictly-better
+///   inserts after all equal distances);
+/// * rows observing no missing column are skipped outright — the
+///   reference ranks them but never consumes them.
+fn knn_impute_pruned(k: usize, data: &mut Matrix, reference: &Matrix) {
+    let fallback = nan_col_means(reference);
+    let n_ref = reference.rows();
+    let d = data.cols();
+    let dmask = FiniteMask::from_row_major(data.as_slice(), data.rows(), d);
+    let rmask = FiniteMask::from_row_major(reference.as_slice(), n_ref, d);
+
+    let mut missing: Vec<usize> = Vec::new();
+    // One bounded donor list per missing column, pooled across rows.
+    let mut lists: Vec<Vec<(f64, usize)>> = Vec::new();
+    for r in 0..data.rows() {
+        dmask.missing_in_row(r, &mut missing);
+        if missing.is_empty() {
+            continue;
+        }
+        while lists.len() < missing.len() {
+            lists.push(Vec::with_capacity(k + 1));
+        }
+        for list in lists[..missing.len()].iter_mut() {
+            list.clear();
+        }
+        let rw = dmask.row_words(r);
+        let drow = data.row(r);
+        for j in 0..n_ref {
+            // tau: the loosest bound this candidate could still improve
+            // (max over the missing columns it observes). Full lists
+            // admit only strictly closer donors, so tau starts at 0.
+            let mut relevant = false;
+            let mut tau = 0.0f64;
+            for (slot, &c) in missing.iter().enumerate() {
+                if rmask.get(j, c) {
+                    relevant = true;
+                    let bound = if lists[slot].len() < k {
+                        f64::INFINITY
+                    } else {
+                        lists[slot][k - 1].0
+                    };
+                    if bound > tau {
+                        tau = bound;
+                    }
+                }
+            }
+            if !relevant {
+                continue;
+            }
+            let jw = rmask.row_words(j);
+            let seen: usize = rw
+                .iter()
+                .zip(jw)
+                .map(|(x, y)| (x & y).count_ones() as usize)
+                .sum();
+            if seen == 0 {
+                continue;
+            }
+            let scale = d as f64 / seen as f64;
+            let jrow = reference.row(j);
+            // Partial distance over co-observed columns (ascending, the
+            // reference accumulation order), abandoning once the lower
+            // bound reaches tau.
+            let mut sum = 0.0;
+            let mut abandoned = false;
+            for (wi, (x, y)) in rw.iter().zip(jw).enumerate() {
+                let mut wbits = x & y;
+                if wbits == 0 {
+                    continue;
+                }
+                while wbits != 0 {
+                    let c = wi * 64 + wbits.trailing_zeros() as usize;
+                    let diff = drow[c] - jrow[c];
+                    sum += diff * diff;
+                    wbits &= wbits - 1;
+                }
+                // An infinite tau admits any distance (even an overflowed
+                // infinite one, which the reference path also keeps).
+                if tau.is_finite() && sum * scale >= tau {
+                    abandoned = true;
+                    break;
+                }
+            }
+            if abandoned {
+                continue;
+            }
+            let dist = sum * scale;
+            for (slot, &c) in missing.iter().enumerate() {
+                if !rmask.get(j, c) {
+                    continue;
+                }
+                let list = &mut lists[slot];
+                if list.len() == k {
+                    // Ties keep the earlier row (the stable sort's order):
+                    // only a strictly closer donor displaces the k-th.
+                    if dist >= list[k - 1].0 {
+                        continue;
+                    }
+                    list.pop();
+                }
+                // Insert after all equal distances: this row index is the
+                // largest seen so far, so (dist, j) sorts after ties.
+                let pos = list.partition_point(|&(ld, _)| ld <= dist);
+                list.insert(pos, (dist, j));
+            }
+        }
+        for (slot, &c) in missing.iter().enumerate() {
+            let list = &lists[slot];
+            data[(r, c)] = if list.is_empty() {
+                fallback[c]
+            } else {
+                // Donor means accumulate in ascending (distance, row)
+                // order, exactly as the reference consumes its sort.
+                let mut sum = 0.0;
+                for &(_, j) in list {
+                    sum += reference[(j, c)];
+                }
+                sum / list.len() as f64
+            };
+        }
     }
 }
 
@@ -396,6 +551,104 @@ mod tests {
         let mut data = Matrix::from_rows(&[vec![f64::NAN, 2.5]]);
         KnnImputer { k: 2 }.impute(&mut data, &reference);
         assert_eq!(data[(0, 0)], 7.0);
+    }
+
+    #[test]
+    fn nan_sq_dist_all_missing_pair_is_none() {
+        // No co-observed dimension at all: the distance is undefined and
+        // the row must be excluded from the neighbour ranking entirely.
+        let a = [f64::NAN, f64::NAN, f64::NAN];
+        let b = [f64::NAN, f64::NAN, f64::NAN];
+        assert_eq!(nan_sq_dist(&a, &b), None);
+        // Disjoint observation patterns are equally undefined.
+        let a = [1.0, f64::NAN, 2.0];
+        let b = [f64::NAN, 5.0, f64::NAN];
+        assert_eq!(nan_sq_dist(&a, &b), None);
+    }
+
+    #[test]
+    fn nan_sq_dist_single_shared_column_scales_by_dimension() {
+        // Only column 2 is co-observed: distance is (4-1)^2 rescaled by
+        // d / seen = 3 / 1.
+        let a = [1.0, f64::NAN, 4.0];
+        let b = [f64::NAN, 2.0, 1.0];
+        let d = nan_sq_dist(&a, &b).expect("one shared column");
+        assert_eq!(d.to_bits(), (9.0f64 * 3.0).to_bits());
+    }
+
+    #[test]
+    fn nan_sq_dist_fully_observed_matches_plain_distance() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [0.0, 1.0, 5.0, 4.5];
+        let plain: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        let d = nan_sq_dist(&a, &b).expect("fully observed");
+        assert!((d - plain).abs() < 1e-12);
+    }
+
+    /// Deterministic pseudo-random matrix with a controllable missing rate.
+    fn holey_matrix(rows: usize, cols: usize, missing_pct: u64, seed: &mut u64) -> Matrix {
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            *seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if (*seed >> 33) % 100 < missing_pct {
+                data.push(f64::NAN);
+            } else {
+                data.push(((*seed >> 20) % 2000) as f64 / 100.0 - 10.0);
+            }
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn pruned_knn_is_bit_identical_to_reference() {
+        // The pruning-threshold equivalence regression: across dense,
+        // sparse, tied, wide, and nearly-all-missing regimes, the pruned
+        // path must reproduce the unpruned reference bit for bit.
+        let mut seed = 0x5EED;
+        for (rows, cols, missing_pct, k) in [
+            (12, 5, 30, 2),
+            (25, 9, 10, 2),
+            (25, 9, 60, 5),
+            (40, 3, 45, 3),
+            (8, 70, 25, 2), // multi-word mask rows
+            (15, 6, 90, 4), // mostly missing: fallback-heavy
+            (20, 4, 0, 2),  // nothing missing in the reference
+        ] {
+            let reference = holey_matrix(rows, cols, missing_pct, &mut seed);
+            let data = holey_matrix(6, cols, 50, &mut seed);
+            let mut pruned = data.clone();
+            let mut brute = data.clone();
+            KnnImputer { k }.impute(&mut pruned, &reference);
+            knn_impute_reference(k, &mut brute, &reference);
+            for (a, b) in pruned.as_slice().iter().zip(brute.as_slice()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "pruned != reference for {rows}x{cols} missing={missing_pct}% k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_knn_handles_duplicate_reference_rows() {
+        // Exact distance ties: the stable sort keeps ascending row order,
+        // and the bounded lists must pick the same winners.
+        let reference = Matrix::from_rows(&[
+            vec![1.0, 10.0],
+            vec![1.0, 20.0],
+            vec![1.0, 30.0],
+            vec![1.0, 40.0],
+        ]);
+        let mut pruned = Matrix::from_rows(&[vec![1.0, f64::NAN]]);
+        let mut brute = pruned.clone();
+        KnnImputer { k: 2 }.impute(&mut pruned, &reference);
+        knn_impute_reference(2, &mut brute, &reference);
+        // First two tied rows win: mean(10, 20).
+        assert_eq!(pruned[(0, 1)].to_bits(), 15.0f64.to_bits());
+        assert_eq!(pruned[(0, 1)].to_bits(), brute[(0, 1)].to_bits());
     }
 
     #[test]

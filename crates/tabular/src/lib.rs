@@ -12,6 +12,7 @@
 pub mod column;
 pub mod csv;
 pub mod dataset;
+pub mod mask;
 pub mod schema;
 pub mod table;
 pub mod window;
@@ -19,6 +20,7 @@ pub mod window;
 pub use column::Column;
 pub use csv::{read_table, write_table, CsvError};
 pub use dataset::{Domain, StreamDataset};
+pub use mask::FiniteMask;
 pub use schema::{Field, FieldKind, Schema, Task};
 pub use table::{MissingStats, Table};
 pub use window::{scaled_window, window_ranges};
