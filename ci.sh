@@ -25,13 +25,33 @@ trap 'rm -rf "$smoke_dir"' EXIT
 cargo run --release -p oeb-bench --bin repro -- table4 \
     --scale 0.05 --seeds 1 --threads 4 --out "$smoke_dir"
 
+# Smoke: observability. The same run traced: every JSONL record must
+# match the span schema (required keys, monotone ids — trace_check),
+# the metrics table must show prepare-cache hits, and the result
+# artifact must be byte-identical to the untraced run (table4.txt holds
+# only losses; table4.json embeds wall-clock throughput, so the
+# bit-identity contract is checked on the .txt).
+cargo run --release -p oeb-bench --bin repro -- table4 \
+    --scale 0.05 --seeds 1 --threads 4 --out "$smoke_dir/traced" \
+    --trace "$smoke_dir/trace.jsonl" --metrics 2> "$smoke_dir/metrics.txt" \
+    || { cat "$smoke_dir/metrics.txt"; exit 1; }
+cargo run --release -p oeb-bench --bin trace_check -- "$smoke_dir/trace.jsonl"
+grep -Eq 'prepare\.cache\.hit +[1-9]' "$smoke_dir/metrics.txt" \
+    || { echo "ci: no prepare-cache hits in --metrics output" >&2; exit 1; }
+diff "$smoke_dir/table4.txt" "$smoke_dir/traced/table4.txt" \
+    || { echo "ci: traced run diverged from untraced table4.txt" >&2; exit 1; }
+
 # Smoke: compute kernels (blocked GEMM, pruned KNN imputation) vs their
 # scalar references — asserts bit-identical outputs while timing, so a
 # kernel regression fails CI here rather than skewing a golden artifact.
 cargo run --release -p oeb-bench --bin bench_kernels -- \
     --quick --out "$smoke_dir/BENCH_kernels.json"
 
-# Benchmark artifact: staged (shared prepare + worker pool) vs the
-# per-cell sequential baseline over the five-dataset sweep.
+# Smoke: staged (shared prepare + worker pool) vs the per-cell
+# sequential baseline over the five-dataset sweep, plus the
+# traced-vs-untraced bit-identity assertions inside the binary. Writes
+# to the smoke dir — the committed BENCH_sweep.json is regenerated
+# deliberately (with --reference-staged-seconds from a
+# pre-instrumentation build), not clobbered by every CI run.
 cargo run --release -p oeb-bench --bin bench_sweep -- \
-    --scale 0.10 --seeds 3 --threads 4 --out BENCH_sweep.json
+    --scale 0.10 --seeds 3 --threads 4 --out "$smoke_dir/BENCH_sweep.json"

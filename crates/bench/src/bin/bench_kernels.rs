@@ -22,7 +22,7 @@
 use oeb_linalg::{kernels, Matrix};
 use oeb_preprocess::impute::knn_impute_reference;
 use oeb_preprocess::{Imputer, KnnImputer};
-use std::time::Instant;
+use oeb_trace::Stopwatch;
 
 struct Options {
     quick: bool,
@@ -91,9 +91,9 @@ fn matmul_ikj_reference(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     let mut samples: Vec<f64> = (0..reps)
         .map(|_| {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             f();
-            t.elapsed().as_secs_f64()
+            t.elapsed_seconds()
         })
         .collect();
     samples.sort_by(f64::total_cmp);
@@ -228,11 +228,36 @@ fn main() {
         bench_knn(120, 500, 24, 5, &mut seed)
     };
 
+    // One traced pass through the public dispatchers (the timed loops
+    // above call the kernels directly, bypassing dispatch counting):
+    // exercises the size-based GEMM dispatch, matvec, and the pruned
+    // KNN candidate counters, then embeds the snapshot as the metrics
+    // block.
+    oeb_trace::reset();
+    oeb_trace::enable();
+    for &size in sizes {
+        let a = Matrix::from_vec(size, size, lcg_vec(size * size, &mut seed));
+        let b = Matrix::from_vec(size, size, lcg_vec(size * size, &mut seed));
+        let mut out = Matrix::zeros(size, size);
+        kernels::matmul_into(&a, &b, &mut out);
+        let v = lcg_vec(size, &mut seed);
+        let mut mv = Vec::new();
+        kernels::matvec_into(&a, &v, &mut mv);
+    }
+    {
+        let mut window = holey(40, 12, 20, &mut seed);
+        let reference = holey(120, 12, 20, &mut seed);
+        KnnImputer::default().impute(&mut window, &reference);
+    }
+    oeb_trace::disable();
+    let metrics = oeb_bench::metrics_json(&oeb_trace::snapshot());
+
     let json = serde_json::json!({
         "benchmark": "compute kernels: blocked GEMM and pruned KNN imputation vs scalar references",
         "quick": opts.quick,
         "matmul": matmul,
         "knn_impute": knn,
+        "metrics": metrics,
     });
     std::fs::write(
         &opts.out,

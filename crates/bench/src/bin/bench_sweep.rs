@@ -17,29 +17,41 @@
 //! preprocessing runs the paper's full pipeline (KNN imputation + ECOD
 //! outlier removal) at a dense window factor on both sides.
 //!
-//! Usage: `bench_sweep [--scale F] [--seeds N] [--threads N] [--out FILE]`
+//! Usage: `bench_sweep [--scale F] [--seeds N] [--threads N] [--out FILE]
+//! [--reference-staged-seconds F]`
+//!
+//! `--reference-staged-seconds` takes the warm staged time (minimum
+//! over repeated in-process passes) measured by a pre-instrumentation
+//! build of this binary (same machine, same args) and records the
+//! disabled-path overhead — instrumentation compiled in but switched
+//! off versus not compiled in at all — next to the enabled-path ratio
+//! the binary measures on its own. Warm minima are compared because
+//! cold single passes jitter by several percent on shared machines.
 
 use oeb_core::{
     evaluate_prepared, prepare_stream, resolve_threads, run_sweep, Algorithm, HarnessConfig,
     OutlierRemoval, RunResult,
 };
 use oeb_synth::StreamSpec;
-use std::time::Instant;
+use oeb_trace::Stopwatch;
 
 struct Options {
     scale: f64,
     n_seeds: usize,
     threads: Option<usize>,
     out: String,
+    reference_staged_seconds: Option<f64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let usage = "usage: bench_sweep [--scale F] [--seeds N] [--threads N] [--out FILE]";
+    let usage = "usage: bench_sweep [--scale F] [--seeds N] [--threads N] [--out FILE] \
+                 [--reference-staged-seconds F]";
     let mut opts = Options {
         scale: 0.10,
         n_seeds: 3,
         threads: None,
         out: "BENCH_sweep.json".into(),
+        reference_staged_seconds: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -75,6 +87,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .get(i)
                     .cloned()
                     .ok_or(format!("--out needs a path\n{usage}"))?;
+            }
+            "--reference-staged-seconds" => {
+                i += 1;
+                opts.reference_staged_seconds = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&v: &f64| v > 0.0)
+                        .ok_or(format!(
+                            "--reference-staged-seconds needs a positive number\n{usage}"
+                        ))?,
+                );
             }
             _ => return Err(usage.to_string()),
         }
@@ -117,16 +140,16 @@ fn run_baseline(
         let cfg = bench_config(seed);
         for spec in specs {
             for &alg in algorithms {
-                let t = Instant::now();
+                let t = Stopwatch::start();
                 let dataset = oeb_synth::generate(spec, 0);
-                generate_seconds += t.elapsed().as_secs_f64();
-                let t = Instant::now();
+                generate_seconds += t.elapsed_seconds();
+                let t = Stopwatch::start();
                 let prepared = prepare_stream(&dataset, &cfg);
-                prepare_seconds += t.elapsed().as_secs_f64();
+                prepare_seconds += t.elapsed_seconds();
                 if let Ok(prepared) = prepared {
-                    let t = Instant::now();
+                    let t = Stopwatch::start();
                     let run = evaluate_prepared(&prepared, alg, &cfg);
-                    evaluate_seconds += t.elapsed().as_secs_f64();
+                    evaluate_seconds += t.elapsed_seconds();
                     if let Ok(r) = run {
                         results.push(r);
                     }
@@ -159,6 +182,22 @@ fn run_staged(
     results
 }
 
+/// Result equality up to wall-clock fields (`train_seconds`,
+/// `test_seconds`, `throughput`): the loss curves, item counts, and
+/// degradation logs must match bit for bit.
+fn same_modulo_timing(a: &[RunResult], b: &[RunResult]) -> bool {
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.dataset == y.dataset
+                && x.algorithm == y.algorithm
+                && bits(&x.per_window_loss) == bits(&y.per_window_loss)
+                && x.mean_loss.to_bits() == y.mean_loss.to_bits()
+                && x.items == y.items
+                && x.degradations == y.degradations
+        })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -186,14 +225,44 @@ fn main() {
     // Staged side first, so its caches start cold and it pays the
     // first-generate/first-prepare costs itself; the baseline bypasses
     // the caches entirely.
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let staged = run_staged(&specs, &algorithms, &seeds, threads);
-    let staged_seconds = started.elapsed().as_secs_f64();
+    let staged_seconds = started.elapsed_seconds();
 
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let (baseline, generate_seconds, prepare_seconds, evaluate_seconds) =
         run_baseline(&specs, &algorithms, &seeds);
-    let baseline_seconds = started.elapsed().as_secs_f64();
+    let baseline_seconds = started.elapsed_seconds();
+
+    // Tracing overhead: alternating warm-cache staged passes with the
+    // instrumentation disabled and enabled. The ratio uses the minimum
+    // of five samples each — for a fixed workload the minimum is the
+    // noise floor, so scheduler hiccups inflate neither side. Every
+    // traced pass must be bit-identical to its untraced sibling; the
+    // last traced pass supplies the metrics block.
+    let mut untraced_samples = Vec::new();
+    let mut traced_samples = Vec::new();
+    for _ in 0..5 {
+        let started = Stopwatch::start();
+        let warm_untraced = run_staged(&specs, &algorithms, &seeds, threads);
+        untraced_samples.push(started.elapsed_seconds());
+        oeb_trace::reset();
+        oeb_trace::enable();
+        let started = Stopwatch::start();
+        let warm_traced = run_staged(&specs, &algorithms, &seeds, threads);
+        traced_samples.push(started.elapsed_seconds());
+        oeb_trace::disable();
+        assert!(
+            same_modulo_timing(&warm_untraced, &warm_traced),
+            "results must be bit-identical with tracing on and off"
+        );
+    }
+    untraced_samples.sort_by(f64::total_cmp);
+    traced_samples.sort_by(f64::total_cmp);
+    let untraced_seconds = untraced_samples[0];
+    let traced_seconds = traced_samples[0];
+    let enabled_overhead_pct = (traced_seconds / untraced_seconds.max(1e-9) - 1.0) * 100.0;
+    let metrics = oeb_bench::metrics_json(&oeb_trace::snapshot());
 
     assert_eq!(
         staged.len(),
@@ -201,6 +270,42 @@ fn main() {
         "staged and baseline grids must complete the same cells"
     );
     let speedup = baseline_seconds / staged_seconds.max(1e-9);
+
+    // Per-stage time shares from the traced pass's span totals.
+    let snap = oeb_trace::snapshot();
+    const STAGES: [&str; 5] = [
+        "prepare.impute",
+        "prepare.scale",
+        "prepare.detect",
+        "evaluate.train",
+        "evaluate.test",
+    ];
+    let stage_total: u64 = STAGES
+        .iter()
+        .filter_map(|s| snap.spans.get(*s).map(|v| v.total_us))
+        .sum();
+    let mut stage_shares = serde_json::Map::new();
+    for stage in STAGES {
+        let us = snap.spans.get(stage).map_or(0, |v| v.total_us);
+        stage_shares.insert(stage, (us as f64 / stage_total.max(1) as f64).into());
+    }
+
+    // The disabled path — instrumentation compiled in but switched off
+    // — is the warm untraced minimum above (tracing defaults to off);
+    // the reference is the same warm minimum timed by a
+    // pre-instrumentation build.
+    let mut tracing = serde_json::Map::new();
+    tracing.insert("warm_disabled_seconds", untraced_seconds.into());
+    tracing.insert("warm_enabled_seconds", traced_seconds.into());
+    tracing.insert("enabled_overhead_pct", enabled_overhead_pct.into());
+    tracing.insert("results_bit_identical", serde_json::Value::Bool(true));
+    let disabled_overhead_pct = opts.reference_staged_seconds.map(|reference| {
+        let pct = (untraced_seconds / reference - 1.0) * 100.0;
+        tracing.insert("pre_instrumentation_warm_staged_seconds", reference.into());
+        tracing.insert("disabled_overhead_pct", pct.into());
+        pct
+    });
+
     let json = serde_json::json!({
         "benchmark": "five-dataset sweep, staged pipeline vs per-cell sequential baseline",
         "scale": opts.scale,
@@ -215,6 +320,9 @@ fn main() {
         "baseline_evaluate_seconds": evaluate_seconds,
         "staged_seconds": staged_seconds,
         "speedup": speedup,
+        "tracing": serde_json::Value::Object(tracing),
+        "stage_shares": serde_json::Value::Object(stage_shares),
+        "metrics": metrics,
     });
     std::fs::write(
         &opts.out,
@@ -224,9 +332,13 @@ fn main() {
         eprintln!("cannot write {}: {e}", opts.out);
         std::process::exit(1);
     });
+    let disabled_note = disabled_overhead_pct
+        .map(|pct| format!(", disabled-path {pct:+.2}% vs pre-instrumentation"))
+        .unwrap_or_default();
     eprintln!(
         "[bench_sweep] baseline {baseline_seconds:.2}s, staged {staged_seconds:.2}s \
-         ({speedup:.2}x) -> {}",
+         ({speedup:.2}x), tracing enabled overhead {enabled_overhead_pct:+.2}%{disabled_note} \
+         -> {}",
         opts.out
     );
 }

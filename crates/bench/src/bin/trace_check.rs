@@ -1,0 +1,67 @@
+//! Validates an oeb-trace JSONL file against the exported schema: every
+//! line is a JSON object with the required keys, `type` is `"span"`,
+//! ids are monotone `0..n`, and the numeric fields are unsigned
+//! integers. Used by `ci.sh` to gate the traced smoke run.
+//!
+//! Usage: `trace_check <trace.jsonl>`; exits 0 when valid, 1 with a
+//! line-numbered message otherwise.
+
+use std::process::exit;
+
+const REQUIRED: [&str; 7] = ["type", "id", "slot", "seq", "name", "start_us", "dur_us"];
+
+fn fail(line_no: usize, msg: &str) -> ! {
+    eprintln!("trace_check: line {line_no}: {msg}");
+    exit(1);
+}
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_check <trace.jsonl>");
+        exit(2);
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("trace_check: cannot read {path}: {e}");
+        exit(2);
+    });
+    let mut n = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let v = serde_json::from_str(line)
+            .unwrap_or_else(|e| fail(line_no, &format!("invalid JSON: {e:?}")));
+        let Some(obj) = v.as_object() else {
+            fail(line_no, "record is not an object");
+        };
+        for key in REQUIRED {
+            if obj.get(key).is_none() {
+                fail(line_no, &format!("missing key {key:?}"));
+            }
+        }
+        if v["type"].as_str() != Some("span") {
+            fail(line_no, "`type` is not \"span\"");
+        }
+        if v["name"].as_str().is_none_or(str::is_empty) {
+            fail(line_no, "`name` must be a non-empty string");
+        }
+        for key in ["slot", "seq", "start_us", "dur_us"] {
+            if v[key].as_u64().is_none() {
+                fail(line_no, &format!("`{key}` is not an unsigned integer"));
+            }
+        }
+        let id = v["id"]
+            .as_u64()
+            .unwrap_or_else(|| fail(line_no, "`id` is not an unsigned integer"));
+        if id != n {
+            fail(
+                line_no,
+                &format!("ids must be monotone: expected {n}, got {id}"),
+            );
+        }
+        n += 1;
+    }
+    if n == 0 {
+        eprintln!("trace_check: {path}: no records (was tracing enabled?)");
+        exit(1);
+    }
+    println!("trace_check: {path}: {n} spans OK");
+}

@@ -16,6 +16,9 @@ use std::path::Path;
 use oeb_core::experiments::{run_experiment, ExpContext, ExperimentOutput, ALL_EXPERIMENTS};
 use oeb_core::stats::OeStats;
 use oeb_core::LinePlot;
+use oeb_trace::{SpanDef, Stopwatch};
+
+static EXPERIMENT_SPAN: SpanDef = SpanDef::new("repro.experiment");
 
 /// Extracts a float series from a JSON array (nulls = diverged = NaN).
 fn json_floats(v: &serde_json::Value) -> Vec<f64> {
@@ -109,6 +112,30 @@ pub fn render_figures(out: &ExperimentOutput) -> Vec<(String, String)> {
     }
 }
 
+/// Converts an [`oeb_trace::MetricsSnapshot`] into a JSON value for
+/// embedding in benchmark artifacts: counters verbatim, spans as
+/// `{count, total_seconds}`.
+pub fn metrics_json(snap: &oeb_trace::MetricsSnapshot) -> serde_json::Value {
+    let mut counters = serde_json::Map::new();
+    for (name, v) in &snap.counters {
+        counters.insert(name.clone(), (*v).into());
+    }
+    let mut spans = serde_json::Map::new();
+    for (name, s) in &snap.spans {
+        spans.insert(
+            name.clone(),
+            serde_json::json!({
+                "count": s.count,
+                "total_seconds": s.total_us as f64 / 1e6,
+            }),
+        );
+    }
+    serde_json::json!({
+        "counters": serde_json::Value::Object(counters),
+        "spans": serde_json::Value::Object(spans),
+    })
+}
+
 /// Command-line options of the `repro` binary.
 #[derive(Debug, Clone)]
 pub struct ReproOptions {
@@ -123,6 +150,10 @@ pub struct ReproOptions {
     /// Worker threads for parallel experiment grids; `None` falls back
     /// to `OEBENCH_THREADS` and then the machine's parallelism.
     pub threads: Option<usize>,
+    /// Write a span trace (JSONL) to this path after the run.
+    pub trace: Option<String>,
+    /// Print the metrics table to stderr after the run.
+    pub metrics: bool,
 }
 
 impl Default for ReproOptions {
@@ -133,6 +164,8 @@ impl Default for ReproOptions {
             n_seeds: 3,
             out_dir: "results".into(),
             threads: None,
+            trace: None,
+            metrics: false,
         }
     }
 }
@@ -141,6 +174,7 @@ impl Default for ReproOptions {
 pub fn parse_args(args: &[String]) -> Result<ReproOptions, String> {
     let usage =
         "usage: repro [<exp-id>... | all] [--scale F] [--seeds N] [--out DIR] [--threads N]\n\
+                 [--trace <out.jsonl>] [--metrics]\n\
                  experiment ids: table2 table3 fig2..fig19 table4/5/6/9/10/13";
     let mut opts = ReproOptions {
         experiments: Vec::new(),
@@ -181,6 +215,15 @@ pub fn parse_args(args: &[String]) -> Result<ReproOptions, String> {
                         .ok_or(format!("--threads needs a positive integer\n{usage}"))?,
                 );
             }
+            "--trace" => {
+                i += 1;
+                opts.trace = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or(format!("--trace needs an output path\n{usage}"))?,
+                );
+            }
+            "--metrics" => opts.metrics = true,
             "--help" | "-h" => return Err(usage.to_string()),
             id => {
                 if id != "all" && !ALL_EXPERIMENTS.contains(&id) {
@@ -198,7 +241,32 @@ pub fn parse_args(args: &[String]) -> Result<ReproOptions, String> {
 }
 
 /// Runs the selected experiments, writing artifacts and returning them.
+///
+/// When `--trace`/`--metrics` are set, tracing is enabled for the run;
+/// the trace file is written (and the metrics table printed to stderr)
+/// even if an experiment write fails partway through.
 pub fn run_repro(opts: &ReproOptions) -> std::io::Result<Vec<ExperimentOutput>> {
+    if opts.trace.is_some() || opts.metrics {
+        oeb_trace::enable();
+    }
+    let result = run_repro_inner(opts);
+    if let Some(path) = &opts.trace {
+        if let Err(e) = oeb_trace::write_trace_file(Path::new(path)) {
+            eprintln!("[repro] failed to write trace {path}: {e}");
+            return result.and(Err(e));
+        }
+        eprintln!("[repro] trace written to {path}");
+    }
+    if opts.metrics {
+        eprint!(
+            "{}",
+            oeb_trace::render_metrics_table(&oeb_trace::snapshot())
+        );
+    }
+    result
+}
+
+fn run_repro_inner(opts: &ReproOptions) -> std::io::Result<Vec<ExperimentOutput>> {
     let ids: Vec<&str> = if opts.experiments.iter().any(|e| e == "all") {
         ALL_EXPERIMENTS.to_vec()
     } else {
@@ -220,7 +288,7 @@ pub fn run_repro(opts: &ReproOptions) -> std::io::Result<Vec<ExperimentOutput>> 
             ctx.scale,
             ctx.seeds.len()
         );
-        let started = std::time::Instant::now();
+        let watch = Stopwatch::start();
         let out = run_experiment(id, &ctx, &mut stats_cache)
             .expect("ids validated against ALL_EXPERIMENTS");
         let dir = Path::new(&opts.out_dir);
@@ -235,10 +303,7 @@ pub fn run_repro(opts: &ReproOptions) -> std::io::Result<Vec<ExperimentOutput>> 
         for (suffix, svg) in render_figures(&out) {
             fs::write(dir.join(suffix), svg)?;
         }
-        eprintln!(
-            "[repro] {id} done in {:.1}s",
-            started.elapsed().as_secs_f64()
-        );
+        eprintln!("[repro] {id} done in {:.1}s", watch.stop(&EXPERIMENT_SPAN));
         outputs.push(out);
     }
     Ok(outputs)
@@ -266,6 +331,14 @@ mod tests {
         assert_eq!(o.threads, Some(4));
         assert!(parse_args(&s(&["table4", "--threads", "0"])).is_err());
         assert!(parse_args(&s(&["table4", "--threads"])).is_err());
+    }
+
+    #[test]
+    fn parses_trace_and_metrics() {
+        let o = parse_args(&s(&["table4", "--trace", "/tmp/t.jsonl", "--metrics"])).unwrap();
+        assert_eq!(o.trace.as_deref(), Some("/tmp/t.jsonl"));
+        assert!(o.metrics);
+        assert!(parse_args(&s(&["table4", "--trace"])).is_err());
     }
 
     #[test]
@@ -299,6 +372,8 @@ mod tests {
             n_seeds: 1,
             out_dir: dir.to_string_lossy().into_owned(),
             threads: None,
+            trace: None,
+            metrics: false,
         };
         let outputs = run_repro(&opts).unwrap();
         assert_eq!(outputs.len(), 1);

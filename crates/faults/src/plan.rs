@@ -1,5 +1,19 @@
 //! Fault plans, kinds, and the log of injected events.
 
+use oeb_trace::Counter;
+
+// Per-kind injection counters, recorded at the single chokepoint every
+// injected event flows through ([`FaultLog::push`]). Injection decisions
+// are keyed on (seed, window index), so these are schedule-invariant.
+static NAN_BURSTS: Counter = Counter::new("faults.injected.nan-burst");
+static CORRUPTED_CELLS: Counter = Counter::new("faults.injected.corrupted-cells");
+static LABEL_NOISE: Counter = Counter::new("faults.injected.label-noise");
+static DROPPED_WINDOWS: Counter = Counter::new("faults.injected.dropped-window");
+static DUPLICATED_WINDOWS: Counter = Counter::new("faults.injected.duplicated-window");
+static TRUNCATED_WINDOWS: Counter = Counter::new("faults.injected.truncated-window");
+static SCHEMA_VIOLATIONS: Counter = Counter::new("faults.injected.schema-violation");
+static ALL_MISSING_COLUMNS: Counter = Counter::new("faults.injected.all-missing-column");
+
 /// The kinds of stream fault the injector can produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
@@ -47,6 +61,19 @@ impl FaultKind {
             FaultKind::TruncatedWindow => "truncated-window",
             FaultKind::SchemaViolation => "schema-violation",
             FaultKind::AllMissingColumn => "all-missing-column",
+        }
+    }
+
+    fn counter(&self) -> &'static Counter {
+        match self {
+            FaultKind::NanBurst => &NAN_BURSTS,
+            FaultKind::CorruptedCells => &CORRUPTED_CELLS,
+            FaultKind::LabelNoise => &LABEL_NOISE,
+            FaultKind::DroppedWindow => &DROPPED_WINDOWS,
+            FaultKind::DuplicatedWindow => &DUPLICATED_WINDOWS,
+            FaultKind::TruncatedWindow => &TRUNCATED_WINDOWS,
+            FaultKind::SchemaViolation => &SCHEMA_VIOLATIONS,
+            FaultKind::AllMissingColumn => &ALL_MISSING_COLUMNS,
         }
     }
 }
@@ -181,6 +208,7 @@ impl FaultLog {
 
     /// Records one event.
     pub fn push(&mut self, window: usize, kind: FaultKind, detail: impl Into<String>) {
+        kind.counter().incr();
         self.events.push(FaultEvent {
             window,
             kind,

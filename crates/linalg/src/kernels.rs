@@ -30,6 +30,13 @@
 //! chain can never hold `-0.0`, so adding `±0.0` never changes bits).
 
 use crate::matrix::Matrix;
+use oeb_trace::Counter;
+
+/// Dispatch accounting: which GEMM path each `matmul_into` call took.
+/// Purely shape-driven, so the counts are schedule-invariant.
+static DISPATCH_SCALAR: Counter = Counter::new("gemm.dispatch.scalar");
+static DISPATCH_BLOCKED: Counter = Counter::new("gemm.dispatch.blocked");
+static MATVEC_CALLS: Counter = Counter::new("gemm.matvec.calls");
 
 /// Rows of A per register tile.
 const MR: usize = 4;
@@ -276,8 +283,10 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_gemm_shapes(a, b, out);
     out.as_mut_slice().fill(0.0);
     if a.rows() * a.cols() * b.cols() < BLOCKED_MIN_MULADDS {
+        DISPATCH_SCALAR.incr();
         scalar_accumulate(a, b, out);
     } else {
+        DISPATCH_BLOCKED.incr();
         blocked_accumulate(a, b, out);
     }
 }
@@ -514,6 +523,7 @@ fn guarded_tile(
 /// # Panics
 /// Panics on dimension mismatch.
 pub fn matvec_into(a: &Matrix, v: &[f64], out: &mut Vec<f64>) {
+    MATVEC_CALLS.incr();
     assert_eq!(a.cols(), v.len(), "matvec dimension mismatch");
     out.clear();
     out.extend((0..a.rows()).map(|r| dot(a.row(r), v)));

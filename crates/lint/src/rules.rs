@@ -63,6 +63,15 @@ pub fn all() -> &'static [Rule] {
             check: wall_clock_in_results,
         },
         Rule {
+            name: "raw-instant",
+            severity: Severity::Error,
+            invariant: "clock reads go through oeb-trace (`Stopwatch` / spans); \
+                        `Instant::now`/`SystemTime::now` appear only in crates/trace",
+            hint: "use `oeb_trace::Stopwatch::start()` (and `elapsed_seconds`/`stop`) \
+                   instead of reading the clock directly",
+            check: raw_instant,
+        },
+        Rule {
             name: "nan-partial-cmp",
             severity: Severity::Error,
             invariant: "float comparisons never panic on NaN",
@@ -120,11 +129,12 @@ fn unseeded_rng(rule: &Rule, file: &SourceFile) -> Vec<Diagnostic> {
 
 // --- wall-clock-in-results ----------------------------------------------
 
-/// `Instant::now` / `SystemTime` outside `crates/bench` and outside
-/// test/bench/example code: wall-clock readings must not flow into
-/// result artifacts.
+/// `Instant::now` / `SystemTime` outside `crates/bench` and
+/// `crates/trace` and outside test/bench/example code: wall-clock
+/// readings must not flow into result artifacts. (`crates/trace` is the
+/// sanctioned clock owner; `raw-instant` polices everything else.)
 fn wall_clock_in_results(rule: &Rule, file: &SourceFile) -> Vec<Diagnostic> {
-    if file.crate_name.as_deref() == Some("bench") {
+    if matches!(file.crate_name.as_deref(), Some("bench") | Some("trace")) {
         return Vec::new();
     }
     let mut out = Vec::new();
@@ -147,6 +157,37 @@ fn wall_clock_in_results(rule: &Rule, file: &SourceFile) -> Vec<Diagnostic> {
                 format!("`{}` reads the wall clock outside crates/bench", t.text),
             ));
         }
+    }
+    out
+}
+
+// --- raw-instant --------------------------------------------------------
+
+/// `Instant::now()` / `SystemTime::now()` anywhere outside
+/// `crates/trace` — tests, benches, and binaries included. oeb-trace's
+/// `Stopwatch` wraps the same clock behind one audited crate, so every
+/// timing site stays span-capable and the bit-identity contract
+/// (wall-clock only in trace output channels, never in results) has a
+/// single place to verify.
+fn raw_instant(rule: &Rule, file: &SourceFile) -> Vec<Diagnostic> {
+    if file.crate_name.as_deref() == Some("trace") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in file.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident
+            || !matches!(t.text.as_str(), "Instant" | "SystemTime")
+            || !punct_at(&file.tokens, i + 1, "::")
+            || !ident_at(&file.tokens, i + 2, "now")
+        {
+            continue;
+        }
+        out.push(diag(
+            rule,
+            file,
+            t,
+            format!("`{}::now` reads the clock outside crates/trace", t.text),
+        ));
     }
     out
 }

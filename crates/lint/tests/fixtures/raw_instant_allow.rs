@@ -1,0 +1,7 @@
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_pair() -> (f64, bool) {
+    let t = Instant::now(); // oeb-lint: allow(raw-instant) -- calibration probe against the trace clock
+    let s = SystemTime::now(); // oeb-lint: allow(raw-instant) -- ditto
+    (t.elapsed().as_secs_f64(), s.elapsed().is_ok())
+}

@@ -1,0 +1,7 @@
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_pair() -> (f64, bool) {
+    let t = Instant::now();
+    let s = SystemTime::now();
+    (t.elapsed().as_secs_f64(), s.elapsed().is_ok())
+}

@@ -1,6 +1,6 @@
 use std::time::Instant;
 
 pub fn timed_len(xs: &[f64]) -> (usize, f64) {
-    let start = Instant::now();
+    let start = Instant::now(); // oeb-lint: allow(raw-instant) -- fixture targets wall-clock-in-results
     (xs.len(), start.elapsed().as_secs_f64())
 }

@@ -27,6 +27,7 @@ const CASES: &[(&str, &str, &str)] = &[
         "wall-clock-in-results",
         "crates/oebench/src/fixture.rs",
     ),
+    ("raw_instant", "raw-instant", "crates/bench/src/fixture.rs"),
     (
         "nan_partial_cmp",
         "nan-partial-cmp",

@@ -21,6 +21,19 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use oeb_trace::{Counter, Gauge, SpanDef};
+
+/// `executor.*` instruments are the one family *excluded* from the
+/// schedule-invariance contract: which worker claims which index is real
+/// scheduling information, and that is exactly what they report.
+static CLAIMS: Counter = Counter::new("executor.claims");
+static SEQUENTIAL_RUNS: Counter = Counter::new("executor.sequential_runs");
+static PARALLEL_RUNS: Counter = Counter::new("executor.parallel_runs");
+static QUEUE_DEPTH: Gauge = Gauge::new("executor.queue.depth");
+static WORKERS: Gauge = Gauge::new("executor.workers");
+static WORKER_SPAN: SpanDef = SpanDef::new("executor.worker");
+static TASK_SPAN: SpanDef = SpanDef::new("executor.task");
+
 /// Process-wide default worker count; 0 means "not set".
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
 
@@ -72,20 +85,42 @@ where
     F: Fn(usize) -> T + Sync,
 {
     if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        SEQUENTIAL_RUNS.incr();
+        return (0..n)
+            .map(|i| {
+                let _task = TASK_SPAN.start();
+                CLAIMS.incr();
+                f(i)
+            })
+            .collect();
     }
+    PARALLEL_RUNS.incr();
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = threads.min(n);
+    WORKERS.set(workers as u64);
+    let (slots_ref, next_ref, f_ref) = (&slots, &next, &f);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for w in 0..workers {
+            let (slots, next, f) = (slots_ref, next_ref, f_ref);
+            scope.spawn(move || {
+                // Slot w+1 mirrors the result-slot discipline: the trace
+                // stream merges per-worker buffers in slot order, so the
+                // export is stably ordered however the OS scheduled us.
+                // (The spawning thread keeps slot 0.)
+                oeb_trace::set_thread_slot(w as u32 + 1);
+                let _worker = WORKER_SPAN.start();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    CLAIMS.incr();
+                    QUEUE_DEPTH.set((n - i.min(n)) as u64);
+                    let _task = TASK_SPAN.start();
+                    let result = f(i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
                 }
-                let result = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
     });

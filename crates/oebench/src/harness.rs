@@ -32,7 +32,11 @@ use oeb_faults::{FaultPlan, FrameSource};
 use oeb_linalg::Matrix;
 use oeb_preprocess::{Imputer, KnnImputer, MeanImputer, RegressionImputer, ZeroImputer};
 use oeb_tabular::{StreamDataset, Task};
+use oeb_trace::Counter;
 use std::sync::Arc;
+
+/// Completed harness runs (one learner over one prepared stream).
+static HARNESS_RUNS: Counter = Counter::new("harness.runs");
 
 /// Which imputer fills missing values before testing/training (§6.6).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -270,7 +274,11 @@ pub fn try_run_stream(
 ) -> Result<RunResult, HarnessError> {
     config.validate()?;
     let prepared = prepare_cached(dataset, config)?;
-    evaluate_prepared(&prepared, algorithm, config)
+    let result = evaluate_prepared(&prepared, algorithm, config);
+    if result.is_ok() {
+        HARNESS_RUNS.incr();
+    }
+    result
 }
 
 /// Runs the prequential protocol over an arbitrary frame source

@@ -51,4 +51,6 @@ pub use report::{assign_levels, fmt_mean_std, fmt_summary, TextTable};
 pub use sea::{BaseKind, SeaLearner};
 pub use select::{select_representatives, SelectionResult};
 pub use stats::{extract_stats, AvgMax, OeStats, StatsConfig};
-pub use sweep::{load_checkpoint, run_sweep, RunOutcome, SweepRecord, SweepReport};
+pub use sweep::{
+    load_checkpoint, run_sweep, set_sweep_progress, RunOutcome, SweepRecord, SweepReport,
+};

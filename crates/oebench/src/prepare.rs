@@ -29,13 +29,29 @@ use oeb_linalg::Matrix;
 use oeb_outlier::{flag_by_sigma, Ecod, IForestConfig, IsolationForest};
 use oeb_preprocess::{Imputer, MeanImputer, StandardScaler, TargetScaler, ZeroImputer};
 use oeb_tabular::{StreamDataset, Task};
+use oeb_trace::{Counter, SpanDef, Stopwatch};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Instant;
+
+// Prepare/evaluate instruments. The cache counters are schedule-invariant:
+// slot creation is serialised under the global cache lock, so exactly one
+// caller per key records the miss regardless of thread count.
+static CACHE_HIT: Counter = Counter::new("prepare.cache.hit");
+static CACHE_MISS: Counter = Counter::new("prepare.cache.miss");
+static CACHE_EVICT: Counter = Counter::new("prepare.cache.evict");
+static WINDOWS_PREPARED: Counter = Counter::new("prepare.windows");
+static ROWS_PREPARED: Counter = Counter::new("prepare.rows");
+static IMPUTE_SPAN: SpanDef = SpanDef::new("prepare.impute");
+static SCALE_SPAN: SpanDef = SpanDef::new("prepare.scale");
+static DETECT_SPAN: SpanDef = SpanDef::new("prepare.detect");
+static TEST_SPAN: SpanDef = SpanDef::new("evaluate.test");
+static TRAIN_SPAN: SpanDef = SpanDef::new("evaluate.train");
+static WINDOW_UPDATES: Counter = Counter::new("learner.window_updates");
+static ITEMS_TESTED: Counter = Counter::new("learner.items_tested");
 
 /// One fully preprocessed window, ready for test-then-train. Feature and
 /// target buffers sit behind [`Arc`]s so every learner evaluating the
@@ -233,6 +249,9 @@ pub fn prepare_from_source<S: FrameSource>(
         if is_first {
             reference.push_window(&feats, config.reference_cap);
         }
+        // The guard also covers the fallback path below: early `continue`
+        // / `return` still record the span via RAII drop.
+        let impute_span = IMPUTE_SPAN.start();
         impute_window(imputer.as_ref(), &mut feats, oracle_reference, &reference);
         if !feats.is_finite() {
             if policy.imputer_fallback {
@@ -263,6 +282,9 @@ pub fn prepare_from_source<S: FrameSource>(
             }
         }
 
+        drop(impute_span);
+
+        let scale_span = SCALE_SPAN.start();
         if is_first {
             // First-window statistics fix the scalers for the whole run.
             scaler = Some(StandardScaler::fit(&feats));
@@ -283,15 +305,18 @@ pub fn prepare_from_source<S: FrameSource>(
                 *t = ts.transform(*t);
             }
         }
+        drop(scale_span);
 
         // Optional outlier removal before test and train (§6.8).
         let (feats, targets) = match config.outlier_removal {
             OutlierRemoval::None => (feats, targets),
             OutlierRemoval::Ecod => {
+                let _detect = DETECT_SPAN.start();
                 let scores = Ecod::fit(&feats).score_all(&feats);
                 retain_unflagged(feats, targets, &scores)
             }
             OutlierRemoval::IForest => {
+                let _detect = DETECT_SPAN.start();
                 let forest = IsolationForest::fit(
                     &feats,
                     &IForestConfig {
@@ -307,6 +332,8 @@ pub fn prepare_from_source<S: FrameSource>(
 
         // A window emptied by removal is still emitted: it advances the
         // warm-up accounting without training, like the old loop.
+        WINDOWS_PREPARED.incr();
+        ROWS_PREPARED.add(feats.rows() as u64);
         windows.push(PreparedWindow {
             index,
             features: Arc::new(feats),
@@ -370,8 +397,10 @@ pub fn evaluate_prepared(
 
         let model = learner.as_mut().expect("learner set on warm-up");
         if seen > 0 {
-            // Test phase.
-            let start = Instant::now(); // oeb-lint: allow(wall-clock-in-results) -- the measured duration IS the reported metric
+            // Test phase. The stopwatch's value flows into the reported
+            // test-seconds metric; the span it records on stop is
+            // trace-channel only.
+            let watch = Stopwatch::start();
             let mut loss = 0.0;
             for r in 0..feats.rows() {
                 let pred = model.predict(feats.row(r));
@@ -380,7 +409,7 @@ pub fn evaluate_prepared(
                     Task::Regression => (pred - targets[r]).powi(2),
                 };
             }
-            test_seconds += start.elapsed().as_secs_f64();
+            test_seconds += watch.stop(&TEST_SPAN);
             let window_loss = loss / feats.rows() as f64;
             if !window_loss.is_finite() && policy.reset_on_nonfinite {
                 resets += 1;
@@ -400,13 +429,15 @@ pub fn evaluate_prepared(
             } else {
                 per_window_loss.push(window_loss);
                 items += feats.rows();
+                ITEMS_TESTED.add(feats.rows() as u64);
             }
         }
 
         // Train phase.
-        let start = Instant::now(); // oeb-lint: allow(wall-clock-in-results) -- the measured duration IS the reported metric
+        let watch = Stopwatch::start();
         model.train_window(feats, targets);
-        train_seconds += start.elapsed().as_secs_f64();
+        train_seconds += watch.stop(&TRAIN_SPAN);
+        WINDOW_UPDATES.incr();
         items += feats.rows();
         memory_peak = memory_peak.max(model.memory_bytes());
         seen += 1;
@@ -507,14 +538,19 @@ pub fn prepare_cached(
             capacity: cap,
         });
         match cache.map.get(&key) {
-            Some(slot) => slot.clone(),
+            Some(slot) => {
+                CACHE_HIT.incr();
+                slot.clone()
+            }
             None => {
+                CACHE_MISS.incr();
                 let slot: CacheSlot = Arc::new(Mutex::new(None));
                 cache.map.insert(key.clone(), slot.clone());
                 cache.order.push_back(key);
                 while cache.order.len() > cache.capacity {
                     if let Some(evicted) = cache.order.pop_front() {
                         cache.map.remove(&evicted);
+                        CACHE_EVICT.incr();
                     }
                 }
                 slot

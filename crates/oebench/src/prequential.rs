@@ -8,7 +8,12 @@
 use crate::error::HarnessError;
 use oeb_linalg::Matrix;
 use oeb_tabular::{StreamDataset, Task};
+use oeb_trace::Counter;
 use oeb_tree::{AdaptiveRandomForest, HoeffdingTree};
+
+/// One `learn_one` call per item — the item-level analogue of the
+/// window-level `learner.window_updates` counter.
+static ITEM_UPDATES: Counter = Counter::new("learner.item_updates");
 
 /// A model that can be tested and trained one item at a time.
 pub trait IncrementalClassifier {
@@ -94,6 +99,7 @@ pub fn try_prequential_items<M: IncrementalClassifier>(
         }
     }
     let items = xs.rows();
+    ITEM_UPDATES.add(items as u64);
     Ok(PrequentialResult {
         items,
         accuracy: if items > 0 {

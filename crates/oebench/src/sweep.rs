@@ -16,12 +16,69 @@ use crate::executor::parallel_map;
 use crate::harness::{try_run_stream, HarnessConfig, RunResult};
 use crate::learners::Algorithm;
 use oeb_tabular::StreamDataset;
+use oeb_trace::{Counter, SpanDef};
 use serde_json::{json, Value};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+// Sweep cell accounting: grid size, cells resolved from a checkpoint
+// (resume), cells actually executed this invocation, and failures. All
+// schedule-invariant — they depend on the grid and the checkpoint, never
+// on which worker ran what.
+static CELLS_TOTAL: Counter = Counter::new("sweep.cells.total");
+static CELLS_RESUMED: Counter = Counter::new("sweep.cells.resumed");
+static CELLS_EXECUTED: Counter = Counter::new("sweep.cells.executed");
+static CELLS_FAILED: Counter = Counter::new("sweep.cells.failed");
+static CELL_SPAN: SpanDef = SpanDef::new("sweep.cell");
+
+/// Whether [`run_sweep`] emits a stderr progress line per finished cell.
+/// Off by default so library callers and tests stay quiet; the CLI sweep
+/// command turns it on.
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Enables/disables the per-cell stderr progress line.
+pub fn set_sweep_progress(enabled: bool) {
+    PROGRESS.store(enabled, Ordering::Relaxed);
+}
+
+/// Resume-aware progress accounting for one sweep invocation.
+///
+/// `done` starts at the number of cells resolved from the checkpoint, so
+/// a killed-and-resumed sweep reports `done/total` over the *whole* grid
+/// instead of recounting the new work from zero.
+struct SweepProgress {
+    total: usize,
+    resumed: usize,
+    done: AtomicUsize,
+    emit: bool,
+}
+
+impl SweepProgress {
+    fn new(total: usize, resumed: usize, emit: bool) -> Self {
+        SweepProgress {
+            total,
+            resumed,
+            done: AtomicUsize::new(resumed),
+            emit,
+        }
+    }
+
+    /// Records one finished cell; returns the cumulative (done, total).
+    fn note_done(&self) -> (usize, usize) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.emit {
+            eprintln!(
+                "[sweep] {done}/{} cells done ({} resumed from checkpoint)",
+                self.total, self.resumed
+            );
+        }
+        (done, self.total)
+    }
+}
 
 /// What happened to one (dataset, learner) run.
 #[derive(Debug, Clone, PartialEq)]
@@ -163,6 +220,12 @@ pub fn run_sweep(
         to_run.truncate(limit);
     }
 
+    let resumed = cells.len() - (outcomes.iter().filter(|o| o.is_none()).count());
+    CELLS_TOTAL.add(cells.len() as u64);
+    CELLS_RESUMED.add(resumed as u64);
+    CELLS_EXECUTED.add(to_run.len() as u64);
+    let progress = SweepProgress::new(cells.len(), resumed, PROGRESS.load(Ordering::Relaxed));
+
     if !to_run.is_empty() {
         // One writer, shared by all workers; appends happen as cells
         // finish, so an interrupt loses at most the in-flight cells.
@@ -180,7 +243,13 @@ pub fn run_sweep(
 
         let ran: Vec<RunOutcome> = parallel_map(to_run.len(), threads, |slot| {
             let (d, a) = cells[to_run[slot]];
+            let cell_span = CELL_SPAN.start();
             let outcome = run_isolated(&datasets[d], algorithms[a], config);
+            drop(cell_span);
+            if matches!(outcome, RunOutcome::Failed { .. }) {
+                CELLS_FAILED.incr();
+            }
+            progress.note_done();
             if let Some(writer) = &writer {
                 let record = SweepRecord {
                     dataset: datasets[d].name.clone(),
@@ -452,6 +521,16 @@ mod tests {
                         (o1, o2) => o1 == o2,
                     }
             })
+    }
+
+    #[test]
+    fn progress_starts_at_the_resumed_count_not_zero() {
+        // The regression this guards: a killed-and-resumed sweep used to
+        // recount completed cells from zero. done/total must cover the
+        // whole grid, seeded by the checkpoint.
+        let p = SweepProgress::new(10, 4, false);
+        assert_eq!(p.note_done(), (5, 10));
+        assert_eq!(p.note_done(), (6, 10));
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Tracing must be a pure observer. For arbitrary stream seeds, a
+//! 4-thread [`run_sweep`] with tracing enabled is bit-identical (modulo
+//! wall-clock fields) to the same sweep with tracing disabled, and every
+//! schedule-invariant counter — prepare-cache hits, window counts, fault
+//! events — is identical across thread counts.
+//!
+//! This file holds exactly one test on purpose: oeb-trace state is
+//! process-global, so the property owns the whole test binary.
+
+use std::collections::BTreeMap;
+
+use oeb_core::{run_sweep, Algorithm, HarnessConfig, RunOutcome, SweepReport};
+use oeb_faults::{inject_dataset, FaultPlan};
+use oeb_synth::{generate, Balance, DriftPattern, LabelMechanism, Level, StreamSpec, TaskSpec};
+use oeb_tabular::Domain;
+use proptest::prelude::*;
+
+fn tiny_spec(classification: bool, seed: u64) -> StreamSpec {
+    StreamSpec {
+        name: if classification {
+            "trace-clf".into()
+        } else {
+            "trace-reg".into()
+        },
+        domain: Domain::Others,
+        n_rows: 240,
+        n_numeric: 3,
+        categorical: vec![],
+        task: if classification {
+            TaskSpec::Classification {
+                n_classes: 2,
+                mechanism: LabelMechanism::XToY,
+                balance: Balance::Balanced,
+                label_noise: 0.02,
+            }
+        } else {
+            TaskSpec::Regression { noise: 0.1 }
+        },
+        drift_pattern: DriftPattern::Gradual,
+        drift_level: Level::MediumLow,
+        anomaly_level: Level::Low,
+        anomaly_events: vec![],
+        missing_level: Level::MediumLow,
+        availability: vec![],
+        seasonal_cycles: 0.0,
+        default_window: 60,
+        seed,
+    }
+}
+
+fn quick_config(seed: u64) -> HarnessConfig {
+    let mut cfg = HarnessConfig {
+        seed,
+        window_factor: 0.25,
+        ..Default::default()
+    };
+    cfg.learner.epochs = 1;
+    cfg.learner.hidden = vec![4];
+    cfg.learner.ensemble_size = 1;
+    cfg.learner.buffer_size = 20;
+    cfg
+}
+
+/// Rates high enough that every seed injects at least one fault.
+fn noisy_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        nan_burst: 0.8,
+        cell_corruption: 0.05,
+        label_noise: 0.8,
+        drop_window: 0.2,
+        duplicate_window: 0.2,
+        truncate_window: 0.2,
+        schema_violation: 0.2,
+        all_missing_column: 0.2,
+    }
+}
+
+/// Report equality modulo wall-clock timing fields.
+fn same_modulo_timing(a: &SweepReport, b: &SweepReport) -> bool {
+    a.records.len() == b.records.len()
+        && a.records.iter().zip(&b.records).all(|(x, y)| {
+            x.dataset == y.dataset
+                && x.algorithm == y.algorithm
+                && match (&x.outcome, &y.outcome) {
+                    (RunOutcome::Completed(p), RunOutcome::Completed(q)) => {
+                        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+                        bits(&p.per_window_loss) == bits(&q.per_window_loss)
+                            && p.mean_loss.to_bits() == q.mean_loss.to_bits()
+                            && p.items == q.items
+                            && p.degradations == q.degradations
+                    }
+                    (o1, o2) => o1 == o2,
+                }
+        })
+}
+
+/// One traced pass: reset instruments, sweep at `threads`, inject a
+/// faulty stream (for the fault counters), and return the report plus
+/// the schedule-invariant counters.
+fn traced_pass(
+    datasets: &[oeb_tabular::StreamDataset],
+    algorithms: &[Algorithm],
+    cfg: &HarnessConfig,
+    plan: &FaultPlan,
+    threads: usize,
+) -> (SweepReport, BTreeMap<String, u64>) {
+    oeb_trace::reset();
+    let report =
+        run_sweep(datasets, algorithms, cfg, None, None, threads).expect("valid sweep config");
+    let (_frames, _log) = inject_dataset(&datasets[0], plan, cfg.window_factor);
+    (report, oeb_trace::snapshot().deterministic_counters())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn tracing_is_a_pure_observer(seed in 0u64..16) {
+        let datasets = vec![
+            generate(&tiny_spec(true, seed), 0),
+            generate(&tiny_spec(false, seed.wrapping_add(7)), 0),
+        ];
+        let algorithms = [Algorithm::NaiveDt, Algorithm::NaiveNn];
+        let cfg = quick_config(seed);
+        let plan = noisy_plan(seed);
+
+        // Untraced reference pass (also warms the synth/prepare caches so
+        // both traced passes see identical cache state).
+        oeb_trace::disable();
+        let untraced =
+            run_sweep(&datasets, &algorithms, &cfg, None, None, 4).expect("valid sweep config");
+
+        oeb_trace::enable();
+        let (traced4, counters4) = traced_pass(&datasets, &algorithms, &cfg, &plan, 4);
+        let (traced1, counters1) = traced_pass(&datasets, &algorithms, &cfg, &plan, 1);
+        oeb_trace::disable();
+
+        // Results are bit-identical with tracing off, on, and across
+        // thread counts.
+        prop_assert!(
+            same_modulo_timing(&untraced, &traced4),
+            "4-thread sweep diverged when tracing was enabled"
+        );
+        prop_assert!(
+            same_modulo_timing(&traced4, &traced1),
+            "sweep results differ across thread counts"
+        );
+
+        // Every schedule-invariant counter agrees between 4 threads and
+        // 1 thread — executor.* is excluded by contract.
+        prop_assert_eq!(&counters4, &counters1);
+
+        // And the workload actually exercised the instruments.
+        let get = |k: &str| counters4.get(k).copied().unwrap_or(0);
+        prop_assert!(get("prepare.cache.hit") > 0, "no prepare-cache hits recorded");
+        prop_assert!(get("harness.runs") > 0, "no harness runs recorded");
+        let fault_events: u64 = counters4
+            .iter()
+            .filter(|(k, _)| k.starts_with("faults.injected."))
+            .map(|(_, v)| v)
+            .sum();
+        prop_assert!(fault_events > 0, "no fault events recorded");
+    }
+}

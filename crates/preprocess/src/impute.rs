@@ -7,6 +7,13 @@
 
 use oeb_linalg::{ridge_regression, Matrix};
 use oeb_tabular::FiniteMask;
+use oeb_trace::Counter;
+
+// Candidate-abandonment accounting for the pruned KNN path: how many
+// donor candidates were cut short by the partial-distance bound vs
+// scanned to completion. Data-dependent only, so schedule-invariant.
+static KNN_CANDIDATES_PRUNED: Counter = Counter::new("knn.candidates.pruned");
+static KNN_CANDIDATES_SCANNED: Counter = Counter::new("knn.candidates.scanned");
 
 /// Fills NaN cells of `data`, using `reference` as the source of knowledge
 /// (for the "oracle vs normal" distinction of Figure 5: oracle passes the
@@ -288,8 +295,10 @@ fn knn_impute_pruned(k: usize, data: &mut Matrix, reference: &Matrix) {
                 }
             }
             if abandoned {
+                KNN_CANDIDATES_PRUNED.incr();
                 continue;
             }
+            KNN_CANDIDATES_SCANNED.incr();
             let dist = sum * scale;
             for (slot, &c) in missing.iter().enumerate() {
                 if !rmask.get(j, c) {

@@ -11,10 +11,17 @@
 use crate::generate::generate;
 use crate::spec::StreamSpec;
 use oeb_tabular::StreamDataset;
+use oeb_trace::Counter;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+// Hit/miss/evict accounting. Lookups happen under the global cache lock,
+// so the counts depend only on the key sequence, not on scheduling.
+static CACHE_HIT: Counter = Counter::new("synth.cache.hit");
+static CACHE_MISS: Counter = Counter::new("synth.cache.miss");
+static CACHE_EVICT: Counter = Counter::new("synth.cache.evict");
 
 struct GenCache {
     map: HashMap<(String, u64), Arc<StreamDataset>>,
@@ -50,8 +57,10 @@ pub fn generate_cached(spec: &StreamSpec, seed: u64) -> Arc<StreamDataset> {
         capacity: capacity(),
     });
     if let Some(hit) = cache.map.get(&key) {
+        CACHE_HIT.incr();
         return hit.clone();
     }
+    CACHE_MISS.incr();
     // Generate while holding the lock: concurrent requests for the same
     // pair would otherwise duplicate the (deterministic) work, and
     // generation is cheap relative to the downstream evaluation.
@@ -62,6 +71,7 @@ pub fn generate_cached(spec: &StreamSpec, seed: u64) -> Arc<StreamDataset> {
         while cache.order.len() > cache.capacity {
             if let Some(evicted) = cache.order.pop_front() {
                 cache.map.remove(&evicted);
+                CACHE_EVICT.incr();
             }
         }
     }

@@ -1,0 +1,798 @@
+//! Deterministic, dependency-free observability for the OEBench workspace.
+//!
+//! The pipeline's load-bearing invariant is that *results never depend on
+//! wall-clock time or scheduling*: an N-thread run is bit-identical to a
+//! sequential one. Instrumentation must not be allowed to erode that, so
+//! this crate draws a hard line:
+//!
+//! - **Wall-clock readings live here and nowhere else.** The `raw-instant`
+//!   lint rule forbids `Instant::now`/`SystemTime::now` outside this crate;
+//!   code that needs a duration (even one that is itself a reported paper
+//!   metric, like training time) goes through [`Stopwatch`].
+//! - **Zero cost when disabled.** Every recording entry point checks one
+//!   relaxed atomic flag and returns; the disabled path performs no clock
+//!   read, no allocation, and takes no lock. Results are bit-identical with
+//!   tracing on, off, or compiled out.
+//! - **Deterministic export ordering.** Metric snapshots are keyed by
+//!   `BTreeMap`; span buffers are thread-local and tagged with the owning
+//!   worker's *slot* (the same slot indices the executor uses for result
+//!   collection), then merged by `(slot, start, seq)` with a stable sort —
+//!   so the trace stream's ordering does not depend on which thread
+//!   happened to flush first.
+//!
+//! Metric handles are `static` items with interior atomics; they register
+//! themselves into a global registry on first touch, so defining one is
+//! free and dead instruments never appear in a snapshot.
+//!
+//! ```
+//! static CACHE_HITS: oeb_trace::Counter = oeb_trace::Counter::new("demo.cache.hit");
+//! static IMPUTE: oeb_trace::SpanDef = oeb_trace::SpanDef::new("demo.impute");
+//!
+//! oeb_trace::enable();
+//! {
+//!     let _span = IMPUTE.start(); // RAII: records duration on drop
+//!     CACHE_HITS.incr();
+//! }
+//! let snap = oeb_trace::snapshot();
+//! assert_eq!(snap.counters["demo.cache.hit"], 1);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Global state
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Lock a mutex, recovering the guard if a panicking holder poisoned it.
+/// All state behind these locks is valid under torn updates (counters and
+/// event buffers), so continuing is always safe and keeps this crate free
+/// of panics.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct Registry {
+    counters: Vec<&'static Counter>,
+    gauges: Vec<&'static Gauge>,
+    histograms: Vec<&'static Histogram>,
+    spans: Vec<&'static SpanDef>,
+}
+
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    counters: Vec::new(),
+    gauges: Vec::new(),
+    histograms: Vec::new(),
+    spans: Vec::new(),
+});
+
+/// Process-relative time origin for span start offsets. Fixed at the first
+/// `enable()` (or first span if somehow recorded earlier) so offsets in one
+/// trace file share one origin.
+static EPOCH: Mutex<Option<Instant>> = Mutex::new(None);
+
+fn epoch_micros(at: Instant) -> u64 {
+    let mut guard = lock(&EPOCH);
+    let epoch = guard.get_or_insert(at);
+    at.saturating_duration_since(*epoch).as_micros() as u64
+}
+
+/// Is recording currently on? One relaxed load — this is the whole cost of
+/// every instrument on the disabled path.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn recording on. Fixes the trace epoch on first call.
+pub fn enable() {
+    lock(&EPOCH).get_or_insert_with(Instant::now);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn recording off. Already-recorded values remain until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge / Histogram
+// ---------------------------------------------------------------------------
+
+/// Monotone event counter. Schedule-invariant for all instruments in the
+/// workspace except the `executor.*` family (see DESIGN.md "Observability"
+/// for the determinism contract).
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.ensure_registered();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn ensure_registered(&'static self) {
+        if self.registered.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        lock(&REGISTRY).counters.push(self);
+    }
+}
+
+/// Last-written + high-water-mark gauge (e.g. executor queue depth).
+pub struct Gauge {
+    name: &'static str,
+    last: AtomicU64,
+    max: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            last: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    #[inline]
+    pub fn set(&'static self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.ensure_registered();
+        self.last.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn ensure_registered(&'static self) {
+        if self.registered.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        lock(&REGISTRY).gauges.push(self);
+    }
+}
+
+/// Upper bound on bucket count (`bounds` entries plus one overflow bucket).
+/// Fixed so the storage can live inline in a `static` with no allocation.
+pub const MAX_BUCKETS: usize = 12;
+
+/// Fixed-bucket histogram over `u64` samples (typically microseconds or
+/// element counts). `bounds` are inclusive upper edges in ascending order;
+/// samples above the last bound land in the overflow bucket. Bounds beyond
+/// [`MAX_BUCKETS`]` - 1` are ignored rather than panicking.
+pub struct Histogram {
+    name: &'static str,
+    bounds: &'static [u64],
+    buckets: [AtomicU64; MAX_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    pub const fn new(name: &'static str, bounds: &'static [u64]) -> Self {
+        Histogram {
+            name,
+            bounds,
+            buckets: [const { AtomicU64::new(0) }; MAX_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    fn used_bounds(&self) -> &'static [u64] {
+        let n = self.bounds.len().min(MAX_BUCKETS - 1);
+        &self.bounds[..n]
+    }
+
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.ensure_registered();
+        let bounds = self.used_bounds();
+        let mut idx = bounds.len(); // overflow bucket
+        for (i, b) in bounds.iter().enumerate() {
+            if v <= *b {
+                idx = i;
+                break;
+            }
+        }
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    fn ensure_registered(&'static self) {
+        if self.registered.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        lock(&REGISTRY).histograms.push(self);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// A named span site. `start()` returns an RAII guard that records the
+/// duration on drop; per-definition count/total aggregates feed the metrics
+/// snapshot (per-stage time shares) while the individual events feed the
+/// `--trace` JSON-lines stream.
+pub struct SpanDef {
+    name: &'static str,
+    count: AtomicU64,
+    total_us: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl SpanDef {
+    pub const fn new(name: &'static str) -> Self {
+        SpanDef {
+            name,
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Begin a span. Disabled path: one atomic load, no clock read, no
+    /// allocation — the guard is inert.
+    #[inline]
+    pub fn start(&'static self) -> SpanGuard {
+        if !enabled() {
+            return SpanGuard(None);
+        }
+        SpanGuard(Some(ActiveSpan {
+            def: self,
+            start: Instant::now(),
+        }))
+    }
+
+    fn record_from(&'static self, start: Instant) {
+        let dur_us = start.elapsed().as_micros() as u64;
+        self.ensure_registered();
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(dur_us, Ordering::Relaxed);
+        push_event(self.name, epoch_micros(start), dur_us);
+    }
+
+    fn ensure_registered(&'static self) {
+        if self.registered.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        lock(&REGISTRY).spans.push(self);
+    }
+}
+
+struct ActiveSpan {
+    def: &'static SpanDef,
+    start: Instant,
+}
+
+/// RAII guard from [`SpanDef::start`]. Records on drop if recording is
+/// still enabled.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            if enabled() {
+                active.def.record_from(active.start);
+            }
+        }
+    }
+}
+
+/// The one sanctioned way to measure a duration whose *value* must flow
+/// into results (training/test seconds are themselves reported paper
+/// metrics). Always reads the clock — the measured number is identical
+/// whether tracing is on or off — and additionally records a span event
+/// when recording is enabled.
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    #[inline]
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Stop, returning elapsed seconds; records a span under `def` when
+    /// recording is enabled.
+    pub fn stop(self, def: &'static SpanDef) -> f64 {
+        let secs = self.start.elapsed().as_secs_f64();
+        if enabled() {
+            def.record_from(self.start);
+        }
+        secs
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread event buffers (slot-ordered, like executor result collection)
+// ---------------------------------------------------------------------------
+
+/// Per-thread event cap; beyond it events are counted as dropped rather
+/// than growing without bound. 2^18 events ≈ 10 MB per thread worst case.
+const MAX_THREAD_EVENTS: usize = 1 << 18;
+
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+#[derive(Clone)]
+struct Event {
+    name: &'static str,
+    start_us: u64,
+    dur_us: u64,
+    seq: u32,
+}
+
+struct ThreadBuf {
+    slot: u32,
+    seq: u32,
+    events: Vec<Event>,
+}
+
+impl ThreadBuf {
+    fn flush(&mut self) {
+        if !self.events.is_empty() {
+            lock(&CHUNKS).push((self.slot, std::mem::take(&mut self.events)));
+        }
+    }
+}
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static BUF: RefCell<ThreadBuf> = const {
+        RefCell::new(ThreadBuf {
+            slot: 0,
+            seq: 0,
+            events: Vec::new(),
+        })
+    };
+}
+
+/// Flushed per-thread buffers awaiting export, tagged with their slot.
+static CHUNKS: Mutex<Vec<(u32, Vec<Event>)>> = Mutex::new(Vec::new());
+
+/// Tag the current thread's events with a slot index. The executor assigns
+/// slot `w + 1` to worker `w` (the spawning thread keeps slot 0), mirroring
+/// its slot-ordered result collection so the merged trace ordering is
+/// independent of thread scheduling.
+pub fn set_thread_slot(slot: u32) {
+    let _ = BUF.try_with(|b| b.borrow_mut().slot = slot);
+}
+
+fn push_event(name: &'static str, start_us: u64, dur_us: u64) {
+    // try_with: events arriving during thread teardown are dropped rather
+    // than panicking on a destroyed TLS key.
+    let pushed = BUF.try_with(|b| {
+        let mut b = b.borrow_mut();
+        if b.events.len() >= MAX_THREAD_EVENTS {
+            return false;
+        }
+        let seq = b.seq;
+        b.seq = b.seq.wrapping_add(1);
+        b.events.push(Event {
+            name,
+            start_us,
+            dur_us,
+            seq,
+        });
+        true
+    });
+    if pushed != Ok(true) {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Move the calling thread's buffered events into the global chunk list.
+/// Worker threads flush automatically on exit (TLS drop); the exporting
+/// thread calls this for itself.
+pub fn flush_thread() {
+    let _ = BUF.try_with(|b| b.borrow_mut().flush());
+}
+
+// ---------------------------------------------------------------------------
+// Export: trace stream
+// ---------------------------------------------------------------------------
+
+/// One exported span event, in final deterministic order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub name: &'static str,
+    pub slot: u32,
+    pub seq: u32,
+    pub start_us: u64,
+    pub dur_us: u64,
+}
+
+/// Drain all recorded span events in deterministic order: stable-sorted by
+/// `(slot, start_us, seq)`, so the stream's shape does not depend on which
+/// thread's buffer reached the chunk list first. Consumes the events.
+pub fn drain_events() -> Vec<TraceEvent> {
+    flush_thread();
+    let chunks = std::mem::take(&mut *lock(&CHUNKS));
+    let mut events: Vec<(u32, Event)> = Vec::new();
+    for (slot, chunk) in chunks {
+        for ev in chunk {
+            events.push((slot, ev));
+        }
+    }
+    events.sort_by_key(|(slot, ev)| (*slot, ev.start_us, ev.seq));
+    events
+        .into_iter()
+        .map(|(slot, ev)| TraceEvent {
+            name: ev.name,
+            slot,
+            seq: ev.seq,
+            start_us: ev.start_us,
+            dur_us: ev.dur_us,
+        })
+        .collect()
+}
+
+/// Number of events discarded because a per-thread buffer hit its cap.
+pub fn dropped_events() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Write the drained span stream as JSON lines. Each record carries
+/// `type`, a monotone `id` assigned after the deterministic merge, the
+/// owning `slot`, per-thread `seq`, the span `name`, and epoch-relative
+/// `start_us` / `dur_us`.
+pub fn write_trace_file(path: &Path) -> std::io::Result<()> {
+    let events = drain_events();
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    for (id, ev) in events.iter().enumerate() {
+        writeln!(
+            out,
+            "{{\"type\":\"span\",\"id\":{id},\"slot\":{},\"seq\":{},\"name\":\"{}\",\"start_us\":{},\"dur_us\":{}}}",
+            ev.slot,
+            ev.seq,
+            json_escape(ev.name),
+            ev.start_us,
+            ev.dur_us,
+        )?;
+    }
+    out.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Export: metrics snapshot
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    pub last: u64,
+    pub max: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// `(inclusive upper bound, count)`; the final entry is the overflow
+    /// bucket with bound `u64::MAX`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    pub count: u64,
+    pub total_us: u64,
+}
+
+/// Point-in-time view of every registered instrument, keyed by name in
+/// `BTreeMap`s so iteration (and therefore any rendering) is ordered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    pub spans: BTreeMap<String, SpanSnapshot>,
+}
+
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = lock(&REGISTRY);
+    let mut snap = MetricsSnapshot::default();
+    for c in &reg.counters {
+        snap.counters.insert(c.name.to_string(), c.get());
+    }
+    for g in &reg.gauges {
+        snap.gauges.insert(
+            g.name.to_string(),
+            GaugeSnapshot {
+                last: g.last.load(Ordering::Relaxed),
+                max: g.max.load(Ordering::Relaxed),
+            },
+        );
+    }
+    for h in &reg.histograms {
+        let bounds = h.used_bounds();
+        let mut buckets = Vec::with_capacity(bounds.len() + 1);
+        for (i, b) in bounds.iter().enumerate() {
+            buckets.push((*b, h.buckets[i].load(Ordering::Relaxed)));
+        }
+        buckets.push((u64::MAX, h.buckets[bounds.len()].load(Ordering::Relaxed)));
+        snap.histograms.insert(
+            h.name.to_string(),
+            HistogramSnapshot {
+                count: h.count.load(Ordering::Relaxed),
+                sum: h.sum.load(Ordering::Relaxed),
+                buckets,
+            },
+        );
+    }
+    for s in &reg.spans {
+        snap.spans.insert(
+            s.name.to_string(),
+            SpanSnapshot {
+                count: s.count.load(Ordering::Relaxed),
+                total_us: s.total_us.load(Ordering::Relaxed),
+            },
+        );
+    }
+    let dropped = dropped_events();
+    if dropped > 0 {
+        snap.counters
+            .insert("trace.events.dropped".to_string(), dropped);
+    }
+    snap
+}
+
+impl MetricsSnapshot {
+    /// Counters under the schedule-invariant contract: everything except
+    /// the `executor.*` family, whose values legitimately depend on which
+    /// worker claimed which task. Tests assert these are identical across
+    /// thread counts.
+    pub fn deterministic_counters(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .filter(|(name, _)| !name.starts_with("executor."))
+            .map(|(name, v)| (name.clone(), *v))
+            .collect()
+    }
+}
+
+/// Render the snapshot as an aligned human-readable table (the `--metrics`
+/// output). Ordering follows the `BTreeMap` keys, so it is stable.
+pub fn render_metrics_table(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut section = |title: &str, rows: &[(String, String)]| {
+        if rows.is_empty() {
+            return;
+        }
+        let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        out.push_str(title);
+        out.push('\n');
+        for (k, v) in rows {
+            out.push_str(&format!("  {k:<width$}  {v}\n"));
+        }
+    };
+    let counter_rows: Vec<(String, String)> = snap
+        .counters
+        .iter()
+        .map(|(k, v)| (k.clone(), v.to_string()))
+        .collect();
+    section("counters", &counter_rows);
+    let gauge_rows: Vec<(String, String)> = snap
+        .gauges
+        .iter()
+        .map(|(k, g)| (k.clone(), format!("last={} max={}", g.last, g.max)))
+        .collect();
+    section("gauges", &gauge_rows);
+    let span_rows: Vec<(String, String)> = snap
+        .spans
+        .iter()
+        .map(|(k, s)| {
+            let mean = s.total_us.checked_div(s.count).unwrap_or(0);
+            (
+                k.clone(),
+                format!("count={} total_us={} mean_us={mean}", s.count, s.total_us),
+            )
+        })
+        .collect();
+    section("spans", &span_rows);
+    let hist_rows: Vec<(String, String)> = snap
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(b, c)| {
+                    if *b == u64::MAX {
+                        format!("inf:{c}")
+                    } else {
+                        format!("{b}:{c}")
+                    }
+                })
+                .collect();
+            (
+                k.clone(),
+                format!("count={} sum={} [{}]", h.count, h.sum, buckets.join(" ")),
+            )
+        })
+        .collect();
+    section("histograms", &hist_rows);
+    out
+}
+
+/// Serialise the snapshot as a single JSON object (hand-rolled: this crate
+/// stays dependency-free). Key order is the `BTreeMap` order, so the bytes
+/// are stable for identical snapshots.
+pub fn metrics_to_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{");
+    out.push_str("\"counters\":{");
+    push_entries(
+        &mut out,
+        snap.counters.iter().map(|(k, v)| (k, v.to_string())),
+    );
+    out.push_str("},\"gauges\":{");
+    push_entries(
+        &mut out,
+        snap.gauges
+            .iter()
+            .map(|(k, g)| (k, format!("{{\"last\":{},\"max\":{}}}", g.last, g.max))),
+    );
+    out.push_str("},\"spans\":{");
+    push_entries(
+        &mut out,
+        snap.spans.iter().map(|(k, s)| {
+            (
+                k,
+                format!("{{\"count\":{},\"total_us\":{}}}", s.count, s.total_us),
+            )
+        }),
+    );
+    out.push_str("},\"histograms\":{");
+    push_entries(
+        &mut out,
+        snap.histograms.iter().map(|(k, h)| {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(b, c)| {
+                    let bound = if *b == u64::MAX {
+                        "null".to_string()
+                    } else {
+                        b.to_string()
+                    };
+                    format!("[{bound},{c}]")
+                })
+                .collect();
+            (
+                k,
+                format!(
+                    "{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                    h.count,
+                    h.sum,
+                    buckets.join(",")
+                ),
+            )
+        }),
+    );
+    out.push_str("}}");
+    out
+}
+
+fn push_entries<'a, I>(out: &mut String, entries: I)
+where
+    I: Iterator<Item = (&'a String, String)>,
+{
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        out.push_str(&json_escape(k));
+        out.push_str("\":");
+        out.push_str(&v);
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Reset (tests and benchmarks)
+// ---------------------------------------------------------------------------
+
+/// Zero every registered instrument, discard buffered events, and restart
+/// the epoch. Leaves the enabled flag as-is. Buffers owned by *live* other
+/// threads are not reachable and are left alone; in practice worker threads
+/// are scoped and have exited by the time anything resets.
+pub fn reset() {
+    {
+        let reg = lock(&REGISTRY);
+        for c in &reg.counters {
+            c.value.store(0, Ordering::Relaxed);
+        }
+        for g in &reg.gauges {
+            g.last.store(0, Ordering::Relaxed);
+            g.max.store(0, Ordering::Relaxed);
+        }
+        for h in &reg.histograms {
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            h.count.store(0, Ordering::Relaxed);
+            h.sum.store(0, Ordering::Relaxed);
+        }
+        for s in &reg.spans {
+            s.count.store(0, Ordering::Relaxed);
+            s.total_us.store(0, Ordering::Relaxed);
+        }
+    }
+    lock(&CHUNKS).clear();
+    DROPPED.store(0, Ordering::Relaxed);
+    let _ = BUF.try_with(|b| {
+        let mut b = b.borrow_mut();
+        b.events.clear();
+        b.seq = 0;
+    });
+    *lock(&EPOCH) = Some(Instant::now());
+}

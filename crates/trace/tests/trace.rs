@@ -1,0 +1,139 @@
+//! Behavioural tests for the observability layer. All instruments share
+//! process-global state, so everything runs inside one `#[test]` body with
+//! explicit `reset()` fences between scenarios.
+
+use oeb_trace::{
+    drain_events, enable, enabled, metrics_to_json, render_metrics_table, reset, set_thread_slot,
+    snapshot, Counter, Gauge, Histogram, SpanDef, Stopwatch,
+};
+
+static HITS: Counter = Counter::new("t.cache.hit");
+static DEPTH: Gauge = Gauge::new("t.queue.depth");
+static SIZES: Histogram = Histogram::new("t.sizes", &[10, 100, 1000]);
+static PHASE: SpanDef = SpanDef::new("t.phase");
+static WORKER: SpanDef = SpanDef::new("t.worker");
+static EXEC_CLAIMS: Counter = Counter::new("executor.t.claims");
+
+#[test]
+fn end_to_end() {
+    disabled_path_records_nothing();
+    counters_gauges_histograms();
+    spans_merge_in_slot_order();
+    stopwatch_measures_with_tracing_off_and_on();
+    json_and_table_are_stable();
+    deterministic_counter_filter();
+}
+
+fn disabled_path_records_nothing() {
+    assert!(!enabled(), "recording must start disabled");
+    HITS.incr();
+    DEPTH.set(7);
+    SIZES.record(5);
+    {
+        let _g = PHASE.start();
+    }
+    let snap = snapshot();
+    assert!(snap.counters.is_empty());
+    assert!(snap.gauges.is_empty());
+    assert!(snap.histograms.is_empty());
+    assert!(snap.spans.is_empty());
+    assert!(drain_events().is_empty());
+}
+
+fn counters_gauges_histograms() {
+    enable();
+    reset();
+    HITS.add(3);
+    HITS.incr();
+    DEPTH.set(9);
+    DEPTH.set(4);
+    SIZES.record(5);
+    SIZES.record(50);
+    SIZES.record(5000);
+    let snap = snapshot();
+    assert_eq!(snap.counters["t.cache.hit"], 4);
+    let g = snap.gauges["t.queue.depth"];
+    assert_eq!((g.last, g.max), (4, 9));
+    let h = &snap.histograms["t.sizes"];
+    assert_eq!(h.count, 3);
+    assert_eq!(h.sum, 5055);
+    assert_eq!(h.buckets, vec![(10, 1), (100, 1), (1000, 0), (u64::MAX, 1)]);
+    reset();
+    assert_eq!(snapshot().counters["t.cache.hit"], 0);
+}
+
+/// Spawn workers with explicit slots; whatever order their buffers flush,
+/// the drained stream is ordered by slot and ids are assignable monotone.
+fn spans_merge_in_slot_order() {
+    enable();
+    reset();
+    std::thread::scope(|scope| {
+        for w in 0..4u32 {
+            scope.spawn(move || {
+                set_thread_slot(w + 1);
+                for _ in 0..3 {
+                    let _g = WORKER.start();
+                }
+            });
+        }
+    });
+    {
+        let _g = PHASE.start();
+    }
+    let events = drain_events();
+    assert_eq!(events.len(), 13);
+    let slots: Vec<u32> = events.iter().map(|e| e.slot).collect();
+    let mut sorted = slots.clone();
+    sorted.sort_unstable();
+    assert_eq!(slots, sorted, "events must come out slot-ordered");
+    for pair in events.windows(2) {
+        if pair[0].slot == pair[1].slot {
+            assert!(pair[0].seq < pair[1].seq, "per-slot order must be stable");
+        }
+    }
+    let snap = snapshot();
+    assert_eq!(snap.spans["t.worker"].count, 12);
+    assert_eq!(snap.spans["t.phase"].count, 1);
+    assert!(drain_events().is_empty(), "drain consumes");
+}
+
+fn stopwatch_measures_with_tracing_off_and_on() {
+    oeb_trace::disable();
+    reset();
+    let sw = Stopwatch::start();
+    let secs = sw.stop(&PHASE);
+    assert!(secs >= 0.0, "stopwatch must measure even when disabled");
+    assert!(drain_events().is_empty());
+    enable();
+    let sw = Stopwatch::start();
+    let secs = sw.stop(&PHASE);
+    assert!(secs >= 0.0);
+    let events = drain_events();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].name, "t.phase");
+}
+
+fn json_and_table_are_stable() {
+    enable();
+    reset();
+    HITS.add(2);
+    SIZES.record(1);
+    let a = metrics_to_json(&snapshot());
+    let b = metrics_to_json(&snapshot());
+    assert_eq!(a, b);
+    assert!(a.starts_with('{') && a.ends_with('}'));
+    assert!(a.contains("\"t.cache.hit\":2"));
+    let table = render_metrics_table(&snapshot());
+    assert!(table.contains("t.cache.hit"));
+    assert!(table.contains("counters"));
+}
+
+fn deterministic_counter_filter() {
+    enable();
+    reset();
+    HITS.incr();
+    EXEC_CLAIMS.add(5);
+    let det = snapshot().deterministic_counters();
+    assert!(det.contains_key("t.cache.hit"));
+    assert!(!det.contains_key("executor.t.claims"));
+}

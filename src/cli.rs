@@ -93,6 +93,11 @@ pub struct CliOptions {
     /// Sweep worker count; `None` falls back to `OEBENCH_THREADS` and
     /// then the machine's available parallelism.
     pub threads: Option<usize>,
+    /// When set, enable tracing and write the span stream to this
+    /// JSON-lines file at the end of the run.
+    pub trace: Option<String>,
+    /// When set, print the end-of-run metrics table to stderr.
+    pub metrics: bool,
 }
 
 /// Usage text.
@@ -111,7 +116,10 @@ commands:\n\
                                checkpoint file [--algorithm a] [--limit N]\n\
 options:\n\
   --threads N                  sweep worker count (default: OEBENCH_THREADS or\n\
-                               all cores); results are identical for any N";
+                               all cores); results are identical for any N\n\
+  --trace <out.jsonl>          record spans and write them as JSON lines;\n\
+                               results are bit-identical with tracing on or off\n\
+  --metrics                    print the end-of-run metrics table to stderr";
 
 /// Maps a CLI algorithm slug to an [`Algorithm`].
 pub fn parse_algorithm(slug: &str) -> Option<Algorithm> {
@@ -137,6 +145,8 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
     let mut out: Option<String> = None;
     let mut limit: Option<usize> = None;
     let mut threads: Option<usize> = None;
+    let mut trace: Option<String> = None;
+    let mut metrics = false;
     let mut scale = 0.25f64;
     let mut seed = 0u64;
     let mut i = 0;
@@ -187,6 +197,17 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
                         })?,
                 );
             }
+            "--trace" => {
+                i += 1;
+                trace = Some(
+                    args.get(i)
+                        .ok_or_else(|| {
+                            CliError::usage(format!("--trace needs an output path\n{USAGE}"))
+                        })?
+                        .clone(),
+                );
+            }
+            "--metrics" => metrics = true,
             "--help" | "-h" => return Err(CliError::usage(USAGE)),
             other => positional.push(other),
         }
@@ -224,6 +245,8 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
         scale,
         seed,
         threads,
+        trace,
+        metrics,
     })
 }
 
@@ -240,7 +263,33 @@ fn find_entry(name: &str, scale: f64) -> Result<oeb_synth::DatasetEntry, CliErro
 }
 
 /// Executes a parsed command, returning the text to print.
+///
+/// `--trace` / `--metrics` wrap the command: recording is enabled before
+/// it runs, the span stream is written (even when the command failed —
+/// a trace of a failing run is exactly when you want one) and the
+/// metrics table goes to stderr, never stdout, so result output stays
+/// byte-identical with observability on or off.
 pub fn execute(opts: &CliOptions) -> Result<String, CliError> {
+    if opts.trace.is_some() || opts.metrics {
+        oeb_trace::enable();
+    }
+    let result = run_command(opts);
+    if let Some(path) = &opts.trace {
+        if let Err(e) = oeb_trace::write_trace_file(std::path::Path::new(path)) {
+            let write_err = CliError::new(format!("cannot write trace {path}: {e}"), 1);
+            return result.and(Err(write_err));
+        }
+    }
+    if opts.metrics {
+        eprint!(
+            "{}",
+            oeb_trace::render_metrics_table(&oeb_trace::snapshot())
+        );
+    }
+    result
+}
+
+fn run_command(opts: &CliOptions) -> Result<String, CliError> {
     match &opts.command {
         Command::List => {
             let mut out = String::from("name | task | domain | paper rows | bench rows | window\n");
@@ -408,6 +457,9 @@ pub fn execute(opts: &CliOptions) -> Result<String, CliError> {
                 seed: opts.seed,
                 ..Default::default()
             };
+            // Progress lines go to stderr; done/total is seeded from the
+            // checkpoint, so a resumed sweep reports over the whole grid.
+            oeb_core::set_sweep_progress(true);
             let report = run_sweep(
                 &datasets,
                 &algorithms,
@@ -459,6 +511,16 @@ mod tests {
         assert_eq!(o.threads, None);
         assert_eq!(parse(&s(&["list", "--threads", "0"])).unwrap_err().code, 2);
         assert_eq!(parse(&s(&["list", "--threads", "x"])).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn parses_trace_and_metrics_flags() {
+        let o = parse(&s(&["list", "--trace", "/tmp/t.jsonl", "--metrics"])).unwrap();
+        assert_eq!(o.trace.as_deref(), Some("/tmp/t.jsonl"));
+        assert!(o.metrics);
+        assert_eq!(parse(&s(&["list", "--trace"])).unwrap_err().code, 2);
+        let o = parse(&s(&["list"])).unwrap();
+        assert!(o.trace.is_none() && !o.metrics);
     }
 
     #[test]
