@@ -55,3 +55,24 @@ cargo run --release -p oeb-bench --bin bench_kernels -- \
 # pre-instrumentation build), not clobbered by every CI run.
 cargo run --release -p oeb-bench --bin bench_sweep -- \
     --scale 0.10 --seeds 3 --threads 4 --out "$smoke_dir/BENCH_sweep.json"
+
+# Smoke: chaos-soak supervision gate. An 8-cell fault x drift grid under
+# full supervision: the chaos command itself exits nonzero on any
+# violated invariant (escaped panic, dropped cell, missed quarantine,
+# counter mismatch, nondeterministic deadline). On top of that, the
+# traced run must validate against the span schema, the metrics table
+# must surface the supervise.* counters, and the JSON report must carry
+# the quarantine accounting.
+cargo run --release --bin oebench -- chaos --limit 8 --max-retries 2 \
+    --out "$smoke_dir/chaos.json" --trace "$smoke_dir/chaos_trace.jsonl" \
+    --metrics 2> "$smoke_dir/chaos_metrics.txt" \
+    || { cat "$smoke_dir/chaos_metrics.txt"; exit 1; }
+cargo run --release -p oeb-bench --bin trace_check -- "$smoke_dir/chaos_trace.jsonl"
+grep -Eq 'supervise\.retries +[1-9]' "$smoke_dir/chaos_metrics.txt" \
+    || { echo "ci: no supervise.retries in chaos --metrics output" >&2; exit 1; }
+grep -Eq 'supervise\.quarantined +[1-9]' "$smoke_dir/chaos_metrics.txt" \
+    || { echo "ci: no supervise.quarantined in chaos --metrics output" >&2; exit 1; }
+grep -q '"quarantined"' "$smoke_dir/chaos.json" \
+    || { echo "ci: chaos report lacks quarantine accounting" >&2; exit 1; }
+grep -q '"violations": \[\]' "$smoke_dir/chaos.json" \
+    || { echo "ci: chaos report lists violations" >&2; exit 1; }

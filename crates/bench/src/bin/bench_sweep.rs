@@ -29,8 +29,8 @@
 //! cold single passes jitter by several percent on shared machines.
 
 use oeb_core::{
-    evaluate_prepared, prepare_stream, resolve_threads, run_sweep, Algorithm, HarnessConfig,
-    OutlierRemoval, RunResult,
+    evaluate_prepared, prepare_stream, resolve_threads, run_chaos_matrix, run_sweep, Algorithm,
+    ChaosOptions, HarnessConfig, OutlierRemoval, RunResult,
 };
 use oeb_synth::StreamSpec;
 use oeb_trace::Stopwatch;
@@ -306,6 +306,39 @@ fn main() {
         pct
     });
 
+    // Supervision soak: the first scenarios of the chaos fault × drift
+    // matrix plus its control runs, exercising seeded retry, forced
+    // quarantine, and deterministic logical deadlines. The accounting
+    // lands in the artifact so a supervision regression (a dropped
+    // cell, a missed quarantine, a nondeterministic deadline) shows up
+    // as a BENCH_sweep.json diff — and the run aborts outright if any
+    // invariant is violated.
+    let started = Stopwatch::start();
+    let chaos = run_chaos_matrix(&ChaosOptions {
+        seed: 0,
+        max_cells: Some(8),
+        threads,
+        max_retries: 2,
+        rows: 360,
+    })
+    .expect("chaos options are valid");
+    let chaos_seconds = started.elapsed_seconds();
+    assert!(
+        chaos.passed(),
+        "chaos invariants violated: {:?}",
+        chaos.violations
+    );
+    let supervision = serde_json::json!({
+        "soak_cells": chaos.cells.len() as u64,
+        "soak_seconds": chaos_seconds,
+        "retries": chaos.summary.retries as u64,
+        "recovered": chaos.summary.recovered as u64,
+        "timeouts": chaos.summary.timeouts as u64,
+        "wall_timeouts": chaos.summary.wall_timeouts as u64,
+        "quarantined": chaos.summary.quarantined as u64,
+        "violations": chaos.violations.len() as u64,
+    });
+
     let json = serde_json::json!({
         "benchmark": "five-dataset sweep, staged pipeline vs per-cell sequential baseline",
         "scale": opts.scale,
@@ -322,6 +355,7 @@ fn main() {
         "speedup": speedup,
         "tracing": serde_json::Value::Object(tracing),
         "stage_shares": serde_json::Value::Object(stage_shares),
+        "supervision": supervision,
         "metrics": metrics,
     });
     std::fs::write(

@@ -150,6 +150,44 @@ impl FaultPlan {
         }
     }
 
+    /// A plan injecting exactly one fault kind at the given rate —
+    /// the single-axis scenarios of the chaos matrix.
+    pub fn single(seed: u64, kind: FaultKind, rate: f64) -> FaultPlan {
+        let mut plan = FaultPlan::none(seed);
+        match kind {
+            FaultKind::NanBurst => plan.nan_burst = rate,
+            FaultKind::CorruptedCells => plan.cell_corruption = rate,
+            FaultKind::LabelNoise => plan.label_noise = rate,
+            FaultKind::DroppedWindow => plan.drop_window = rate,
+            FaultKind::DuplicatedWindow => plan.duplicate_window = rate,
+            FaultKind::TruncatedWindow => plan.truncate_window = rate,
+            FaultKind::SchemaViolation => plan.schema_violation = rate,
+            FaultKind::AllMissingColumn => plan.all_missing_column = rate,
+        }
+        plan
+    }
+
+    /// Composes two plans: for every fault kind the combined plan fires
+    /// when *either* would, i.e. the rates union as
+    /// `1 - (1 - a)(1 - b)` (independent events), and the composed plan
+    /// keeps `self`'s seed so composing with [`FaultPlan::none`] is the
+    /// identity. This is how chaos scenarios stack a fault axis on top
+    /// of a base plan.
+    pub fn compose(&self, other: &FaultPlan) -> FaultPlan {
+        let union = |a: f64, b: f64| 1.0 - (1.0 - a) * (1.0 - b);
+        FaultPlan {
+            seed: self.seed,
+            nan_burst: union(self.nan_burst, other.nan_burst),
+            cell_corruption: union(self.cell_corruption, other.cell_corruption),
+            label_noise: union(self.label_noise, other.label_noise),
+            drop_window: union(self.drop_window, other.drop_window),
+            duplicate_window: union(self.duplicate_window, other.duplicate_window),
+            truncate_window: union(self.truncate_window, other.truncate_window),
+            schema_violation: union(self.schema_violation, other.schema_violation),
+            all_missing_column: union(self.all_missing_column, other.all_missing_column),
+        }
+    }
+
     /// True when no fault can ever fire.
     pub fn is_clean(&self) -> bool {
         // oeb-lint: allow(float-eq) -- a fault is inactive only at a rate of exactly 0.0
@@ -257,6 +295,43 @@ mod tests {
         for (kind, rate) in p.rates() {
             assert!(rate > 0.0, "{} rate is zero in chaos", kind.name());
         }
+    }
+
+    #[test]
+    fn single_sets_exactly_one_rate() {
+        for kind in FaultKind::all() {
+            let p = FaultPlan::single(3, kind, 0.4);
+            assert!(p.validate().is_ok());
+            for (k, rate) in p.rates() {
+                if k == kind {
+                    assert!((rate - 0.4).abs() < 1e-12, "{} not set", k.name());
+                } else {
+                    assert!(
+                        rate.abs() < 1e-12,
+                        "{} leaked from single({})",
+                        k.name(),
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compose_unions_rates_and_keeps_the_left_seed() {
+        let a = FaultPlan::single(5, FaultKind::DroppedWindow, 0.5);
+        let b = FaultPlan::single(9, FaultKind::DroppedWindow, 0.5);
+        let ab = a.compose(&b);
+        assert_eq!(ab.seed, 5);
+        assert!((ab.drop_window - 0.75).abs() < 1e-12);
+        assert!(ab.validate().is_ok());
+        // Composing with the empty plan is the identity.
+        assert_eq!(a.compose(&FaultPlan::none(123)), a);
+        // Rates never escape [0, 1], even from saturated inputs.
+        let full = FaultPlan::single(0, FaultKind::NanBurst, 1.0);
+        let sat = full.compose(&FaultPlan::chaos(0));
+        assert!(sat.validate().is_ok());
+        assert!((sat.nan_burst - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -55,6 +55,28 @@ pub enum HarnessError {
     Io(String),
     /// A checkpoint file exists but cannot be parsed.
     Checkpoint(String),
+    /// The cell exceeded its supervision budget — a logical deadline
+    /// (windows / items) or the wall-clock watchdog — and was cancelled
+    /// cooperatively instead of hanging the sweep.
+    CellTimedOut {
+        /// Windows entered before the deadline fired.
+        windows: usize,
+        /// Items trained before the deadline fired.
+        items: usize,
+        /// `true` when the wall-clock watchdog fired (machine-dependent);
+        /// `false` for a logical budget, which is deterministic.
+        wall: bool,
+    },
+    /// Every retry of the cell failed; it is parked rather than aborting
+    /// the sweep.
+    Quarantined {
+        /// Attempts spent (first run plus retries).
+        attempts: usize,
+        /// `kind()` of the final failure.
+        last_kind: String,
+        /// Display text of the final failure.
+        reason: String,
+    },
 }
 
 impl HarnessError {
@@ -73,6 +95,8 @@ impl HarnessError {
             HarnessError::Panicked(_) => 10,
             HarnessError::Io(_) => 11,
             HarnessError::Checkpoint(_) => 12,
+            HarnessError::CellTimedOut { .. } => 13,
+            HarnessError::Quarantined { .. } => 14,
         }
     }
 
@@ -89,6 +113,26 @@ impl HarnessError {
             HarnessError::Panicked(_) => "panicked",
             HarnessError::Io(_) => "io",
             HarnessError::Checkpoint(_) => "checkpoint",
+            HarnessError::CellTimedOut { .. } => "cell-timed-out",
+            HarnessError::Quarantined { .. } => "quarantined",
+        }
+    }
+
+    /// Is the failure worth another attempt? Structural mismatches
+    /// (wrong task, too few windows, unusable config) fail identically
+    /// every time; everything else — panics, non-finite losses, I/O,
+    /// wall-clock timeouts — may be transient or fault-injected, so the
+    /// supervision layer retries them. A *logical* timeout is excluded:
+    /// it is a deterministic function of the stream, so a retry would
+    /// burn budget to reach the same deadline.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            HarnessError::InvalidConfig(_)
+            | HarnessError::NotApplicable { .. }
+            | HarnessError::InsufficientWindows { .. }
+            | HarnessError::Quarantined { .. } => false,
+            HarnessError::CellTimedOut { wall, .. } => *wall,
+            _ => true,
         }
     }
 }
@@ -125,6 +169,23 @@ impl std::fmt::Display for HarnessError {
             HarnessError::Panicked(m) => write!(f, "run panicked: {m}"),
             HarnessError::Io(m) => write!(f, "io error: {m}"),
             HarnessError::Checkpoint(m) => write!(f, "bad checkpoint: {m}"),
+            HarnessError::CellTimedOut {
+                windows,
+                items,
+                wall,
+            } => write!(
+                f,
+                "cell exceeded its {} deadline after {windows} windows / {items} items",
+                if *wall { "wall-clock" } else { "logical" }
+            ),
+            HarnessError::Quarantined {
+                attempts,
+                last_kind,
+                reason,
+            } => write!(
+                f,
+                "quarantined after {attempts} attempts (last failure {last_kind}: {reason})"
+            ),
         }
     }
 }
@@ -160,6 +221,16 @@ mod tests {
             HarnessError::Panicked("index out of bounds".into()),
             HarnessError::Io("permission denied".into()),
             HarnessError::Checkpoint("truncated line".into()),
+            HarnessError::CellTimedOut {
+                windows: 5,
+                items: 200,
+                wall: false,
+            },
+            HarnessError::Quarantined {
+                attempts: 3,
+                last_kind: "panicked".into(),
+                reason: "run panicked: boom".into(),
+            },
         ]
     }
 
@@ -191,5 +262,36 @@ mod tests {
         };
         let text = e.to_string();
         assert!(text.contains("window 3") && text.contains("10") && text.contains('9'));
+    }
+
+    #[test]
+    fn retryability_matches_the_failure_class() {
+        assert!(!HarnessError::InvalidConfig("k = 0".into()).is_retryable());
+        assert!(!HarnessError::NotApplicable {
+            algorithm: "ARF".into(),
+            task: "Regression".into(),
+        }
+        .is_retryable());
+        assert!(!HarnessError::InsufficientWindows { found: 1 }.is_retryable());
+        // Logical deadlines are deterministic — retrying repeats them.
+        assert!(!HarnessError::CellTimedOut {
+            windows: 5,
+            items: 200,
+            wall: false,
+        }
+        .is_retryable());
+        // Wall-clock timeouts are machine noise — worth another attempt.
+        assert!(HarnessError::CellTimedOut {
+            windows: 5,
+            items: 200,
+            wall: true,
+        }
+        .is_retryable());
+        assert!(HarnessError::Panicked("boom".into()).is_retryable());
+        assert!(HarnessError::NonFiniteLoss {
+            window: 8,
+            retries: 2,
+        }
+        .is_retryable());
     }
 }

@@ -27,7 +27,8 @@
 
 use crate::error::HarnessError;
 use crate::learners::{Algorithm, LearnerConfig};
-use crate::prepare::{evaluate_prepared, prepare_cached, prepare_from_source};
+use crate::prepare::{evaluate_prepared, evaluate_supervised, prepare_cached, prepare_from_source};
+use crate::supervise::CellBudget;
 use oeb_faults::{FaultPlan, FrameSource};
 use oeb_linalg::Matrix;
 use oeb_preprocess::{Imputer, KnnImputer, MeanImputer, RegressionImputer, ZeroImputer};
@@ -272,9 +273,23 @@ pub fn try_run_stream(
     algorithm: Algorithm,
     config: &HarnessConfig,
 ) -> Result<RunResult, HarnessError> {
+    try_run_stream_supervised(dataset, algorithm, config, &CellBudget::unlimited())
+}
+
+/// [`try_run_stream`] under a supervision budget: the evaluate stage
+/// checks the logical deadlines and the wall-clock cancel flag
+/// cooperatively at every window boundary. The (cached, shared) prepare
+/// stage runs unbudgeted — its cost belongs to the whole sweep, not to
+/// the one cell whose attempt happened to populate the cache.
+pub fn try_run_stream_supervised(
+    dataset: &StreamDataset,
+    algorithm: Algorithm,
+    config: &HarnessConfig,
+    budget: &CellBudget,
+) -> Result<RunResult, HarnessError> {
     config.validate()?;
     let prepared = prepare_cached(dataset, config)?;
-    let result = evaluate_prepared(&prepared, algorithm, config);
+    let result = evaluate_supervised(&prepared, algorithm, config, budget);
     if result.is_ok() {
         HARNESS_RUNS.incr();
     }

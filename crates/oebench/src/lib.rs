@@ -12,6 +12,7 @@
 // chains in these kernels.
 #![allow(clippy::needless_range_loop)]
 
+pub mod chaos;
 pub mod error;
 pub mod executor;
 pub mod experiments;
@@ -27,14 +28,19 @@ pub mod report;
 pub mod sea;
 pub mod select;
 pub mod stats;
+pub mod supervise;
 pub mod sweep;
 
+pub use chaos::{run_chaos_matrix, ChaosCell, ChaosOptions, ChaosReport};
 pub use error::HarnessError;
-pub use executor::{parallel_map, resolve_threads, set_default_threads};
+pub use executor::{
+    parallel_map, parallel_map_watchdog, resolve_threads, set_default_threads, CancelFlag,
+    WatchdogSlot,
+};
 pub use extend::DriftResetLearner;
 pub use harness::{
-    run_seeds, run_stream, try_run_frames, try_run_stream, DegradePolicy, HarnessConfig,
-    ImputerChoice, OutlierRemoval, RunResult,
+    run_seeds, run_stream, try_run_frames, try_run_stream, try_run_stream_supervised,
+    DegradePolicy, HarnessConfig, ImputerChoice, OutlierRemoval, RunResult,
 };
 pub use learners::{Algorithm, LearnerConfig, StreamLearner};
 pub use plot::{LinePlot, Series};
@@ -44,13 +50,17 @@ pub use prepare::{
 };
 pub use prequential::{
     prequential_dataset, prequential_items, try_prequential_dataset, try_prequential_items,
-    IncrementalClassifier, PrequentialResult,
+    try_prequential_items_budgeted, IncrementalClassifier, PrequentialResult,
 };
 pub use recommend::{recommend, render_tree, Scenario};
 pub use report::{assign_levels, fmt_mean_std, fmt_summary, TextTable};
 pub use sea::{BaseKind, SeaLearner};
 pub use select::{select_representatives, SelectionResult};
 pub use stats::{extract_stats, AvgMax, OeStats, StatsConfig};
+pub use supervise::{
+    backoff_duration, cell_seed, supervise_cell, CellBudget, SupervisePolicy, Supervised,
+};
 pub use sweep::{
-    load_checkpoint, run_sweep, set_sweep_progress, RunOutcome, SweepRecord, SweepReport,
+    load_checkpoint, run_sweep, run_sweep_supervised, set_sweep_progress, RunOutcome,
+    SupervisionSummary, SweepRecord, SweepReport,
 };

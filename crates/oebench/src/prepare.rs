@@ -24,6 +24,7 @@
 use crate::error::HarnessError;
 use crate::harness::{HarnessConfig, OutlierRemoval, RunResult};
 use crate::learners::{Algorithm, StreamLearner};
+use crate::supervise::CellBudget;
 use oeb_faults::{DatasetFrames, FaultInjector, FrameSource, WindowFrame};
 use oeb_linalg::Matrix;
 use oeb_outlier::{flag_by_sigma, Ecod, IForestConfig, IsolationForest};
@@ -359,6 +360,21 @@ pub fn evaluate_prepared(
     algorithm: Algorithm,
     config: &HarnessConfig,
 ) -> Result<RunResult, HarnessError> {
+    evaluate_supervised(prepared, algorithm, config, &CellBudget::unlimited())
+}
+
+/// [`evaluate_prepared`] under a supervision budget: the deadline is
+/// checked cooperatively at the top of every window, before any work on
+/// it, so a given budget stops at the same window on every replay. The
+/// budget covers only the evaluate stage — the prepare stage is a
+/// shared, cached artifact whose cost is amortised across the sweep and
+/// cannot be attributed to one cell.
+pub fn evaluate_supervised(
+    prepared: &PreparedStream,
+    algorithm: Algorithm,
+    config: &HarnessConfig,
+    budget: &CellBudget,
+) -> Result<RunResult, HarnessError> {
     config.validate()?;
     let policy = config.degrade;
     let mut learner_cfg = config.learner.clone();
@@ -377,6 +393,7 @@ pub fn evaluate_prepared(
     let mut memory_peak = 0usize;
 
     for window in &prepared.windows {
+        budget.check(seen, items)?;
         degradations.extend(window.pre_degradations.iter().cloned());
         if learner.is_none() {
             learner = Some(

@@ -6,6 +6,7 @@
 //! prequential accuracy is the conventional metric.
 
 use crate::error::HarnessError;
+use crate::supervise::CellBudget;
 use oeb_linalg::Matrix;
 use oeb_tabular::{StreamDataset, Task};
 use oeb_trace::Counter;
@@ -77,6 +78,21 @@ pub fn try_prequential_items<M: IncrementalClassifier>(
     ys: &[f64],
     sample_every: usize,
 ) -> Result<PrequentialResult, HarnessError> {
+    try_prequential_items_budgeted(model, xs, ys, sample_every, &CellBudget::unlimited())
+}
+
+/// [`try_prequential_items`] under a supervision budget, checked
+/// cooperatively before every item: an item-level run against a
+/// [`CellBudget`] with `max_items` stops test-then-train at exactly that
+/// item on every replay, and a fired wall-clock watchdog is honoured at
+/// item granularity instead of hanging until the stream ends.
+pub fn try_prequential_items_budgeted<M: IncrementalClassifier>(
+    model: &mut M,
+    xs: &Matrix,
+    ys: &[f64],
+    sample_every: usize,
+    budget: &CellBudget,
+) -> Result<PrequentialResult, HarnessError> {
     if xs.rows() != ys.len() {
         return Err(HarnessError::InvalidConfig(format!(
             "{} feature rows but {} targets",
@@ -88,6 +104,7 @@ pub fn try_prequential_items<M: IncrementalClassifier>(
     let mut correct = 0usize;
     let mut curve = Vec::new();
     for r in 0..xs.rows() {
+        budget.check(0, r)?;
         let x = xs.row(r);
         let y = ys[r] as usize;
         if model.predict_one(x) == y {
@@ -249,6 +266,42 @@ mod tests {
         let mut tree = HoeffdingTree::new(d.n_features(), 2, HoeffdingConfig::default());
         let err = try_prequential_dataset(&mut tree, &d, 100).unwrap_err();
         assert!(matches!(err, HarnessError::NotApplicable { .. }), "{err}");
+    }
+
+    #[test]
+    fn item_budget_stops_at_the_exact_item() {
+        let (xs, ys) = stream(100);
+        let mut tree = HoeffdingTree::new(2, 2, HoeffdingConfig::default());
+        let budget = CellBudget {
+            max_items: Some(37),
+            ..CellBudget::unlimited()
+        };
+        let err = try_prequential_items_budgeted(&mut tree, &xs, &ys, 10, &budget).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                HarnessError::CellTimedOut {
+                    items: 37,
+                    wall: false,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn cancelled_flag_stops_an_item_run() {
+        let (xs, ys) = stream(100);
+        let mut tree = HoeffdingTree::new(2, 2, HoeffdingConfig::default());
+        let flag = crate::executor::CancelFlag::armed();
+        flag.cancel();
+        let budget = CellBudget {
+            cancel: flag,
+            ..CellBudget::unlimited()
+        };
+        let err = try_prequential_items_budgeted(&mut tree, &xs, &ys, 10, &budget).unwrap_err();
+        assert!(matches!(err, HarnessError::CellTimedOut { wall: true, .. }));
     }
 
     #[test]

@@ -12,9 +12,10 @@
 //! produces the same final report as an uninterrupted one.
 
 use crate::error::HarnessError;
-use crate::executor::parallel_map;
-use crate::harness::{try_run_stream, HarnessConfig, RunResult};
+use crate::executor::{parallel_map_watchdog, WatchdogSlot};
+use crate::harness::{try_run_stream_supervised, HarnessConfig, RunResult};
 use crate::learners::Algorithm;
+use crate::supervise::{cell_seed, supervise_cell, SupervisePolicy};
 use oeb_tabular::StreamDataset;
 use oeb_trace::{Counter, SpanDef};
 use serde_json::{json, Value};
@@ -96,6 +97,27 @@ pub enum RunOutcome {
         /// Human-readable reason.
         reason: String,
     },
+    /// The cell exceeded a supervision deadline and was cancelled
+    /// cooperatively.
+    TimedOut {
+        /// Windows entered before the deadline fired.
+        windows: usize,
+        /// Items tested/trained before the deadline fired.
+        items: usize,
+        /// `true` for the wall-clock watchdog (machine-dependent),
+        /// `false` for a logical budget (deterministic).
+        wall: bool,
+    },
+    /// Every attempt the retry budget allowed failed; the cell is parked
+    /// with its last failure instead of aborting the sweep.
+    Quarantined {
+        /// Attempts spent (first run plus retries).
+        attempts: usize,
+        /// Stable failure class of the final attempt.
+        kind: String,
+        /// Human-readable reason of the final attempt.
+        reason: String,
+    },
 }
 
 impl RunOutcome {
@@ -110,6 +132,19 @@ impl RunOutcome {
             RunOutcome::Completed(r) => format!("completed (mean loss {:.4})", r.mean_loss),
             RunOutcome::Inapplicable => "inapplicable".into(),
             RunOutcome::Failed { kind, reason } => format!("failed [{kind}]: {reason}"),
+            RunOutcome::TimedOut {
+                windows,
+                items,
+                wall,
+            } => format!(
+                "timed out [{}] after {windows} windows / {items} items",
+                if *wall { "wall-clock" } else { "logical" }
+            ),
+            RunOutcome::Quarantined {
+                attempts,
+                kind,
+                reason,
+            } => format!("quarantined after {attempts} attempts [{kind}]: {reason}"),
         }
     }
 }
@@ -149,18 +184,92 @@ impl SweepReport {
             .filter(|r| matches!(r.outcome, RunOutcome::Failed { .. }))
     }
 
-    /// (completed, inapplicable, failed) counts.
+    /// (completed, inapplicable, failed) counts. Timed-out and
+    /// quarantined cells count as failed: they produced no result.
     pub fn counts(&self) -> (usize, usize, usize) {
         let mut c = (0, 0, 0);
         for r in &self.records {
             match r.outcome {
                 RunOutcome::Completed(_) => c.0 += 1,
                 RunOutcome::Inapplicable => c.1 += 1,
-                RunOutcome::Failed { .. } => c.2 += 1,
+                RunOutcome::Failed { .. }
+                | RunOutcome::TimedOut { .. }
+                | RunOutcome::Quarantined { .. } => c.2 += 1,
             }
         }
         c
     }
+
+    /// Quarantined cells.
+    pub fn quarantined(&self) -> impl Iterator<Item = &SweepRecord> {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, RunOutcome::Quarantined { .. }))
+    }
+
+    /// Timed-out cells.
+    pub fn timed_out(&self) -> impl Iterator<Item = &SweepRecord> {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, RunOutcome::TimedOut { .. }))
+    }
+
+    /// Supervision accounting derived purely from the serialized records,
+    /// so the summary survives checkpoint round-trips and resumes: a
+    /// recovered cell carries its `supervision:` degradation line, a
+    /// quarantined cell its attempt count.
+    pub fn supervision(&self) -> SupervisionSummary {
+        let mut s = SupervisionSummary::default();
+        for r in &self.records {
+            match &r.outcome {
+                RunOutcome::Completed(res) => {
+                    for d in &res.degradations {
+                        if let Some(rest) = d.strip_prefix(RECOVERY_PREFIX) {
+                            s.recovered += 1;
+                            let attempts: usize = rest
+                                .split_whitespace()
+                                .next()
+                                .and_then(|t| t.parse().ok())
+                                .unwrap_or(1);
+                            s.retries += attempts.saturating_sub(1);
+                        }
+                    }
+                }
+                RunOutcome::TimedOut { wall, .. } => {
+                    if *wall {
+                        s.wall_timeouts += 1;
+                    } else {
+                        s.timeouts += 1;
+                    }
+                }
+                RunOutcome::Quarantined { attempts, .. } => {
+                    s.quarantined += 1;
+                    s.retries += attempts.saturating_sub(1);
+                }
+                RunOutcome::Inapplicable | RunOutcome::Failed { .. } => {}
+            }
+        }
+        s
+    }
+}
+
+/// The prefix [`crate::supervise::Supervised::recovery_note`] uses; the
+/// attempt count follows it.
+const RECOVERY_PREFIX: &str = "supervision: recovered on attempt ";
+
+/// What supervision did across a sweep, derived from its records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisionSummary {
+    /// Retries spent, across recovered and quarantined cells.
+    pub retries: usize,
+    /// Cells that failed at least once and then completed.
+    pub recovered: usize,
+    /// Cells stopped by a logical (deterministic) deadline.
+    pub timeouts: usize,
+    /// Cells stopped by the wall-clock watchdog (machine-dependent).
+    pub wall_timeouts: usize,
+    /// Cells parked after exhausting their retry budget.
+    pub quarantined: usize,
 }
 
 /// Runs `datasets x algorithms` through the harness with panic isolation,
@@ -187,6 +296,37 @@ pub fn run_sweep(
     checkpoint: Option<&Path>,
     max_new_runs: Option<usize>,
     threads: usize,
+) -> Result<SweepReport, HarnessError> {
+    run_sweep_supervised(
+        datasets,
+        algorithms,
+        config,
+        checkpoint,
+        max_new_runs,
+        threads,
+        &SupervisePolicy::unsupervised(),
+    )
+}
+
+/// [`run_sweep`] under a [`SupervisePolicy`]: per-cell logical deadlines
+/// and a wall-clock watchdog produce typed [`RunOutcome::TimedOut`]
+/// records, retryable failures are retried with seeded backoff, and
+/// cells that exhaust the budget land in [`RunOutcome::Quarantined`].
+///
+/// Determinism: with no deadline hits and no retries spent, the report
+/// and checkpoint are bit-identical to [`run_sweep`]'s at any thread
+/// count. All retry decisions derive from [`cell_seed`], so replaying a
+/// sweep replays every retry sequence bit-for-bit; only wall-clock
+/// timeouts (marked `wall: true`) are machine-dependent.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_supervised(
+    datasets: &[StreamDataset],
+    algorithms: &[Algorithm],
+    config: &HarnessConfig,
+    checkpoint: Option<&Path>,
+    max_new_runs: Option<usize>,
+    threads: usize,
+    policy: &SupervisePolicy,
 ) -> Result<SweepReport, HarnessError> {
     config.validate()?;
     let mut done: HashMap<(String, String), RunOutcome> = HashMap::new();
@@ -241,31 +381,37 @@ pub fn run_sweep(
         };
         let append_error: Mutex<Option<HarnessError>> = Mutex::new(None);
 
-        let ran: Vec<RunOutcome> = parallel_map(to_run.len(), threads, |slot| {
-            let (d, a) = cells[to_run[slot]];
-            let cell_span = CELL_SPAN.start();
-            let outcome = run_isolated(&datasets[d], algorithms[a], config);
-            drop(cell_span);
-            if matches!(outcome, RunOutcome::Failed { .. }) {
-                CELLS_FAILED.incr();
-            }
-            progress.note_done();
-            if let Some(writer) = &writer {
-                let record = SweepRecord {
-                    dataset: datasets[d].name.clone(),
-                    algorithm: algorithms[a].name().to_string(),
-                    outcome: outcome.clone(),
-                };
-                if let Err(e) = write_checkpoint_line(writer, &record) {
-                    append_error
-                        .lock()
-                        .expect("error slot poisoned")
-                        .get_or_insert(e);
+        let ran: Vec<RunOutcome> =
+            parallel_map_watchdog(to_run.len(), threads, policy.wall_deadline, |slot, dog| {
+                let (d, a) = cells[to_run[slot]];
+                let cell_span = CELL_SPAN.start();
+                let outcome = run_supervised(&datasets[d], algorithms[a], config, policy, dog);
+                drop(cell_span);
+                if matches!(
+                    outcome,
+                    RunOutcome::Failed { .. }
+                        | RunOutcome::TimedOut { .. }
+                        | RunOutcome::Quarantined { .. }
+                ) {
+                    CELLS_FAILED.incr();
                 }
-            }
-            outcome
-        });
-        if let Some(e) = append_error.into_inner().expect("error slot poisoned") {
+                progress.note_done();
+                if let Some(writer) = &writer {
+                    let record = SweepRecord {
+                        dataset: datasets[d].name.clone(),
+                        algorithm: algorithms[a].name().to_string(),
+                        outcome: outcome.clone(),
+                    };
+                    if let Err(e) = write_checkpoint_line(writer, &record) {
+                        lock_recover(&append_error).get_or_insert(e);
+                    }
+                }
+                outcome
+            });
+        if let Some(e) = append_error
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        {
             return Err(e);
         }
         for (slot, outcome) in to_run.iter().zip(ran) {
@@ -287,27 +433,73 @@ pub fn run_sweep(
     Ok(report)
 }
 
-/// One run, with panics converted into a failed outcome.
-fn run_isolated(
+/// One cell under full supervision: each attempt runs with panic
+/// isolation and a freshly armed wall-clock deadline; the retry state
+/// machine ([`supervise_cell`]) turns the attempt sequence into a single
+/// outcome. With the unsupervised policy this reduces exactly to the
+/// historical `run_isolated`.
+fn run_supervised(
     dataset: &StreamDataset,
     algorithm: Algorithm,
     config: &HarnessConfig,
+    policy: &SupervisePolicy,
+    dog: &WatchdogSlot,
 ) -> RunOutcome {
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        try_run_stream(dataset, algorithm, config)
-    }));
-    match result {
-        Ok(Ok(run)) => RunOutcome::Completed(run),
-        Ok(Err(HarnessError::NotApplicable { .. })) => RunOutcome::Inapplicable,
-        Ok(Err(e)) => RunOutcome::Failed {
+    let seed = cell_seed(config.seed, &dataset.name, algorithm.name());
+    let supervised = supervise_cell(policy, seed, |_attempt| {
+        // A fresh flag per attempt: a retried cell gets its full wall
+        // budget back, and a late watchdog firing cannot leak into the
+        // next attempt or the worker's next cell.
+        let budget = policy.budget(dog.arm());
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            try_run_stream_supervised(dataset, algorithm, config, &budget)
+        }));
+        dog.disarm();
+        match result {
+            Ok(inner) => inner,
+            Err(payload) => Err(HarnessError::Panicked(panic_message(payload.as_ref()))),
+        }
+    });
+    let note = supervised.recovery_note();
+    match supervised.result {
+        Ok(mut run) => {
+            if let Some(note) = note {
+                run.degradations.push(note);
+            }
+            RunOutcome::Completed(run)
+        }
+        Err(HarnessError::NotApplicable { .. }) => RunOutcome::Inapplicable,
+        Err(HarnessError::CellTimedOut {
+            windows,
+            items,
+            wall,
+        }) => RunOutcome::TimedOut {
+            windows,
+            items,
+            wall,
+        },
+        Err(HarnessError::Quarantined {
+            attempts,
+            last_kind,
+            reason,
+        }) => RunOutcome::Quarantined {
+            attempts,
+            kind: last_kind,
+            reason,
+        },
+        Err(e) => RunOutcome::Failed {
             kind: e.kind().to_string(),
             reason: e.to_string(),
         },
-        Err(payload) => RunOutcome::Failed {
-            kind: "panicked".into(),
-            reason: panic_message(payload.as_ref()),
-        },
     }
+}
+
+/// Locks a mutex, recovering from poisoning: a worker that panicked
+/// while holding one of these locks either wrote its value completely or
+/// not at all, so later cells must keep checkpointing instead of turning
+/// every subsequent append into a second panic.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -339,6 +531,26 @@ fn outcome_to_json(outcome: &RunOutcome) -> Value {
         RunOutcome::Inapplicable => json!({ "status": "inapplicable" }),
         RunOutcome::Failed { kind, reason } => json!({
             "status": "failed",
+            "kind": kind,
+            "reason": reason,
+        }),
+        RunOutcome::TimedOut {
+            windows,
+            items,
+            wall,
+        } => json!({
+            "status": "timed-out",
+            "windows": *windows as u64,
+            "items": *items as u64,
+            "wall": wall,
+        }),
+        RunOutcome::Quarantined {
+            attempts,
+            kind,
+            reason,
+        } => json!({
+            "status": "quarantined",
+            "attempts": *attempts as u64,
             "kind": kind,
             "reason": reason,
         }),
@@ -384,6 +596,16 @@ fn record_from_json(v: &Value, line: usize) -> Result<SweepRecord, HarnessError>
     let outcome = match status.as_str() {
         "inapplicable" => RunOutcome::Inapplicable,
         "failed" => RunOutcome::Failed {
+            kind: str_field(v, "kind", line)?,
+            reason: str_field(v, "reason", line)?,
+        },
+        "timed-out" => RunOutcome::TimedOut {
+            windows: field(v, "windows", line)?.as_u64().unwrap_or(0) as usize,
+            items: field(v, "items", line)?.as_u64().unwrap_or(0) as usize,
+            wall: field(v, "wall", line)?.as_bool().unwrap_or(false),
+        },
+        "quarantined" => RunOutcome::Quarantined {
+            attempts: field(v, "attempts", line)?.as_u64().unwrap_or(1) as usize,
             kind: str_field(v, "kind", line)?,
             reason: str_field(v, "reason", line)?,
         },
@@ -437,7 +659,12 @@ fn record_from_json(v: &Value, line: usize) -> Result<SweepRecord, HarnessError>
 }
 
 /// Reads every record of a JSON-lines checkpoint file. A missing file is
-/// an empty checkpoint (fresh sweep), a malformed one a typed error.
+/// an empty checkpoint (fresh sweep), a malformed one a typed error —
+/// with one exception: exactly one malformed *trailing* line is treated
+/// as a torn write (the process died mid-`write_checkpoint_line`). The
+/// torn line is physically truncated from the file — so later appends
+/// cannot merge with the fragment into a corrupt mid-file line — a
+/// warning goes to stderr, and that cell simply re-runs.
 pub fn load_checkpoint(path: &Path) -> Result<Vec<SweepRecord>, HarnessError> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -445,13 +672,47 @@ pub fn load_checkpoint(path: &Path) -> Result<Vec<SweepRecord>, HarnessError> {
         Err(e) => return Err(HarnessError::Io(format!("read {}: {e}", path.display()))),
     };
     let mut records = Vec::new();
+    // Candidate torn line: (line number, byte offset of its start, error).
+    let mut torn: Option<(usize, usize, HarnessError)> = None;
+    let mut offset = 0usize;
     for (i, line) in text.lines().enumerate() {
+        let line_start = offset;
+        offset += line.len() + 1;
         if line.trim().is_empty() {
             continue;
         }
-        let value = serde_json::from_str(line)
-            .map_err(|e| HarnessError::Checkpoint(format!("line {}: {e}", i + 1)))?;
-        records.push(record_from_json(&value, i + 1)?);
+        let parsed = serde_json::from_str(line)
+            .map_err(|e| HarnessError::Checkpoint(format!("line {}: {e}", i + 1)))
+            .and_then(|value| record_from_json(&value, i + 1));
+        match parsed {
+            Ok(record) => {
+                if let Some((_, _, e)) = torn {
+                    // A malformed line *followed by* a valid record is
+                    // mid-file corruption, not a torn tail.
+                    return Err(e);
+                }
+                records.push(record);
+            }
+            Err(e) => {
+                if let Some((_, _, first)) = torn {
+                    // Two malformed lines cannot both be the torn tail.
+                    return Err(first);
+                }
+                torn = Some((i + 1, line_start, e));
+            }
+        }
+    }
+    if let Some((line_no, line_start, e)) = torn {
+        eprintln!(
+            "[sweep] checkpoint {}: dropping torn trailing line {line_no} ({e}); its cell will re-run",
+            path.display()
+        );
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| HarnessError::Io(format!("open {}: {e}", path.display())))?;
+        file.set_len(line_start as u64)
+            .map_err(|e| HarnessError::Io(format!("truncate {}: {e}", path.display())))?;
     }
     Ok(records)
 }
@@ -464,7 +725,11 @@ fn write_checkpoint_line(
 ) -> Result<(), HarnessError> {
     let line = serde_json::to_string(&record_to_json(record))
         .map_err(|e| HarnessError::Checkpoint(e.to_string()))?;
-    let mut file = writer.lock().expect("checkpoint writer poisoned");
+    // Recover a poisoned writer: `writeln!` appends the whole line in one
+    // call, so a panicking holder left the file either untouched or with
+    // a complete line — at worst a torn trailing line, which
+    // `load_checkpoint` drops on resume.
+    let mut file = lock_recover(writer);
     writeln!(file, "{line}").map_err(|e| HarnessError::Io(format!("write checkpoint: {e}")))
 }
 
@@ -615,13 +880,146 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_checkpoint_is_a_typed_error() {
+    fn midfile_corruption_is_still_a_typed_error() {
+        // Torn-write tolerance must not mask real corruption: a
+        // malformed line *followed by* a valid record fails the resume.
         let path = temp_path("corrupt");
-        std::fs::write(&path, "{ not json").unwrap();
+        std::fs::write(
+            &path,
+            "{ not json\n{\"dataset\":\"A\",\"algorithm\":\"ARF\",\"status\":\"inapplicable\"}\n",
+        )
+        .unwrap();
         assert!(matches!(
             load_checkpoint(&path).unwrap_err(),
             HarnessError::Checkpoint(_)
         ));
+        // Two malformed lines cannot both be the torn tail either.
+        std::fs::write(&path, "{ not json\n{ also not json").unwrap();
+        assert!(matches!(
+            load_checkpoint(&path).unwrap_err(),
+            HarnessError::Checkpoint(_)
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped_and_truncated() {
+        use std::io::Write as _;
+        let path = temp_path("torn");
+        let valid = SweepRecord {
+            dataset: "A".into(),
+            algorithm: "ARF".into(),
+            outcome: RunOutcome::Inapplicable,
+        };
+        append_checkpoint(&path, &valid).unwrap();
+        // Simulate a crash mid-write: half a serialized record, no
+        // trailing newline.
+        let full = serde_json::to_string(&record_to_json(&valid)).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        write!(f, "{}", &full[..full.len() / 2]).unwrap();
+        drop(f);
+
+        let loaded = load_checkpoint(&path).unwrap();
+        assert_eq!(loaded, vec![valid.clone()]);
+        // The fragment is physically gone: a later append starts a clean
+        // line instead of merging with it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "fragment survived: {text:?}");
+        let next = SweepRecord {
+            dataset: "B".into(),
+            algorithm: "EWC".into(),
+            outcome: RunOutcome::Inapplicable,
+        };
+        append_checkpoint(&path, &next).unwrap();
+        assert_eq!(load_checkpoint(&path).unwrap(), vec![valid, next]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sweep_killed_mid_write_resumes_past_the_torn_line() {
+        // End-to-end regression for the torn tail: run a checkpointed
+        // sweep, tear its last line in half (the on-disk state a
+        // mid-`write_checkpoint_line` kill leaves), and resume. The torn
+        // cell re-runs and the merged report equals the uninterrupted one.
+        let datasets = tiny_datasets();
+        let algorithms = [Algorithm::NaiveDt, Algorithm::Arf];
+        let cfg = HarnessConfig::default();
+        let uninterrupted = run_sweep(&datasets, &algorithms, &cfg, None, None, 1).unwrap();
+
+        let path = temp_path("killmid");
+        run_sweep(&datasets, &algorithms, &cfg, Some(&path), None, 1).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep = text.trim_end().len() - text.trim_end().len() / 4;
+        std::fs::write(&path, &text[..keep]).unwrap();
+
+        let resumed = run_sweep(&datasets, &algorithms, &cfg, Some(&path), None, 2).unwrap();
+        assert!(
+            same_modulo_timing(&resumed, &uninterrupted),
+            "resume after a torn write diverged"
+        );
+        // Every line of the repaired checkpoint parses again.
+        assert_eq!(load_checkpoint(&path).unwrap().len(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn poisoned_checkpoint_writer_recovers() {
+        let path = temp_path("poison");
+        let writer = Mutex::new(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap(),
+        );
+        // Poison the mutex the way a panicking worker would: die while
+        // holding the lock.
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = writer.lock().unwrap();
+            panic!("worker died mid-checkpoint");
+        }));
+        assert!(writer.lock().is_err(), "mutex should be poisoned");
+        let record = SweepRecord {
+            dataset: "A".into(),
+            algorithm: "ARF".into(),
+            outcome: RunOutcome::Inapplicable,
+        };
+        write_checkpoint_line(&writer, &record).expect("poisoned writer must recover");
+        drop(writer);
+        assert_eq!(load_checkpoint(&path).unwrap(), vec![record]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_supervision_outcomes() {
+        let path = temp_path("supervision_roundtrip");
+        let records = vec![
+            SweepRecord {
+                dataset: "A".into(),
+                algorithm: "ARF".into(),
+                outcome: RunOutcome::TimedOut {
+                    windows: 7,
+                    items: 280,
+                    wall: false,
+                },
+            },
+            SweepRecord {
+                dataset: "B".into(),
+                algorithm: "EWC".into(),
+                outcome: RunOutcome::Quarantined {
+                    attempts: 3,
+                    kind: "panicked".into(),
+                    reason: "run panicked: boom".into(),
+                },
+            },
+        ];
+        for r in &records {
+            append_checkpoint(&path, r).unwrap();
+        }
+        assert_eq!(load_checkpoint(&path).unwrap(), records);
         let _ = std::fs::remove_file(&path);
     }
 

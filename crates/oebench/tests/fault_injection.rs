@@ -42,6 +42,35 @@ fn synthetic_frames(windows: usize, rows: usize, cols: usize) -> Vec<WindowFrame
         .collect()
 }
 
+/// A deterministic synthetic regression stream: the target is a smooth
+/// function of the features, so a healthy learner's loss stays finite
+/// and any non-finite loss is attributable to injected poison.
+fn regression_frames(windows: usize, rows: usize, cols: usize) -> Vec<WindowFrame> {
+    (0..windows)
+        .map(|w| {
+            let data: Vec<Vec<f64>> = (0..rows)
+                .map(|r| {
+                    (0..cols)
+                        .map(|c| {
+                            let t = (w * rows + r) as f64;
+                            (t * 0.37 + c as f64 * 1.3).sin() + 0.05 * c as f64
+                        })
+                        .collect()
+                })
+                .collect();
+            let targets = data
+                .iter()
+                .map(|row| row.iter().sum::<f64>() * 0.5)
+                .collect();
+            WindowFrame {
+                index: w,
+                features: Matrix::from_rows(&data),
+                targets,
+            }
+        })
+        .collect()
+}
+
 /// An arbitrary plan with *every* fault kind enabled.
 fn arb_plan() -> impl Strategy<Value = FaultPlan> {
     (
@@ -162,7 +191,7 @@ proptest! {
             }
             // Extreme rates may legally destroy the stream (e.g. every
             // window dropped) — but the failure must be typed.
-            Err(e) => prop_assert!((3..=12).contains(&e.exit_code()), "{e}"),
+            Err(e) => prop_assert!((3..=14).contains(&e.exit_code()), "{e}"),
         }
     }
 
@@ -222,6 +251,64 @@ proptest! {
                 matches!(e, HarnessError::SchemaMismatch { .. }),
                 "unexpected failure kind: {e}"
             );
+        }
+    }
+
+    /// Reset-with-retry: one NaN-target window after the warm-up drives
+    /// the regression loss non-finite. The resilient policy must spend
+    /// exactly one retry per model reset — the degradation entries are
+    /// numbered `(1/2)`, `(2/2)`, never skipping or repeating a slot —
+    /// and the surviving report is degraded-but-finite. The default
+    /// (no-reset) policy lets the NaN propagate to the mean with the
+    /// budget untouched, and a zero budget fails typed.
+    #[test]
+    fn nonfinite_loss_spends_exactly_one_retry_per_reset(poison in 2usize..9) {
+        let mut frames = regression_frames(10, 6, 3);
+        for t in &mut frames[poison].targets {
+            *t = f64::NAN;
+        }
+        let run = |cfg: &HarnessConfig| {
+            let mut source = FrameVec::new(frames.clone());
+            try_run_frames(
+                &mut source,
+                Task::Regression,
+                "reset-fuzz",
+                Algorithm::NaiveDt,
+                cfg,
+                None,
+                Some(3),
+            )
+        };
+
+        let resilient = run(&resilient_config()).unwrap();
+        let resets: Vec<&String> = resilient
+            .degradations
+            .iter()
+            .filter(|d| d.contains("non-finite loss, model reset"))
+            .collect();
+        prop_assert!(!resets.is_empty(), "no reset recorded: {:?}", resilient.degradations);
+        prop_assert!(resets.len() <= 2, "budget overspent: {resets:?}");
+        for (i, entry) in resets.iter().enumerate() {
+            prop_assert!(
+                entry.contains(&format!("({}/2)", i + 1)),
+                "reset {} must spend exactly one retry: {entry:?}",
+                i + 1
+            );
+        }
+        prop_assert!(resilient.mean_loss.is_finite(), "resets must keep the mean finite");
+        prop_assert!(resilient.per_window_loss.iter().all(|l| l.is_finite()));
+
+        let mut plain_cfg = resilient_config();
+        plain_cfg.degrade = DegradePolicy::default();
+        let plain = run(&plain_cfg).unwrap();
+        prop_assert!(plain.mean_loss.is_nan(), "without resets the NaN must propagate");
+        prop_assert!(!plain.degradations.iter().any(|d| d.contains("model reset")));
+
+        let mut no_budget = resilient_config();
+        no_budget.degrade.max_retries = 0;
+        match run(&no_budget) {
+            Err(HarnessError::NonFiniteLoss { retries, .. }) => prop_assert_eq!(retries, 0),
+            other => prop_assert!(false, "expected NonFiniteLoss, got {other:?}"),
         }
     }
 

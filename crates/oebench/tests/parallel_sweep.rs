@@ -4,7 +4,10 @@
 //! checkpoint/resume may change *when* cells run, never *what* they
 //! compute.
 
-use oeb_core::{run_sweep, Algorithm, HarnessConfig, RunOutcome, SweepReport};
+use oeb_core::{
+    run_sweep, run_sweep_supervised, Algorithm, HarnessConfig, RunOutcome, SupervisePolicy,
+    SweepReport,
+};
 use oeb_synth::{Balance, DriftPattern, LabelMechanism, Level, StreamSpec, TaskSpec};
 use oeb_tabular::{Domain, StreamDataset};
 use proptest::prelude::*;
@@ -71,6 +74,16 @@ fn digest(report: &SweepReport) -> Vec<String> {
                 }
                 RunOutcome::Inapplicable => "inapplicable".into(),
                 RunOutcome::Failed { kind, reason } => format!("failed {kind}: {reason}"),
+                RunOutcome::TimedOut {
+                    windows,
+                    items,
+                    wall,
+                } => format!("timed-out w={windows} i={items} wall={wall}"),
+                RunOutcome::Quarantined {
+                    attempts,
+                    kind,
+                    reason,
+                } => format!("quarantined n={attempts} {kind}: {reason}"),
             };
             format!("{}|{}|{outcome}", r.dataset, r.algorithm)
         })
@@ -150,5 +163,69 @@ proptest! {
         prop_assert_eq!(digest(&resumed), digest(&uninterrupted));
         // No cell ran twice: one checkpoint line per grid cell.
         prop_assert_eq!(checkpoint_lines, 6);
+    }
+
+    /// Supervision acceptance property: with a retry budget armed but no
+    /// deadline configured (and no faults, so the budget is never spent),
+    /// a supervised 4-worker sweep is bit-identical to the unsupervised
+    /// single-worker run — supervision is a strict no-op on healthy
+    /// streams.
+    #[test]
+    fn armed_supervision_is_a_noop_on_healthy_streams(
+        data_seed in 0u64..50,
+        run_seed in 0u64..50,
+    ) {
+        let datasets = grid_datasets(data_seed);
+        let algorithms = [Algorithm::NaiveDt, Algorithm::NaiveGbdt, Algorithm::Arf];
+        let mut cfg = HarnessConfig {
+            seed: run_seed,
+            ..Default::default()
+        };
+        cfg.learner.epochs = 1;
+        let policy = SupervisePolicy {
+            max_retries: 2,
+            backoff_base: std::time::Duration::from_millis(1),
+            ..SupervisePolicy::unsupervised()
+        };
+
+        let unsupervised = run_sweep(&datasets, &algorithms, &cfg, None, None, 1).unwrap();
+        let supervised =
+            run_sweep_supervised(&datasets, &algorithms, &cfg, None, None, 4, &policy).unwrap();
+        prop_assert_eq!(digest(&unsupervised), digest(&supervised));
+        let s = supervised.supervision();
+        prop_assert_eq!(s.retries, 0);
+        prop_assert_eq!(s.quarantined, 0);
+    }
+
+    /// A logical windows budget times cells out identically at any
+    /// worker count — the deadline is part of the deterministic
+    /// contract, not a wall-clock artefact.
+    #[test]
+    fn logical_deadlines_are_deterministic_across_workers(
+        threads in 1usize..5,
+        run_seed in 0u64..30,
+    ) {
+        let datasets = grid_datasets(11);
+        let algorithms = [Algorithm::NaiveDt, Algorithm::Arf];
+        let mut cfg = HarnessConfig {
+            seed: run_seed,
+            ..Default::default()
+        };
+        cfg.learner.epochs = 1;
+        let policy = SupervisePolicy {
+            max_windows: Some(2),
+            ..SupervisePolicy::unsupervised()
+        };
+
+        let reference =
+            run_sweep_supervised(&datasets, &algorithms, &cfg, None, None, 1, &policy).unwrap();
+        prop_assert!(
+            reference.timed_out().count() > 0,
+            "a 2-window budget must time out some cell"
+        );
+        let replay =
+            run_sweep_supervised(&datasets, &algorithms, &cfg, None, None, threads, &policy)
+                .unwrap();
+        prop_assert_eq!(digest(&reference), digest(&replay));
     }
 }

@@ -594,12 +594,16 @@ pub fn snapshot() -> MetricsSnapshot {
 impl MetricsSnapshot {
     /// Counters under the schedule-invariant contract: everything except
     /// the `executor.*` family, whose values legitimately depend on which
-    /// worker claimed which task. Tests assert these are identical across
-    /// thread counts.
+    /// worker claimed which task, and the `supervise.wall.*` family,
+    /// which counts wall-clock watchdog events (machine noise by
+    /// definition). Tests assert these are identical across thread
+    /// counts.
     pub fn deterministic_counters(&self) -> BTreeMap<String, u64> {
         self.counters
             .iter()
-            .filter(|(name, _)| !name.starts_with("executor."))
+            .filter(|(name, _)| {
+                !name.starts_with("executor.") && !name.starts_with("supervise.wall.")
+            })
             .map(|(name, v)| (name.clone(), *v))
             .collect()
     }

@@ -10,16 +10,18 @@
 //! ```
 
 use oeb_core::{
-    extract_stats, resolve_threads, run_sweep, try_run_stream, Algorithm, HarnessConfig,
-    HarnessError, Scenario, StatsConfig,
+    extract_stats, resolve_threads, run_chaos_matrix, run_sweep_supervised, try_run_stream,
+    Algorithm, ChaosOptions, HarnessConfig, HarnessError, Scenario, StatsConfig, SupervisePolicy,
 };
 use oeb_synth::Level;
+use std::time::Duration;
 
 /// A CLI failure: a message for stderr plus the process exit code.
 ///
-/// Codes: `2` usage / bad arguments, `3..=12` the [`HarnessError`]
+/// Codes: `2` usage / bad arguments, `3..=14` the [`HarnessError`]
 /// codes (`3` also covers unknown datasets, which are an invalid
-/// configuration), `1` anything else.
+/// configuration; `13` cell deadline, `14` quarantine), `1` anything
+/// else including chaos-invariant violations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CliError {
     pub message: String,
@@ -80,6 +82,13 @@ pub enum Command {
         algorithm: Option<Algorithm>,
         limit: Option<usize>,
     },
+    /// Chaos-soak run over the fault × drift matrix.
+    Chaos {
+        /// Optional path for the JSON chaos report.
+        out: Option<String>,
+        /// Scenario cap (`--limit`); `None` runs the full grid.
+        limit: Option<usize>,
+    },
 }
 
 /// Parsed options shared by all commands.
@@ -98,6 +107,12 @@ pub struct CliOptions {
     pub trace: Option<String>,
     /// When set, print the end-of-run metrics table to stderr.
     pub metrics: bool,
+    /// Per-cell wall-clock deadline in seconds (`--cell-deadline`);
+    /// `None` leaves the watchdog disarmed.
+    pub cell_deadline: Option<f64>,
+    /// Per-cell retry budget before quarantine (`--max-retries`);
+    /// `None` keeps the historical fail-fast sweep behaviour.
+    pub max_retries: Option<usize>,
 }
 
 /// Usage text.
@@ -114,9 +129,16 @@ commands:\n\
   sweep --out <checkpoint>     checkpointed (dataset x algorithm) sweep over the\n\
                                five representative datasets; resumes from the\n\
                                checkpoint file [--algorithm a] [--limit N]\n\
+  chaos                        chaos-soak run over the fault x drift matrix;\n\
+                               exits 1 if any supervision invariant is violated\n\
+                               [--out report.json] [--limit N] [--max-retries N]\n\
 options:\n\
   --threads N                  sweep worker count (default: OEBENCH_THREADS or\n\
                                all cores); results are identical for any N\n\
+  --cell-deadline SECS         sweep: wall-clock watchdog per cell; a cell past\n\
+                               the deadline is recorded as timed out (exit 13)\n\
+  --max-retries N              sweep/chaos: seeded retry budget per cell before\n\
+                               quarantine (exit 14); 0 fails fast (default)\n\
   --trace <out.jsonl>          record spans and write them as JSON lines;\n\
                                results are bit-identical with tracing on or off\n\
   --metrics                    print the end-of-run metrics table to stderr";
@@ -147,6 +169,8 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
     let mut threads: Option<usize> = None;
     let mut trace: Option<String> = None;
     let mut metrics = false;
+    let mut cell_deadline: Option<f64> = None;
+    let mut max_retries: Option<usize> = None;
     let mut scale = 0.25f64;
     let mut seed = 0u64;
     let mut i = 0;
@@ -207,6 +231,25 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
                         .clone(),
                 );
             }
+            "--cell-deadline" => {
+                i += 1;
+                cell_deadline = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&v: &f64| v.is_finite() && v > 0.0)
+                        .ok_or_else(|| {
+                            CliError::usage(format!(
+                                "--cell-deadline needs a positive number of seconds\n{USAGE}"
+                            ))
+                        })?,
+                );
+            }
+            "--max-retries" => {
+                i += 1;
+                max_retries = Some(args.get(i).and_then(|v| v.parse().ok()).ok_or_else(|| {
+                    CliError::usage(format!("--max-retries needs an integer\n{USAGE}"))
+                })?);
+            }
             "--metrics" => metrics = true,
             "--help" | "-h" => return Err(CliError::usage(USAGE)),
             other => positional.push(other),
@@ -238,6 +281,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
             algorithm,
             limit,
         },
+        Some((&"chaos", [])) => Command::Chaos { out, limit },
         _ => return Err(CliError::usage(USAGE)),
     };
     Ok(CliOptions {
@@ -247,6 +291,8 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
         threads,
         trace,
         metrics,
+        cell_deadline,
+        max_retries,
     })
 }
 
@@ -457,16 +503,22 @@ fn run_command(opts: &CliOptions) -> Result<String, CliError> {
                 seed: opts.seed,
                 ..Default::default()
             };
+            let policy = SupervisePolicy {
+                wall_deadline: opts.cell_deadline.map(Duration::from_secs_f64),
+                max_retries: opts.max_retries.unwrap_or(0),
+                ..SupervisePolicy::unsupervised()
+            };
             // Progress lines go to stderr; done/total is seeded from the
             // checkpoint, so a resumed sweep reports over the whole grid.
             oeb_core::set_sweep_progress(true);
-            let report = run_sweep(
+            let report = run_sweep_supervised(
                 &datasets,
                 &algorithms,
                 &cfg,
                 Some(std::path::Path::new(out)),
                 *limit,
                 resolve_threads(opts.threads),
+                &policy,
             )?;
             let (completed, inapplicable, failed) = report.counts();
             let mut text = String::new();
@@ -482,7 +534,62 @@ fn run_command(opts: &CliOptions) -> Result<String, CliError> {
                 "{completed} completed, {inapplicable} inapplicable, {failed} failed; \
                  checkpoint: {out}\n",
             ));
+            if policy.is_active() {
+                let s = report.supervision();
+                text.push_str(&format!(
+                    "supervision: {} retries, {} recovered, {} timed out \
+                     ({} wall-clock), {} quarantined\n",
+                    s.retries, s.recovered, s.timeouts, s.wall_timeouts, s.quarantined,
+                ));
+            }
             Ok(text)
+        }
+        Command::Chaos { out, limit } => {
+            let options = ChaosOptions {
+                seed: opts.seed,
+                max_cells: *limit,
+                threads: resolve_threads(opts.threads),
+                max_retries: opts.max_retries.unwrap_or(2),
+                ..ChaosOptions::default()
+            };
+            let report = run_chaos_matrix(&options)?;
+            if let Some(path) = out {
+                std::fs::write(path, report.to_json_string()).map_err(|e| {
+                    CliError::from(HarnessError::Io(format!("cannot write {path}: {e}")))
+                })?;
+            }
+            let mut text = String::new();
+            for cell in &report.cells {
+                text.push_str(&format!(
+                    "{} x {} | {}\n",
+                    cell.fault, cell.drift, cell.detail
+                ));
+            }
+            let s = &report.summary;
+            text.push_str(&format!(
+                "{} scenarios; supervision: {} retries, {} recovered, {} timed out, \
+                 {} quarantined\n",
+                report.cells.len(),
+                s.retries,
+                s.recovered,
+                s.timeouts,
+                s.quarantined,
+            ));
+            if report.passed() {
+                text.push_str("all supervision invariants held\n");
+                Ok(text)
+            } else {
+                for v in &report.violations {
+                    text.push_str(&format!("violation: {v}\n"));
+                }
+                Err(CliError::new(
+                    format!(
+                        "{text}chaos: {} invariant(s) violated",
+                        report.violations.len()
+                    ),
+                    1,
+                ))
+            }
         }
     }
 }
@@ -644,6 +751,70 @@ mod tests {
             }
         );
         assert!(parse(&s(&["sweep"])).is_err(), "sweep requires --out");
+    }
+
+    #[test]
+    fn parses_supervision_flags() {
+        let o = parse(&s(&[
+            "sweep",
+            "--out",
+            "c.jsonl",
+            "--cell-deadline",
+            "2.5",
+            "--max-retries",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(o.cell_deadline, Some(2.5));
+        assert_eq!(o.max_retries, Some(3));
+        let o = parse(&s(&["list"])).unwrap();
+        assert!(o.cell_deadline.is_none() && o.max_retries.is_none());
+        for bad in [
+            &["list", "--cell-deadline", "0"][..],
+            &["list", "--cell-deadline", "x"],
+            &["list", "--max-retries", "-1"],
+            &["list", "--max-retries"],
+        ] {
+            assert_eq!(parse(&s(bad)).unwrap_err().code, 2, "args {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_chaos_command() {
+        let o = parse(&s(&["chaos", "--limit", "2", "--out", "r.json"])).unwrap();
+        assert_eq!(
+            o.command,
+            Command::Chaos {
+                out: Some("r.json".into()),
+                limit: Some(2),
+            }
+        );
+        let o = parse(&s(&["chaos"])).unwrap();
+        assert_eq!(
+            o.command,
+            Command::Chaos {
+                out: None,
+                limit: None
+            }
+        );
+    }
+
+    #[test]
+    fn chaos_smoke_runs_and_writes_a_report() {
+        let path = std::env::temp_dir().join(format!("oeb_cli_chaos_{}.json", std::process::id()));
+        let o = parse(&s(&[
+            "chaos",
+            "--limit",
+            "1",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = execute(&o).unwrap();
+        assert!(out.contains("all supervision invariants held"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"violations\""), "{json}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
