@@ -35,7 +35,8 @@ cargo run --release -p oeb-bench --bin repro -- table4 \
     --scale 0.05 --seeds 1 --threads 4 --out "$smoke_dir/traced" \
     --trace "$smoke_dir/trace.jsonl" --metrics 2> "$smoke_dir/metrics.txt" \
     || { cat "$smoke_dir/metrics.txt"; exit 1; }
-cargo run --release -p oeb-bench --bin trace_check -- "$smoke_dir/trace.jsonl"
+cargo run --release -p oeb-bench --bin trace_check -- "$smoke_dir/trace.jsonl" \
+    --counters "$smoke_dir/metrics.txt"
 grep -Eq 'prepare\.cache\.hit +[1-9]' "$smoke_dir/metrics.txt" \
     || { echo "ci: no prepare-cache hits in --metrics output" >&2; exit 1; }
 diff "$smoke_dir/table4.txt" "$smoke_dir/traced/table4.txt" \
@@ -46,6 +47,31 @@ diff "$smoke_dir/table4.txt" "$smoke_dir/traced/table4.txt" \
 # kernel regression fails CI here rather than skewing a golden artifact.
 cargo run --release -p oeb-bench --bin bench_kernels -- \
     --quick --out "$smoke_dir/BENCH_kernels.json"
+
+# Smoke: incremental-vs-full statistics equivalence. The two engines
+# must render identical stats reports below the `stats-mode:` header;
+# the incremental run is traced, so its spans must validate and its
+# stats.* delta counters must land in the metrics table and pass the
+# counter vocabulary gate.
+cargo run --release --bin oebench -- stats "Electricity Prices" --scale 0.05 \
+    --stats-mode full > "$smoke_dir/stats_full.txt"
+cargo run --release --bin oebench -- stats "Electricity Prices" --scale 0.05 \
+    --stats-mode incremental --trace "$smoke_dir/stats_trace.jsonl" \
+    --metrics > "$smoke_dir/stats_incremental.txt" 2> "$smoke_dir/stats_metrics.txt" \
+    || { cat "$smoke_dir/stats_metrics.txt"; exit 1; }
+diff <(tail -n +2 "$smoke_dir/stats_full.txt") \
+     <(tail -n +2 "$smoke_dir/stats_incremental.txt") \
+    || { echo "ci: incremental stats diverged from the full engine" >&2; exit 1; }
+cargo run --release -p oeb-bench --bin trace_check -- "$smoke_dir/stats_trace.jsonl" \
+    --counters "$smoke_dir/stats_metrics.txt"
+grep -Eq 'stats\.delta\.absorbed +[1-9]' "$smoke_dir/stats_metrics.txt" \
+    || { echo "ci: no stats.delta.absorbed in stats --metrics output" >&2; exit 1; }
+
+# Smoke: delta-statistics benchmark (quick profile). The binary asserts
+# digest equality between the full and incremental engines while
+# timing, so an equivalence regression fails CI here too.
+cargo run --release -p oeb-bench --bin bench_incremental -- \
+    --quick --out "$smoke_dir/BENCH_incremental.json"
 
 # Smoke: staged (shared prepare + worker pool) vs the per-cell
 # sequential baseline over the five-dataset sweep, plus the
@@ -67,7 +93,8 @@ cargo run --release --bin oebench -- chaos --limit 8 --max-retries 2 \
     --out "$smoke_dir/chaos.json" --trace "$smoke_dir/chaos_trace.jsonl" \
     --metrics 2> "$smoke_dir/chaos_metrics.txt" \
     || { cat "$smoke_dir/chaos_metrics.txt"; exit 1; }
-cargo run --release -p oeb-bench --bin trace_check -- "$smoke_dir/chaos_trace.jsonl"
+cargo run --release -p oeb-bench --bin trace_check -- "$smoke_dir/chaos_trace.jsonl" \
+    --counters "$smoke_dir/chaos_metrics.txt"
 grep -Eq 'supervise\.retries +[1-9]' "$smoke_dir/chaos_metrics.txt" \
     || { echo "ci: no supervise.retries in chaos --metrics output" >&2; exit 1; }
 grep -Eq 'supervise\.quarantined +[1-9]' "$smoke_dir/chaos_metrics.txt" \

@@ -17,12 +17,16 @@
 //! kernel layer's contract is "faster, same bits", and the benchmark
 //! refuses to report a speedup for wrong answers.
 //!
+//! Each pair is timed with [`oeb_bench::warm_min_pair`]: `reps`
+//! alternating warm passes per side, reporting the minimum (the noise
+//! floor for a fixed deterministic workload).
+//!
 //! Usage: `bench_kernels [--quick] [--out FILE]`
 
+use oeb_bench::warm_min_pair;
 use oeb_linalg::{kernels, Matrix};
 use oeb_preprocess::impute::knn_impute_reference;
 use oeb_preprocess::{Imputer, KnnImputer};
-use oeb_trace::Stopwatch;
 
 struct Options {
     quick: bool,
@@ -87,29 +91,17 @@ fn matmul_ikj_reference(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     }
 }
 
-/// Median-of-reps wall-clock for one closure, in seconds.
-fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    let mut samples: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t = Stopwatch::start();
-            f();
-            t.elapsed_seconds()
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
-}
-
 fn bench_matmul(size: usize, reps: usize, seed: &mut u64) -> serde_json::Value {
     let a = Matrix::from_vec(size, size, lcg_vec(size * size, seed));
     let b = Matrix::from_vec(size, size, lcg_vec(size * size, seed));
     let mut scalar_out = Matrix::zeros(size, size);
     let mut blocked_out = Matrix::zeros(size, size);
 
-    let scalar_seconds = time_median(reps, || matmul_ikj_reference(&a, &b, &mut scalar_out));
-    let blocked_seconds = time_median(reps, || {
-        kernels::matmul_blocked_into(&a, &b, &mut blocked_out)
-    });
+    let (scalar_seconds, blocked_seconds) = warm_min_pair(
+        reps,
+        || matmul_ikj_reference(&a, &b, &mut scalar_out),
+        || kernels::matmul_blocked_into(&a, &b, &mut blocked_out),
+    );
 
     for (x, y) in scalar_out.as_slice().iter().zip(blocked_out.as_slice()) {
         assert_eq!(
@@ -164,17 +156,20 @@ fn bench_knn(
     let imputer = KnnImputer::default();
 
     let mut brute_out = Matrix::zeros(0, 0);
-    let brute_seconds = time_median(reps, || {
-        let mut w = window.clone();
-        knn_impute_reference(imputer.k, &mut w, &reference);
-        brute_out = w;
-    });
     let mut pruned_out = Matrix::zeros(0, 0);
-    let pruned_seconds = time_median(reps, || {
-        let mut w = window.clone();
-        imputer.impute(&mut w, &reference);
-        pruned_out = w;
-    });
+    let (brute_seconds, pruned_seconds) = warm_min_pair(
+        reps,
+        || {
+            let mut w = window.clone();
+            knn_impute_reference(imputer.k, &mut w, &reference);
+            brute_out = w;
+        },
+        || {
+            let mut w = window.clone();
+            imputer.impute(&mut w, &reference);
+            pruned_out = w;
+        },
+    );
 
     for (x, y) in brute_out.as_slice().iter().zip(pruned_out.as_slice()) {
         assert_eq!(

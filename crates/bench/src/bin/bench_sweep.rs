@@ -235,32 +235,28 @@ fn main() {
     let baseline_seconds = started.elapsed_seconds();
 
     // Tracing overhead: alternating warm-cache staged passes with the
-    // instrumentation disabled and enabled. The ratio uses the minimum
-    // of five samples each — for a fixed workload the minimum is the
-    // noise floor, so scheduler hiccups inflate neither side. Every
-    // traced pass must be bit-identical to its untraced sibling; the
-    // last traced pass supplies the metrics block.
-    let mut untraced_samples = Vec::new();
-    let mut traced_samples = Vec::new();
-    for _ in 0..5 {
-        let started = Stopwatch::start();
-        let warm_untraced = run_staged(&specs, &algorithms, &seeds, threads);
-        untraced_samples.push(started.elapsed_seconds());
+    // instrumentation disabled and enabled, timed by the shared
+    // min-of-N helper (the minimum is the noise floor, so scheduler
+    // hiccups inflate neither side). The alternation loop stays here so
+    // the trace enable/disable toggles and the bit-identity assert run
+    // outside the timed regions; the last traced pass supplies the
+    // metrics block.
+    let mut untraced_timer = oeb_bench::WarmTimer::new();
+    let mut traced_timer = oeb_bench::WarmTimer::new();
+    for _ in 0..oeb_bench::WARM_PASSES {
+        let warm_untraced =
+            untraced_timer.time(|| run_staged(&specs, &algorithms, &seeds, threads));
         oeb_trace::reset();
         oeb_trace::enable();
-        let started = Stopwatch::start();
-        let warm_traced = run_staged(&specs, &algorithms, &seeds, threads);
-        traced_samples.push(started.elapsed_seconds());
+        let warm_traced = traced_timer.time(|| run_staged(&specs, &algorithms, &seeds, threads));
         oeb_trace::disable();
         assert!(
             same_modulo_timing(&warm_untraced, &warm_traced),
             "results must be bit-identical with tracing on and off"
         );
     }
-    untraced_samples.sort_by(f64::total_cmp);
-    traced_samples.sort_by(f64::total_cmp);
-    let untraced_seconds = untraced_samples[0];
-    let traced_seconds = traced_samples[0];
+    let untraced_seconds = untraced_timer.min_seconds();
+    let traced_seconds = traced_timer.min_seconds();
     let enabled_overhead_pct = (traced_seconds / untraced_seconds.max(1e-9) - 1.0) * 100.0;
     let metrics = oeb_bench::metrics_json(&oeb_trace::snapshot());
 

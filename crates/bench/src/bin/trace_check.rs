@@ -3,12 +3,104 @@
 //! ids are monotone `0..n`, and the numeric fields are unsigned
 //! integers. Used by `ci.sh` to gate the traced smoke run.
 //!
-//! Usage: `trace_check <trace.jsonl>`; exits 0 when valid, 1 with a
-//! line-numbered message otherwise.
+//! With `--counters <metrics.txt>` it additionally validates the
+//! counters section of a `--metrics` table against the registered
+//! counter vocabulary below: a typo'd or undeclared counter name fails
+//! the gate instead of silently shipping an unknown key.
+//!
+//! Usage: `trace_check <trace.jsonl> [--counters <metrics.txt>]`;
+//! exits 0 when valid, 1 with a line-numbered message otherwise.
 
 use std::process::exit;
 
 const REQUIRED: [&str; 7] = ["type", "id", "slot", "seq", "name", "start_us", "dur_us"];
+
+/// Every counter name declared in the workspace (plus
+/// `trace.events.dropped`, synthesised by the snapshot itself). A
+/// `--metrics` table may show any subset of these; anything else is a
+/// schema violation.
+const KNOWN_COUNTERS: [&str; 44] = [
+    "executor.claims",
+    "executor.parallel_runs",
+    "executor.sequential_runs",
+    "executor.watchdog.fired",
+    "faults.injected.all-missing-column",
+    "faults.injected.corrupted-cells",
+    "faults.injected.dropped-window",
+    "faults.injected.duplicated-window",
+    "faults.injected.label-noise",
+    "faults.injected.nan-burst",
+    "faults.injected.schema-violation",
+    "faults.injected.truncated-window",
+    "gemm.dispatch.blocked",
+    "gemm.dispatch.scalar",
+    "gemm.matvec.calls",
+    "harness.runs",
+    "knn.candidates.pruned",
+    "knn.candidates.scanned",
+    "learner.item_updates",
+    "learner.items_tested",
+    "learner.window_updates",
+    "prepare.cache.evict",
+    "prepare.cache.hit",
+    "prepare.cache.miss",
+    "prepare.rows",
+    "prepare.windows",
+    "stats.delta.absorbed",
+    "stats.delta.retracted",
+    "stats.full.fallback",
+    "supervise.quarantined",
+    "supervise.retries",
+    "supervise.timeouts",
+    "supervise.wall.retries",
+    "supervise.wall.timeouts",
+    "sweep.cells.executed",
+    "sweep.cells.failed",
+    "sweep.cells.resumed",
+    "sweep.cells.total",
+    "synth.cache.evict",
+    "synth.cache.hit",
+    "synth.cache.miss",
+    "synth.generated.datasets",
+    "synth.generated.rows",
+    "trace.events.dropped",
+];
+
+/// Checks every row of the `counters` section of a rendered metrics
+/// table against [`KNOWN_COUNTERS`].
+fn check_counters(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("trace_check: cannot read {path}: {e}");
+        exit(2);
+    });
+    let mut in_counters = false;
+    let mut seen = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if !line.starts_with(' ') {
+            in_counters = line == "counters";
+            continue;
+        }
+        if !in_counters {
+            continue;
+        }
+        let Some(key) = line.split_whitespace().next() else {
+            continue;
+        };
+        if !KNOWN_COUNTERS.contains(&key) {
+            eprintln!(
+                "trace_check: {path}: line {}: unknown counter {key:?}",
+                i + 1
+            );
+            exit(1);
+        }
+        seen += 1;
+    }
+    if seen == 0 {
+        eprintln!("trace_check: {path}: no counters section (was --metrics on?)");
+        exit(1);
+    }
+    println!("trace_check: {path}: {seen} counters OK");
+}
 
 fn fail(line_no: usize, msg: &str) -> ! {
     eprintln!("trace_check: line {line_no}: {msg}");
@@ -16,11 +108,33 @@ fn fail(line_no: usize, msg: &str) -> ! {
 }
 
 fn main() {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: trace_check <trace.jsonl>");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<&str> = None;
+    let mut counters: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--counters" => {
+                i += 1;
+                counters = args.get(i).map(String::as_str);
+                if counters.is_none() {
+                    eprintln!("trace_check: --counters needs a metrics file");
+                    exit(2);
+                }
+            }
+            p if path.is_none() => path = Some(p),
+            _ => {
+                eprintln!("usage: trace_check <trace.jsonl> [--counters <metrics.txt>]");
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace_check <trace.jsonl> [--counters <metrics.txt>]");
         exit(2);
     };
-    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("trace_check: cannot read {path}: {e}");
         exit(2);
     });
@@ -64,4 +178,7 @@ fn main() {
         exit(1);
     }
     println!("trace_check: {path}: {n} spans OK");
+    if let Some(metrics_path) = counters {
+        check_counters(metrics_path);
+    }
 }

@@ -136,6 +136,67 @@ pub fn metrics_json(snap: &oeb_trace::MetricsSnapshot) -> serde_json::Value {
     })
 }
 
+/// Number of alternating warm passes the benchmark bins run by default;
+/// each reported figure is the minimum across passes.
+pub const WARM_PASSES: usize = 5;
+
+/// Wall-clock sample accumulator for one side of an alternating
+/// warm-pass comparison.
+///
+/// For a fixed deterministic workload the minimum across passes is the
+/// noise floor — scheduler hiccups and cold caches only ever inflate a
+/// sample — so two timers fed from interleaved passes yield a ratio
+/// that neither side's outliers can skew. Callers drive the alternation
+/// loop themselves, which keeps per-pass hooks (trace enable/disable,
+/// bit-identity asserts) outside the timed regions; [`warm_min_pair`]
+/// wraps the common no-hook case.
+#[derive(Debug, Default)]
+pub struct WarmTimer {
+    samples: Vec<f64>,
+}
+
+impl WarmTimer {
+    /// An empty accumulator.
+    pub fn new() -> WarmTimer {
+        WarmTimer::default()
+    }
+
+    /// Times one pass of `f`, records the sample, and passes through the
+    /// closure's result (so bit-identity checks can run on the output
+    /// without re-entering the timed region).
+    pub fn time<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let watch = Stopwatch::start();
+        let out = f();
+        self.samples.push(watch.elapsed_seconds());
+        out
+    }
+
+    /// Number of samples recorded so far.
+    pub fn passes(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The minimum recorded sample, in seconds.
+    pub fn min_seconds(&self) -> f64 {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        *sorted.first().expect("min_seconds needs at least one pass")
+    }
+}
+
+/// Times `a` and `b` over `passes` alternating warm passes (a, b, a, b,
+/// …) and returns `(min_a_seconds, min_b_seconds)`.
+pub fn warm_min_pair<F: FnMut(), G: FnMut()>(passes: usize, mut a: F, mut b: G) -> (f64, f64) {
+    assert!(passes >= 1, "warm_min_pair needs at least one pass");
+    let mut timer_a = WarmTimer::new();
+    let mut timer_b = WarmTimer::new();
+    for _ in 0..passes {
+        timer_a.time(&mut a);
+        timer_b.time(&mut b);
+    }
+    (timer_a.min_seconds(), timer_b.min_seconds())
+}
+
 /// Command-line options of the `repro` binary.
 #[derive(Debug, Clone)]
 pub struct ReproOptions {
@@ -361,6 +422,35 @@ mod tests {
     fn all_is_accepted() {
         let o = parse_args(&s(&["all"])).unwrap();
         assert_eq!(o.experiments, vec!["all"]);
+    }
+
+    #[test]
+    fn warm_timer_tracks_minimum_and_passes_results_through() {
+        let mut timer = WarmTimer::new();
+        let mut acc = 0u64;
+        for k in 0..4 {
+            acc = timer.time(|| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                acc + k
+            });
+        }
+        assert_eq!(timer.passes(), 4);
+        assert_eq!(acc, 6);
+        let min = timer.min_seconds();
+        assert!(min >= 0.0005, "sleep floor missing: {min}");
+        assert!(timer.samples.iter().all(|&s| s >= min));
+    }
+
+    #[test]
+    fn warm_min_pair_alternates_sides() {
+        let order = std::cell::RefCell::new(Vec::new());
+        let (a, b) = warm_min_pair(
+            3,
+            || order.borrow_mut().push('a'),
+            || order.borrow_mut().push('b'),
+        );
+        assert_eq!(*order.borrow(), vec!['a', 'b', 'a', 'b', 'a', 'b']);
+        assert!(a >= 0.0 && b >= 0.0);
     }
 
     #[test]

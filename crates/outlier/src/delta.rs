@@ -1,0 +1,176 @@
+//! Incremental ECOD: the per-dimension tail ECDFs as maintained
+//! multisets.
+//!
+//! [`Ecod::fit`](crate::Ecod::fit) re-sorts every column on every fit —
+//! `O(n log n · d)` per window even when only a handful of rows changed.
+//! [`EcodDelta`] keeps one [`EcdfMultiset`] per dimension and implements
+//! [`DeltaStat`], so a window slide costs `O(changed · d · log u)` and
+//! [`snapshot`](DeltaStat::snapshot) expands the counts into a fitted
+//! [`Ecod`] model.
+//!
+//! ## Exactness contract
+//!
+//! Scores from the snapshot are **bit-identical** to a batch fit on the
+//! same rows. The multiset canonicalises `-0.0` to `+0.0`, but every
+//! quantity ECOD derives is invariant under that folding: the
+//! `partition_point` tail ranks use IEEE `<=`/`<` (which treat the two
+//! zeros as equal), and skewness of the canonicalised column matches
+//! the raw column because a `-0.0` term can only flip the sign bit of
+//! an exactly-zero accumulator, which cannot change any comparison or
+//! non-zero downstream value.
+
+use crate::ecod::Ecod;
+use oeb_linalg::{EcdfMultiset, EcdfUniverse};
+use oeb_tabular::DeltaStat;
+use std::sync::Arc;
+
+/// Maintained per-dimension ECDFs yielding fitted [`Ecod`] models.
+#[derive(Debug, Clone)]
+pub struct EcodDelta {
+    cols: Vec<EcdfMultiset>,
+}
+
+impl EcodDelta {
+    /// An empty accumulator with one value universe per dimension.
+    pub fn new(universes: &[Arc<EcdfUniverse>]) -> EcodDelta {
+        EcodDelta {
+            cols: universes
+                .iter()
+                .map(|u| EcdfMultiset::new(Arc::clone(u)))
+                .collect(),
+        }
+    }
+
+    /// Number of dimensions tracked.
+    pub fn n_dims(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Rows currently absorbed into dimension `c` (non-finite cells are
+    /// never stored, mirroring the batch fit's per-dimension filter).
+    pub fn len_of(&self, c: usize) -> usize {
+        self.cols[c].len()
+    }
+}
+
+impl DeltaStat for EcodDelta {
+    type Output = Ecod;
+
+    fn absorb(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols.len(), "dimension mismatch");
+        for (c, &x) in row.iter().enumerate() {
+            self.cols[c].insert(x);
+        }
+    }
+
+    fn retract(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols.len(), "dimension mismatch");
+        for (c, &x) in row.iter().enumerate() {
+            self.cols[c].remove(x);
+        }
+    }
+
+    fn snapshot(&self) -> Ecod {
+        Ecod::from_sorted_columns(self.cols.iter().map(|m| m.to_sorted_vec()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oeb_linalg::Matrix;
+
+    /// Messy deterministic rows: NaN/inf pollution, ±0.0, repeats.
+    fn messy_rows(n: usize, d: usize, seed: &mut u64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|k| {
+                (0..d)
+                    .map(|_| {
+                        *seed = seed
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        match *seed % 19 {
+                            0 => f64::NAN,
+                            1 => f64::INFINITY,
+                            2 => -0.0,
+                            3 => 0.0,
+                            4 => (k % 4) as f64,
+                            _ => ((*seed >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0,
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn universes_of(rows: &[Vec<f64>], d: usize) -> Vec<Arc<EcdfUniverse>> {
+        (0..d)
+            .map(|c| {
+                Arc::new(EcdfUniverse::from_values(
+                    rows.iter().map(|r| r[c]).collect::<Vec<_>>(),
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_scores_match_batch_fit_bitwise() {
+        let mut seed = 71u64;
+        let rows = messy_rows(160, 4, &mut seed);
+        let universes = universes_of(&rows, 4);
+        let mut delta = EcodDelta::new(&universes);
+        for r in &rows {
+            delta.absorb(r);
+        }
+        let batch = Ecod::fit(&Matrix::from_rows(&rows));
+        let snap = delta.snapshot();
+        let probes = messy_rows(30, 4, &mut seed);
+        for p in &probes {
+            let (a, b) = (snap.score(p), batch.score(p));
+            assert!(
+                a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+                "score {a} vs {b} for {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn slide_matches_fresh_fit() {
+        let mut seed = 73u64;
+        let rows = messy_rows(120, 3, &mut seed);
+        let universes = universes_of(&rows, 3);
+        let mut delta = EcodDelta::new(&universes);
+        for r in &rows[0..40] {
+            delta.absorb(r);
+        }
+        let probes = messy_rows(10, 3, &mut seed);
+        for k in (0..60).step_by(12) {
+            for r in &rows[k..k + 12] {
+                delta.retract(r);
+            }
+            for r in &rows[k + 40..k + 52] {
+                delta.absorb(r);
+            }
+            // Window is now rows[k+12 .. k+52].
+            let batch = Ecod::fit(&Matrix::from_rows(&rows[k + 12..k + 52]));
+            let snap = delta.snapshot();
+            for p in &probes {
+                let (a, b) = (snap.score(p), batch.score(p));
+                assert!(
+                    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+                    "slide {k}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_accumulator_snapshot_is_usable() {
+        let universes = universes_of(&[vec![1.0, 2.0]], 2);
+        let delta = EcodDelta::new(&universes);
+        assert_eq!(delta.n_dims(), 2);
+        assert_eq!(delta.len_of(0), 0);
+        let model = delta.snapshot();
+        assert!(model.score(&[1.0, 2.0]).is_finite());
+    }
+}
