@@ -9,12 +9,23 @@ cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Static invariant gate (oeb-lint): determinism, NaN-safety, and panic
-# hygiene rules over every workspace .rs file — see DESIGN.md, "Static
-# invariants". Exits nonzero with file:line:col diagnostics on any
-# violation; for remediation guidance run it by hand with hints:
-#   cargo run --release -p oeb-lint -- check --fix-hints
-cargo run --release -p oeb-lint -- check
+# Optional: Miri over the concurrency-sensitive tests — the oeb-trace
+# event-buffer suite (thread-local buffers flushed into a global
+# registry) and the executor's slot-collection tests (per-worker Mutex
+# slots drained after join). Miri needs a nightly toolchain, so this
+# job is advisory: skipped with a notice when nightly+miri are absent,
+# and a failure warns rather than gating (continue-on-error) because
+# the sandboxed CI image cannot always provide the component.
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    MIRIFLAGS="-Zmiri-disable-isolation" \
+        cargo +nightly miri test -p oeb-trace --test trace \
+        || echo "ci: warning: miri (oeb-trace) failed — advisory only" >&2
+    MIRIFLAGS="-Zmiri-disable-isolation" \
+        cargo +nightly miri test -p oeb-core --lib executor::tests::parallel_map \
+        || echo "ci: warning: miri (executor) failed — advisory only" >&2
+else
+    echo "ci: nightly miri not installed — skipping miri job" >&2
+fi
 
 cargo fmt --check
 
@@ -22,6 +33,19 @@ cargo fmt --check
 # a tiny scale, four workers).
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
+
+# Static invariant gate (oeb-lint v2): the token rules (determinism,
+# NaN-safety, panic hygiene) plus the workspace-level semantic rules
+# (counter vocabulary sync, exit-code registry, delta-equivalence
+# coverage, lock-order cycles, stale suppressions) — see DESIGN.md,
+# "Static invariants v2". The JSON report lands next to the bench
+# artifacts; --time-budget-ms is a self-timing gate — the full
+# workspace pass (index + all rules) must stay under one second or the
+# lint itself fails CI. For remediation guidance run it by hand:
+#   cargo run --release -p oeb-lint -- check --fix-hints
+cargo run --release -p oeb-lint -- check --json --time-budget-ms 1000 \
+    > "$smoke_dir/LINT_report.json" \
+    || { cat "$smoke_dir/LINT_report.json"; exit 1; }
 cargo run --release -p oeb-bench --bin repro -- table4 \
     --scale 0.05 --seeds 1 --threads 4 --out "$smoke_dir"
 

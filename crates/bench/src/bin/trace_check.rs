@@ -4,67 +4,20 @@
 //! integers. Used by `ci.sh` to gate the traced smoke run.
 //!
 //! With `--counters <metrics.txt>` it additionally validates the
-//! counters section of a `--metrics` table against the registered
-//! counter vocabulary below: a typo'd or undeclared counter name fails
-//! the gate instead of silently shipping an unknown key.
+//! counters section of a `--metrics` table against the *generated*
+//! counter vocabulary (`oeb_bench::counter_vocab::KNOWN_COUNTERS`,
+//! emitted by `oeb-lint index --emit-vocab` from the workspace's
+//! `Counter::new` construction sites): a typo'd or undeclared counter
+//! name fails the gate instead of silently shipping an unknown key.
 //!
 //! Usage: `trace_check <trace.jsonl> [--counters <metrics.txt>]`;
 //! exits 0 when valid, 1 with a line-numbered message otherwise.
 
 use std::process::exit;
 
-const REQUIRED: [&str; 7] = ["type", "id", "slot", "seq", "name", "start_us", "dur_us"];
+use oeb_bench::counter_vocab::KNOWN_COUNTERS;
 
-/// Every counter name declared in the workspace (plus
-/// `trace.events.dropped`, synthesised by the snapshot itself). A
-/// `--metrics` table may show any subset of these; anything else is a
-/// schema violation.
-const KNOWN_COUNTERS: [&str; 44] = [
-    "executor.claims",
-    "executor.parallel_runs",
-    "executor.sequential_runs",
-    "executor.watchdog.fired",
-    "faults.injected.all-missing-column",
-    "faults.injected.corrupted-cells",
-    "faults.injected.dropped-window",
-    "faults.injected.duplicated-window",
-    "faults.injected.label-noise",
-    "faults.injected.nan-burst",
-    "faults.injected.schema-violation",
-    "faults.injected.truncated-window",
-    "gemm.dispatch.blocked",
-    "gemm.dispatch.scalar",
-    "gemm.matvec.calls",
-    "harness.runs",
-    "knn.candidates.pruned",
-    "knn.candidates.scanned",
-    "learner.item_updates",
-    "learner.items_tested",
-    "learner.window_updates",
-    "prepare.cache.evict",
-    "prepare.cache.hit",
-    "prepare.cache.miss",
-    "prepare.rows",
-    "prepare.windows",
-    "stats.delta.absorbed",
-    "stats.delta.retracted",
-    "stats.full.fallback",
-    "supervise.quarantined",
-    "supervise.retries",
-    "supervise.timeouts",
-    "supervise.wall.retries",
-    "supervise.wall.timeouts",
-    "sweep.cells.executed",
-    "sweep.cells.failed",
-    "sweep.cells.resumed",
-    "sweep.cells.total",
-    "synth.cache.evict",
-    "synth.cache.hit",
-    "synth.cache.miss",
-    "synth.generated.datasets",
-    "synth.generated.rows",
-    "trace.events.dropped",
-];
+const REQUIRED: [&str; 7] = ["type", "id", "slot", "seq", "name", "start_us", "dur_us"];
 
 /// Checks every row of the `counters` section of a rendered metrics
 /// table against [`KNOWN_COUNTERS`].

@@ -10,6 +10,8 @@
 //!   detectors, outlier detectors, preprocessing, and the end-to-end
 //!   prequential pipeline.
 
+pub mod counter_vocab;
+
 use std::fs;
 use std::path::Path;
 

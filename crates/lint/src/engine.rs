@@ -14,6 +14,7 @@
 //! as an annotation above the offending statement.
 
 use crate::lexer::{lex, Token, TokenKind};
+use crate::parser::{parse_items, walk_items, Item};
 use crate::rules::{self, Rule};
 
 /// How a diagnostic counts toward the exit code.
@@ -70,14 +71,17 @@ pub struct SourceFile {
     pub crate_name: Option<String>,
     /// Comment-free token stream.
     pub tokens: Vec<Token>,
+    /// Item forest parsed from [`SourceFile::tokens`] — token ranges in
+    /// items index into that same vec.
+    pub items: Vec<Item>,
     /// Raw source lines, for snippets.
     lines: Vec<String>,
     /// Line ranges (1-based, inclusive) covered by `#[cfg(test)]` items.
     test_regions: Vec<(u32, u32)>,
     /// (line, rule) pairs silenced by inline `allow` comments.
     allows: Vec<(u32, String)>,
-    /// Rules silenced for the whole file by `allow-file`.
-    file_allows: Vec<String>,
+    /// (line, rule) pairs silenced for the whole file by `allow-file`.
+    file_allows: Vec<(u32, String)>,
 }
 
 impl SourceFile {
@@ -96,11 +100,13 @@ impl SourceFile {
             .into_iter()
             .filter(|t| t.kind != TokenKind::Comment)
             .collect();
+        let items = parse_items(&tokens);
         SourceFile {
             path: path.to_string(),
             kind: kind_of(path),
             crate_name: crate_of(path),
-            test_regions: test_regions(&tokens),
+            test_regions: test_regions(&items),
+            items,
             tokens,
             lines: src.lines().map(str::to_string).collect(),
             allows,
@@ -132,17 +138,43 @@ impl SourceFile {
             .unwrap_or_default()
     }
 
-    fn suppressed(&self, rule: &str, line: u32) -> bool {
-        self.file_allows.iter().any(|r| r == rule)
+    /// True when a diagnostic of `rule` at `line` is silenced by an
+    /// inline `allow` or a whole-file `allow-file`.
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.file_allows.iter().any(|(_, r)| r == rule)
             || self
                 .allows
                 .iter()
                 .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
     }
+
+    /// All inline `(line, rule)` suppressions, for staleness analysis.
+    pub fn allow_sites(&self) -> &[(u32, String)] {
+        &self.allows
+    }
+
+    /// All whole-file `(line, rule)` suppressions, for staleness analysis.
+    pub fn file_allow_sites(&self) -> &[(u32, String)] {
+        &self.file_allows
+    }
 }
 
 /// Extracts `allow(...)` / `allow-file(...)` rule lists from a comment.
-fn collect_allows(t: &Token, allows: &mut Vec<(u32, String)>, file_allows: &mut Vec<String>) {
+/// Doc comments (`///`, `//!`, `/**`, `/*!`) never carry suppressions —
+/// they document the mechanism (this module does, for one), and a doc
+/// example must not silence rules, nor count as a suppression that the
+/// stale-suppression analysis would then flag.
+fn collect_allows(
+    t: &Token,
+    allows: &mut Vec<(u32, String)>,
+    file_allows: &mut Vec<(u32, String)>,
+) {
+    let doc = ["///", "//!", "/**", "/*!"]
+        .iter()
+        .any(|p| t.text.starts_with(p));
+    if doc && !t.text.starts_with("/**/") {
+        return;
+    }
     let Some(at) = t.text.find("oeb-lint:") else {
         return;
     };
@@ -161,7 +193,7 @@ fn collect_allows(t: &Token, allows: &mut Vec<(u32, String)>, file_allows: &mut 
                 continue;
             }
             if file_level {
-                file_allows.push(rule);
+                file_allows.push((t.line, rule));
             } else {
                 allows.push((t.line, rule));
             }
@@ -198,64 +230,20 @@ fn crate_of(path: &str) -> Option<String> {
     }
 }
 
-/// Finds line ranges of items annotated `#[test]`, `#[cfg(test)]`, or
-/// `#[bench]`: from the attribute to the matching close brace of the
-/// item's body. Nested attributes (`#[cfg(all(test, unix))]`) count as
-/// long as a `test` identifier appears inside the brackets.
-fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+/// Finds line ranges of *items* annotated `#[test]`, `#[cfg(test)]`, or
+/// `#[bench]` — from the item's first attribute to its last line —
+/// using the parsed item forest rather than a raw token scan, so a
+/// `test` identifier in an unrelated attribute position (a derive, a
+/// doc string) cannot start a region and an annotated item with a
+/// nested body is covered exactly.
+fn test_regions(items: &[Item]) -> Vec<(u32, u32)> {
     let mut regions: Vec<(u32, u32)> = Vec::new();
-    let mut i = 0;
-    while i < tokens.len() {
-        if !(tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))) {
-            i += 1;
-            continue;
+    walk_items(items, &mut |item| {
+        if item.is_test_item() {
+            regions.push((item.start_line, item.end_line));
         }
-        let start_line = tokens[i].line;
-        // Scan the attribute body for a `test` / `bench` identifier.
-        let mut j = i + 2;
-        let mut bracket_depth = 1u32;
-        let mut is_test_attr = false;
-        while j < tokens.len() && bracket_depth > 0 {
-            match tokens[j].text.as_str() {
-                "[" => bracket_depth += 1,
-                "]" => bracket_depth -= 1,
-                "test" | "bench" if tokens[j].kind == TokenKind::Ident => is_test_attr = true,
-                _ => {}
-            }
-            j += 1;
-        }
-        if !is_test_attr {
-            i = j;
-            continue;
-        }
-        // The annotated item's body: next `{` at this level, to its match.
-        while j < tokens.len() && !tokens[j].is_punct("{") {
-            // A `;` first means an item with no body (e.g. a statement).
-            if tokens[j].is_punct(";") {
-                break;
-            }
-            j += 1;
-        }
-        if j < tokens.len() && tokens[j].is_punct("{") {
-            let mut depth = 0i32;
-            while j < tokens.len() {
-                match tokens[j].text.as_str() {
-                    "{" => depth += 1,
-                    "}" => {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                j += 1;
-            }
-            let end_line = tokens.get(j).map_or(u32::MAX, |t| t.line);
-            regions.push((start_line, end_line));
-        }
-        i = j + 1;
-    }
+    });
+    regions.sort_unstable();
     regions
 }
 
@@ -263,16 +251,25 @@ fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
 /// per-rule severity overrides (`warn_rules` demotes to [`Severity::Warn`]).
 pub fn check_file(file: &SourceFile, warn_rules: &[String]) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    for rule in rules::all() {
-        for mut d in (rule.check)(rule, file) {
-            if file.suppressed(rule.name, d.line) {
-                continue;
-            }
-            if warn_rules.iter().any(|r| r == rule.name) {
-                d.severity = Severity::Warn;
-            }
-            out.push(d);
+    for mut d in check_file_raw(file) {
+        if file.suppressed(d.rule, d.line) {
+            continue;
         }
+        if warn_rules.iter().any(|r| *r == d.rule) {
+            d.severity = Severity::Warn;
+        }
+        out.push(d);
+    }
+    out
+}
+
+/// Runs every token-shape rule over one file *without* applying
+/// suppressions — the input the stale-suppression analysis needs to
+/// decide whether each `allow` still has a diagnostic to silence.
+pub fn check_file_raw(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rule in rules::all() {
+        out.extend((rule.check)(rule, file));
     }
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out

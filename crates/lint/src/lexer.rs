@@ -98,6 +98,21 @@ pub fn lex(src: &str) -> Vec<Token> {
         col: 1,
     };
     let mut tokens = Vec::new();
+    // A shebang line (`#!/usr/bin/env …` — rustc: `#!` at byte 0 not
+    // followed by `[`) is ignored like a comment; `#![inner_attr]`
+    // still lexes as ordinary tokens.
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        let (line, col, start) = (cur.line, cur.col, cur.pos);
+        while cur.peek(0).is_some_and(|c| c != b'\n') {
+            cur.bump();
+        }
+        tokens.push(Token {
+            kind: TokenKind::Comment,
+            text: src[start..cur.pos].to_string(),
+            line,
+            col,
+        });
+    }
     while let Some(b) = cur.peek(0) {
         let (line, col, start) = (cur.line, cur.col, cur.pos);
         let kind = match b {
@@ -412,6 +427,23 @@ mod tests {
         let toks = lex("ab\n  cd");
         assert_eq!((toks[0].line, toks[0].col), (1, 1));
         assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn shebang_is_a_comment_but_inner_attrs_are_not() {
+        let toks = kinds("#!/usr/bin/env run-cargo-script\nfn main() {}\n");
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert!(toks[0].1.starts_with("#!/usr"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "main"));
+        // `#![forbid(..)]` must still produce `#`/`!`/`[` punctuation.
+        let attr = kinds("#![forbid(unsafe_code)]");
+        assert_eq!(attr[0].1, "#");
+        assert_eq!(attr[1].1, "!");
+        // `#!` later in the file is two punct tokens, never a comment.
+        let mid = kinds("fn f() {}\n#!x");
+        assert!(mid.iter().all(|(k, _)| *k != TokenKind::Comment));
     }
 
     #[test]

@@ -8,22 +8,36 @@
 //! violations after the fact; this crate catches them at review time.
 //!
 //! Pipeline: a hand-rolled [`lexer`] turns each `.rs` file into a
-//! line/column-tracked token stream; [`engine`] classifies the file
-//! (library / test / bench / example, `#[cfg(test)]` regions, inline
-//! `// oeb-lint: allow(..)` suppressions); [`rules`] runs six invariant
-//! checks over the comment-free tokens. The `oeb-lint` binary walks the
-//! workspace and gates CI:
+//! line/column-tracked token stream; [`parser`] builds an item forest
+//! (fns, impls, mods, attributes) on top of it; [`engine`] classifies
+//! the file (library / test / bench / example, parser-derived
+//! `#[cfg(test)]` regions, inline `// oeb-lint: allow(..)`
+//! suppressions); [`rules`] runs seven per-file token checks over the
+//! comment-free tokens. A second, workspace-level layer —
+//! [`index`] (one-pass serialisable index of metric sites, exit arms,
+//! `DeltaStat` impls, test fns, and lock acquisitions) feeding
+//! [`semantic`] — runs five cross-file contract rules: counter
+//! vocabulary sync, the exit-code registry, delta-equivalence test
+//! coverage, lock-order cycles, and stale suppressions. The `oeb-lint`
+//! binary walks the workspace and gates CI:
 //!
 //! ```text
-//! cargo run -p oeb-lint -- check [--json] [--fix-hints]
+//! cargo run -p oeb-lint -- check [--json] [--fix-hints] [--time-budget-ms N]
+//! cargo run -p oeb-lint -- index [--json] [--emit-vocab [PATH]]
+//! cargo run -p oeb-lint -- rules
 //! ```
 
 pub mod engine;
+pub mod index;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod semantic;
 
 pub use engine::{check_file, to_json, Diagnostic, FileKind, Severity, SourceFile};
+pub use index::WorkspaceIndex;
 pub use rules::{all as all_rules, Rule};
+pub use semantic::Workspace;
 
 /// Directories (workspace-relative prefixes) the walker never descends
 /// into: build output, vendored dependency shims (external API stubs,
@@ -58,15 +72,12 @@ pub fn workspace_files(root: &std::path::Path) -> std::io::Result<Vec<String>> {
     Ok(files)
 }
 
-/// Runs every rule over every workspace file under `root`.
+/// Runs the full pipeline over the workspace under `root`: token rules
+/// per file, semantic rules over the index, stale-suppression analysis,
+/// suppressions applied.
 pub fn check_workspace(
     root: &std::path::Path,
     warn_rules: &[String],
 ) -> std::io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
-    for rel in workspace_files(root)? {
-        let file = SourceFile::load(root, &rel)?;
-        diags.extend(check_file(&file, warn_rules));
-    }
-    Ok(diags)
+    Ok(Workspace::load(root)?.check(warn_rules))
 }

@@ -1,0 +1,7 @@
+fn f() {
+    let r = 0..1;
+    let s = 0.5..1.5;
+    let m = 1.max(2);
+    let e = 1e-3 + 2f64;
+    let i = 0..=10;
+}

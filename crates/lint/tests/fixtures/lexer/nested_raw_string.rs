@@ -1,0 +1,5 @@
+fn f() -> &'static str {
+    let s = r##"a "quoted" and "# hash-guarded"##;
+    let b = br#"bytes "inside""#;
+    s
+}

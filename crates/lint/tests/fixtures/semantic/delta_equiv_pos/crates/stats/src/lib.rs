@@ -1,0 +1,42 @@
+pub trait DeltaStat {
+    fn absorb(&mut self, x: f64);
+}
+
+pub struct GoodDelta {
+    pub sum: f64,
+}
+
+impl DeltaStat for GoodDelta {
+    fn absorb(&mut self, x: f64) {
+        self.sum += x;
+    }
+}
+
+pub struct BadDelta {
+    pub sum: f64,
+}
+
+impl DeltaStat for BadDelta {
+    fn absorb(&mut self, x: f64) {
+        self.sum += x;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_matches_batch_bitwise() {
+        let mut d = GoodDelta { sum: 0.0 };
+        d.absorb(1.0);
+        assert_eq!(d.sum.to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn bad_delta_smoke() {
+        let mut d = BadDelta { sum: 0.0 };
+        d.absorb(1.0);
+        assert!(d.sum > 0.5);
+    }
+}

@@ -1,0 +1,21 @@
+pub enum HarnessError {
+    One(String),
+    Two(String),
+}
+
+impl HarnessError {
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            HarnessError::One(_) => 3,
+            // oeb-lint: allow(exit-code-registry) -- row lands with the next release notes
+            HarnessError::Two(_) => 4,
+        }
+    }
+
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HarnessError::One(_) => "one",
+            HarnessError::Two(_) => "two",
+        }
+    }
+}

@@ -1,0 +1,23 @@
+pub enum HarnessError {
+    BadConfig(String),
+    Exploded(String),
+    Lost(String),
+}
+
+impl HarnessError {
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            HarnessError::BadConfig(_) => 3,
+            HarnessError::Exploded(_) => 5,
+            HarnessError::Lost(_) => 6,
+        }
+    }
+
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HarnessError::BadConfig(_) => "bad-config",
+            HarnessError::Exploded(_) => "exploded",
+            HarnessError::Lost(_) => "lost",
+        }
+    }
+}

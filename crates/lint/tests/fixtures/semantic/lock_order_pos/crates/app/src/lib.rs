@@ -1,0 +1,23 @@
+use std::sync::Mutex;
+
+static A: Mutex<u32> = Mutex::new(0);
+static B: Mutex<u32> = Mutex::new(0);
+static C: Mutex<u32> = Mutex::new(0);
+
+pub fn forward() -> u32 {
+    let a = A.lock().unwrap();
+    let b = B.lock().unwrap();
+    *a + *b
+}
+
+pub fn backward() -> u32 {
+    let b = B.lock().unwrap();
+    let a = A.lock().unwrap();
+    *a + *b
+}
+
+pub fn twice() -> u32 {
+    let first = C.lock().unwrap();
+    let second = C.lock().unwrap();
+    *first + *second
+}

@@ -1,0 +1,17 @@
+// oeb-lint: allow-file(unseeded-rng) -- stale: this module no longer owns an RNG
+use std::cmp::Ordering;
+
+pub fn compare(a: f64, b: f64) -> Ordering {
+    // oeb-lint: allow(nan-partial-cmp) -- inputs are pre-filtered finite values
+    a.partial_cmp(&b).unwrap()
+}
+
+// oeb-lint: allow(float-eq) -- stale: the equality check moved to integers long ago
+pub fn both_zero(a: u32, b: u32) -> bool {
+    a == 0 && b == 0
+}
+
+// oeb-lint: allow(no-such-rule) -- the rule name is a typo
+pub fn id(x: u32) -> u32 {
+    x
+}

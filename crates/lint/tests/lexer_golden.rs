@@ -1,0 +1,98 @@
+//! Lexer edge-case golden tests: each fixture under
+//! `tests/fixtures/lexer/` has a committed `.tokens` expectation — one
+//! line per token, `kind line:col text-debug` — asserting the full
+//! stream for the cases the hand-rolled lexer must get exactly right:
+//! shebang lines, nested raw strings (`r##"…"##`), byte/char escape
+//! ambiguity (`b'\''`), and float-vs-range tokens (`0..1`).
+//!
+//! Regenerate expectations after an intentional lexer change with
+//! `OEB_LINT_BLESS=1 cargo test -p oeb-lint --test lexer_golden`.
+
+use oeb_lint::lexer::lex;
+
+const FIXTURES: &[&str] = &[
+    "shebang",
+    "nested_raw_string",
+    "byte_char_escape",
+    "float_vs_range",
+];
+
+fn fixture_path(name: &str) -> String {
+    format!("{}/tests/fixtures/lexer/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn render(src: &str) -> String {
+    let mut out = String::new();
+    for t in lex(src) {
+        out.push_str(&format!("{:?} {}:{} {:?}\n", t.kind, t.line, t.col, t.text));
+    }
+    out
+}
+
+#[test]
+fn lexer_fixtures_match_expected_token_streams() {
+    for name in FIXTURES {
+        let src_path = format!("{}.rs", fixture_path(name));
+        let src = std::fs::read_to_string(&src_path)
+            .unwrap_or_else(|e| panic!("reading {src_path}: {e}"));
+        let actual = render(&src);
+        let expected_path = format!("{}.tokens", fixture_path(name));
+        if std::env::var_os("OEB_LINT_BLESS").is_some() {
+            std::fs::write(&expected_path, &actual).expect("bless expectation");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+            panic!("reading {expected_path}: {e} (bless with OEB_LINT_BLESS=1)")
+        });
+        assert_eq!(
+            actual, expected,
+            "{name}.rs token stream drifted from {name}.tokens"
+        );
+    }
+}
+
+/// Spot checks that pin the *meaning* of the fixtures, so a wrong
+/// blessed expectation cannot silently encode a lexer bug.
+#[test]
+fn lexer_fixture_semantics() {
+    use oeb_lint::lexer::TokenKind;
+
+    // Shebang: first token is a comment covering the whole first line.
+    let shebang = lex(&std::fs::read_to_string(format!("{}.rs", fixture_path("shebang"))).unwrap());
+    assert_eq!(shebang[0].kind, TokenKind::Comment);
+    assert!(shebang[0].text.starts_with("#!/usr"));
+
+    // Nested raw string: exactly two literals, quotes swallowed.
+    let raw =
+        lex(&std::fs::read_to_string(format!("{}.rs", fixture_path("nested_raw_string"))).unwrap());
+    let lits: Vec<_> = raw
+        .iter()
+        .filter(|t| t.kind == TokenKind::Literal)
+        .collect();
+    assert_eq!(lits.len(), 2, "{lits:?}");
+    assert!(lits[0].text.contains("hash-guarded"));
+    assert!(lits[1].text.starts_with("br#"));
+
+    // Byte/char escapes: four literals, none a lifetime.
+    let chars =
+        lex(&std::fs::read_to_string(format!("{}.rs", fixture_path("byte_char_escape"))).unwrap());
+    assert_eq!(
+        chars
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count(),
+        4
+    );
+    assert!(chars.iter().all(|t| t.kind != TokenKind::Lifetime));
+
+    // Float-vs-range: `0..1` keeps ints, `0.5..1.5` keeps floats, and
+    // the range operators survive as single punct tokens.
+    let nums =
+        lex(&std::fs::read_to_string(format!("{}.rs", fixture_path("float_vs_range"))).unwrap());
+    let ints = nums.iter().filter(|t| t.kind == TokenKind::Int).count();
+    let floats = nums.iter().filter(|t| t.kind == TokenKind::Float).count();
+    assert_eq!(ints, 6, "0, 1, 1 (method recv), 2, 0, 10");
+    assert_eq!(floats, 4, "0.5, 1.5, 1e-3, 2f64");
+    assert!(nums.iter().any(|t| t.is_punct("..")));
+    assert!(nums.iter().any(|t| t.is_punct("..=")));
+}
