@@ -97,6 +97,24 @@ grep -Eq 'stats\.delta\.absorbed +[1-9]' "$smoke_dir/stats_metrics.txt" \
 cargo run --release -p oeb-bench --bin bench_incremental -- \
     --quick --out "$smoke_dir/BENCH_incremental.json"
 
+# Smoke: batched training kernels (quick profile). The binary asserts
+# the training equivalences while timing — MLP GEMM batch vs per-sample
+# SGD (bit-identical parameters), lockstep-parallel ARF vs the serial
+# fused loop (equal forest digests, including at 4 oversubscribed
+# workers), Hoeffding maintained-aggregate splits vs the rescanning
+# reference (bit-identical tuples). Its traced pass must surface all
+# three train.* counters and pass the counter vocabulary gate.
+cargo run --release -p oeb-bench --bin bench_train -- \
+    --quick --out "$smoke_dir/BENCH_train.json" \
+    --metrics "$smoke_dir/train_metrics.txt"
+cargo run --release -p oeb-bench --bin trace_check -- \
+    --counters "$smoke_dir/train_metrics.txt"
+for c in 'train\.mlp\.gemm_batches' 'train\.arf\.parallel_members' \
+         'train\.hoeffding\.split_checks'; do
+    grep -Eq "$c +[1-9]" "$smoke_dir/train_metrics.txt" \
+        || { echo "ci: no $c in bench_train --metrics output" >&2; exit 1; }
+done
+
 # Smoke: staged (shared prepare + worker pool) vs the per-cell
 # sequential baseline over the five-dataset sweep, plus the
 # traced-vs-untraced bit-identity assertions inside the binary. Writes

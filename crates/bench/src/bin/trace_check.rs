@@ -10,8 +10,10 @@
 //! `Counter::new` construction sites): a typo'd or undeclared counter
 //! name fails the gate instead of silently shipping an unknown key.
 //!
-//! Usage: `trace_check <trace.jsonl> [--counters <metrics.txt>]`;
-//! exits 0 when valid, 1 with a line-numbered message otherwise.
+//! Usage: `trace_check [<trace.jsonl>] [--counters <metrics.txt>]`;
+//! exits 0 when valid, 1 with a line-numbered message otherwise. At
+//! least one of the two inputs is required — `--counters` alone gates
+//! a metrics table from an untraced benchmark (e.g. `bench_train`).
 
 use std::process::exit;
 
@@ -77,14 +79,19 @@ fn main() {
             }
             p if path.is_none() => path = Some(p),
             _ => {
-                eprintln!("usage: trace_check <trace.jsonl> [--counters <metrics.txt>]");
+                eprintln!("usage: trace_check [<trace.jsonl>] [--counters <metrics.txt>]");
                 exit(2);
             }
         }
         i += 1;
     }
     let Some(path) = path else {
-        eprintln!("usage: trace_check <trace.jsonl> [--counters <metrics.txt>]");
+        // Counters-only mode: gate a metrics table with no trace file.
+        if let Some(counters) = counters {
+            check_counters(counters);
+            return;
+        }
+        eprintln!("usage: trace_check [<trace.jsonl>] [--counters <metrics.txt>]");
         exit(2);
     };
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {

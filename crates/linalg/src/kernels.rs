@@ -49,6 +49,13 @@ const KC: usize = 256;
 /// Problem sizes below this many multiply-adds stay on the scalar path,
 /// where panel packing would cost more than it saves.
 const BLOCKED_MIN_MULADDS: usize = 16 * 16 * 16;
+/// Dispatch floor for the training GEMMs ([`matmul_xwt_bias_into`],
+/// [`matmul_noskip_into`], [`matmul_at_b_accum_into`]). These tile
+/// straight over the operand rows without panel packing, so their
+/// break-even sits far below [`BLOCKED_MIN_MULADDS`] — sweep-scale
+/// windows (tens of rows through [32, 16, 8] hidden layers) land
+/// squarely in this range.
+const TRAIN_MIN_MULADDS: usize = 8 * 8 * 8;
 
 // ---------------------------------------------------------------------
 // Fused slice kernels.
@@ -518,6 +525,413 @@ fn guarded_tile(
     }
 }
 
+// ---------------------------------------------------------------------
+// Training GEMMs.
+//
+// The MLP trainer's historical per-sample loops define three chain
+// shapes the generic `matmul_into` cannot reproduce:
+//
+// * the forward pass seeds every output element's chain at the *bias*
+//   (`dot_from(b[o], w_row, x_row)`), not at `0.0`;
+// * the backward passes are built from [`axpy`], which adds **every**
+//   term — there is no exact-zero skip to replicate, and ReLU-masked
+//   deltas are exactly `0.0` against possibly non-finite weights, so
+//   the skip would be observable;
+// * gradient accumulation resumes element chains across the sample
+//   (row) dimension.
+//
+// The three kernels below batch those loops with register tiles while
+// keeping each output element's accumulation strictly k-sequential in
+// the historical order, so they are bit-identical to the per-sample
+// references (kept public as `*_reference_into` for the proptests and
+// `bench_train`). Multiplication operand order is also preserved
+// (weights × activations, delta × input) so NaN-payload propagation
+// cannot differ either.
+
+/// Rows of X per register tile in [`matmul_xwt_bias_into`].
+const XW_MR: usize = 4;
+/// Rows of W per register tile in [`matmul_xwt_bias_into`].
+const XW_NR: usize = 4;
+
+fn assert_xwt_shapes(x: &Matrix, w: &Matrix, bias: &[f64], out: &Matrix) {
+    assert_eq!(
+        x.cols(),
+        w.cols(),
+        "xwt inner dimension mismatch: X {}x{}, W {}x{}",
+        x.rows(),
+        x.cols(),
+        w.rows(),
+        w.cols()
+    );
+    assert_eq!(bias.len(), w.rows(), "xwt bias length mismatch");
+    assert_eq!(
+        out.shape(),
+        (x.rows(), w.rows()),
+        "xwt output shape mismatch"
+    );
+}
+
+/// Batched dense-layer forward `out = X·Wᵀ + bias` (both `X` and `W`
+/// row-major, `W` is `n_out x n_in`): every output element is the chain
+/// `bias[o] + Σ_k w[o][k]·x[r][k]` accumulated k-ascending from the
+/// bias — bit-identical to the per-sample
+/// `dot_from(bias[o], w.row(o), x.row(r))` loop for **all** inputs
+/// (non-finite included: no term is ever skipped).
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn matmul_xwt_bias_into(x: &Matrix, w: &Matrix, bias: &[f64], out: &mut Matrix) {
+    assert_xwt_shapes(x, w, bias, out);
+    let (m, kdim, n) = (x.rows(), x.cols(), w.rows());
+    if m * kdim * n < TRAIN_MIN_MULADDS {
+        DISPATCH_SCALAR.incr();
+        matmul_xwt_bias_reference_into(x, w, bias, out);
+        return;
+    }
+    DISPATCH_BLOCKED.incr();
+    let wide = wide_tile_available();
+    let mut ib = 0;
+    while ib < m {
+        let mr = XW_MR.min(m - ib);
+        let mut ob = 0;
+        while ob < n {
+            let nr = XW_NR.min(n - ob);
+            if mr == XW_MR && nr == XW_NR {
+                #[cfg(target_arch = "x86_64")]
+                if wide {
+                    // SAFETY: only reached when run-time AVX2 detection
+                    // succeeded (`wide_tile_available`).
+                    unsafe { xwt_tile_avx2(x, w, bias, ib, ob, kdim, out) };
+                    ob += nr;
+                    continue;
+                }
+                let _ = wide;
+                xwt_tile(x, w, bias, ib, ob, kdim, out);
+            } else {
+                // Edge tiles fall back to the per-element reference
+                // chain, which is the same chain the full tile runs.
+                for ii in 0..mr {
+                    let xrow = x.row(ib + ii);
+                    let orow = out.row_mut(ib + ii);
+                    for jj in 0..nr {
+                        orow[ob + jj] = dot_from(bias[ob + jj], w.row(ob + jj), xrow);
+                    }
+                }
+            }
+            ob += nr;
+        }
+        ib += mr;
+    }
+}
+
+/// The per-sample forward reference: one [`dot_from`] chain per output
+/// element, exactly the historical `Layer::forward` loop over the batch.
+pub fn matmul_xwt_bias_reference_into(x: &Matrix, w: &Matrix, bias: &[f64], out: &mut Matrix) {
+    assert_xwt_shapes(x, w, bias, out);
+    for r in 0..x.rows() {
+        let xrow = x.row(r);
+        let orow = out.row_mut(r);
+        for (o, dst) in orow.iter_mut().enumerate() {
+            *dst = dot_from(bias[o], w.row(o), xrow);
+        }
+    }
+}
+
+/// One full `XW_MR x XW_NR` tile of [`matmul_xwt_bias_into`]: sixteen
+/// independent bias-seeded accumulator chains walked k-ascending. The
+/// independent chains hide the add latency that serializes the
+/// single-accumulator [`dot_from`] reference; each individual chain
+/// performs the identical operation sequence.
+#[inline(always)]
+fn xwt_tile(
+    x: &Matrix,
+    w: &Matrix,
+    bias: &[f64],
+    ib: usize,
+    ob: usize,
+    kdim: usize,
+    out: &mut Matrix,
+) {
+    let [x0, x1, x2, x3] = [x.row(ib), x.row(ib + 1), x.row(ib + 2), x.row(ib + 3)];
+    let [w0, w1, w2, w3] = [w.row(ob), w.row(ob + 1), w.row(ob + 2), w.row(ob + 3)];
+    let mut acc = [[0.0f64; XW_NR]; XW_MR];
+    for row in acc.iter_mut() {
+        row.copy_from_slice(&bias[ob..ob + XW_NR]);
+    }
+    for k in 0..kdim {
+        let xs = [x0[k], x1[k], x2[k], x3[k]];
+        let ws = [w0[k], w1[k], w2[k], w3[k]];
+        for (arow, &xv) in acc.iter_mut().zip(&xs) {
+            for (a, &wv) in arow.iter_mut().zip(&ws) {
+                // w * x operand order, as in dot_from(bias, w_row, x_row).
+                *a += wv * xv;
+            }
+        }
+    }
+    for (ii, arow) in acc.iter().enumerate() {
+        out.row_mut(ib + ii)[ob..ob + XW_NR].copy_from_slice(arow);
+    }
+}
+
+/// [`xwt_tile`] compiled with AVX2 enabled (256-bit moves and
+/// arithmetic). No FMA: `target_feature` does not license contraction,
+/// every multiply and add stays a distinct IEEE operation, so the wider
+/// codegen cannot change a single output bit.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn xwt_tile_avx2(
+    x: &Matrix,
+    w: &Matrix,
+    bias: &[f64],
+    ib: usize,
+    ob: usize,
+    kdim: usize,
+    out: &mut Matrix,
+) {
+    xwt_tile(x, w, bias, ib, ob, kdim, out);
+}
+
+/// `out = A·B` with **no** exact-zero skip: every element's chain starts
+/// at `0.0` and adds `a[r][k]·b[k][j]` for every k ascending —
+/// bit-identical to the backward-pass reference
+/// `for k { axpy(a[r][k], b.row(k), out.row(r)) }` for all inputs
+/// (the skip-free chain makes the non-finite cases exact too, so no
+/// finite-panel guard is needed).
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn matmul_noskip_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_gemm_shapes(a, b, out);
+    out.as_mut_slice().fill(0.0);
+    let (m, kdim, n) = (a.rows(), a.cols(), b.cols());
+    if m == 0 || kdim == 0 || n == 0 {
+        return;
+    }
+    if m * kdim * n < TRAIN_MIN_MULADDS {
+        DISPATCH_SCALAR.incr();
+        noskip_accumulate_reference(a, b, out);
+        return;
+    }
+    DISPATCH_BLOCKED.incr();
+    let wide = wide_tile_available();
+    // B is consumed in place (it is already a row-major `kdim x n`
+    // panel with stride `n`), so only k is blocked; accumulator tiles
+    // resume from the output, keeping each chain k-sequential.
+    for kb in (0..kdim).step_by(KC) {
+        let kc = KC.min(kdim - kb);
+        let panel = &b.as_slice()[kb * n..(kb + kc) * n];
+        for ib in (0..m).step_by(MR) {
+            let mr = MR.min(m - ib);
+            let mut arows: [&[f64]; MR] = [&[]; MR];
+            for (ii, arow) in arows.iter_mut().enumerate().take(mr) {
+                *arow = &a.row(ib + ii)[kb..kb + kc];
+            }
+            let mut jj = 0;
+            while jj < n {
+                let nr = NR.min(n - jj);
+                let mut acc = [[0.0f64; NR]; MR];
+                for ii in 0..mr {
+                    acc[ii][..nr].copy_from_slice(&out.row(ib + ii)[jj..jj + nr]);
+                }
+                if mr == MR && nr == NR {
+                    #[cfg(target_arch = "x86_64")]
+                    if wide {
+                        // SAFETY: only reached when run-time AVX2
+                        // detection succeeded (`wide_tile_available`).
+                        unsafe { tile_kernel_avx2(&arows, panel, n, jj, &mut acc) };
+                        store_tile(&acc, mr, nr, ib, jj, out);
+                        jj += nr;
+                        continue;
+                    }
+                    let _ = wide;
+                    tile_kernel(&arows, panel, n, jj, &mut acc);
+                } else {
+                    noskip_edge_tile(&arows, mr, kc, panel, n, jj, nr, &mut acc);
+                }
+                store_tile(&acc, mr, nr, ib, jj, out);
+                jj += nr;
+            }
+        }
+    }
+}
+
+/// The no-skip backward reference: the historical
+/// `prev_delta += delta[k] * w.row(k)` chain lifted over the batch.
+pub fn matmul_noskip_reference_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_gemm_shapes(a, b, out);
+    out.as_mut_slice().fill(0.0);
+    noskip_accumulate_reference(a, b, out);
+}
+
+fn noskip_accumulate_reference(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    for r in 0..a.rows() {
+        let arow = a.row(r);
+        let dst = out.row_mut(r);
+        for (k, &av) in arow.iter().enumerate() {
+            axpy(av, b.row(k), dst);
+        }
+    }
+}
+
+/// [`guarded_tile`] without the exact-zero skip: edge tiles of the
+/// no-skip GEMM add every term, exactly like [`axpy`].
+#[allow(clippy::too_many_arguments)]
+fn noskip_edge_tile(
+    arows: &[&[f64]; MR],
+    mr: usize,
+    kc: usize,
+    panel: &[f64],
+    nc: usize,
+    jj: usize,
+    nr: usize,
+    acc: &mut [[f64; NR]; MR],
+) {
+    for k in 0..kc {
+        let prow = &panel[k * nc + jj..k * nc + jj + nr];
+        for ii in 0..mr {
+            let av = arows[ii][k];
+            for (r, &pv) in prow.iter().enumerate() {
+                acc[ii][r] += av * pv;
+            }
+        }
+    }
+}
+
+/// Columns of B per register tile in [`matmul_at_b_accum_into`].
+const ATB_NR: usize = 8;
+
+fn assert_atb_shapes(a: &Matrix, b: &Matrix, out: &[f64]) {
+    assert_eq!(a.rows(), b.rows(), "atb row-count mismatch");
+    assert_eq!(out.len(), a.cols() * b.cols(), "atb output length mismatch");
+}
+
+/// Gradient accumulation `out += Aᵀ·B` over a flat row-major
+/// `a.cols() x b.cols()` buffer: element `(o, i)` accumulates
+/// `a[r][o]·b[r][i]` for every row r **ascending**, resuming from the
+/// value already in `out` — bit-identical to the per-sample
+/// `for r { for o { axpy(a[r][o], b.row(r), out_row_o) } }` reference
+/// for all inputs (axpy adds every term, so no skip here either).
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn matmul_at_b_accum_into(a: &Matrix, b: &Matrix, out: &mut [f64]) {
+    assert_atb_shapes(a, b, out);
+    let (m, n_out, n_in) = (a.rows(), a.cols(), b.cols());
+    if m * n_out * n_in < TRAIN_MIN_MULADDS {
+        DISPATCH_SCALAR.incr();
+        atb_accumulate_reference(a, b, out);
+        return;
+    }
+    DISPATCH_BLOCKED.incr();
+    let wide = wide_tile_available();
+    let mut ob = 0;
+    while ob < n_out {
+        let mr = XW_MR.min(n_out - ob);
+        let mut jb = 0;
+        while jb < n_in {
+            let nr = ATB_NR.min(n_in - jb);
+            #[cfg(target_arch = "x86_64")]
+            if wide {
+                // SAFETY: only reached when run-time AVX2 detection
+                // succeeded (`wide_tile_available`).
+                unsafe { atb_tile_avx2(a, b, ob, mr, jb, nr, m, n_in, out) };
+                jb += nr;
+                continue;
+            }
+            let _ = wide;
+            atb_tile(a, b, ob, mr, jb, nr, m, n_in, out);
+            jb += nr;
+        }
+        ob += mr;
+    }
+}
+
+/// One `mr x nr` accumulation tile of [`matmul_at_b_accum_into`]:
+/// resumes the tile's chains from `out`, walks rows r ascending with
+/// `delta * input` operand order, stores the chains back.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn atb_tile(
+    a: &Matrix,
+    b: &Matrix,
+    ob: usize,
+    mr: usize,
+    jb: usize,
+    nr: usize,
+    m: usize,
+    n_in: usize,
+    out: &mut [f64],
+) {
+    let mut acc = [[0.0f64; ATB_NR]; XW_MR];
+    for (ii, arow) in acc.iter_mut().enumerate().take(mr) {
+        let base = (ob + ii) * n_in + jb;
+        arow[..nr].copy_from_slice(&out[base..base + nr]);
+    }
+    for r in 0..m {
+        let drow = &a.row(r)[ob..ob + mr];
+        let brow = &b.row(r)[jb..jb + nr];
+        for (arow, &dv) in acc.iter_mut().zip(drow) {
+            for (acc_v, &bv) in arow.iter_mut().zip(brow) {
+                // delta * input operand order, as in axpy(d, x, gw).
+                *acc_v += dv * bv;
+            }
+        }
+    }
+    for (ii, arow) in acc.iter().enumerate().take(mr) {
+        let base = (ob + ii) * n_in + jb;
+        out[base..base + nr].copy_from_slice(&arow[..nr]);
+    }
+}
+
+/// [`atb_tile`] compiled with AVX2 enabled. No FMA — every multiply and
+/// add stays a distinct IEEE operation, so the wider codegen cannot
+/// change a single output bit (see [`tile_kernel_avx2`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+fn atb_tile_avx2(
+    a: &Matrix,
+    b: &Matrix,
+    ob: usize,
+    mr: usize,
+    jb: usize,
+    nr: usize,
+    m: usize,
+    n_in: usize,
+    out: &mut [f64],
+) {
+    atb_tile(a, b, ob, mr, jb, nr, m, n_in, out);
+}
+
+/// The gradient-accumulation reference: the historical per-sample
+/// weight-gradient loop run over the whole batch.
+pub fn matmul_at_b_accum_reference_into(a: &Matrix, b: &Matrix, out: &mut [f64]) {
+    assert_atb_shapes(a, b, out);
+    atb_accumulate_reference(a, b, out);
+}
+
+fn atb_accumulate_reference(a: &Matrix, b: &Matrix, out: &mut [f64]) {
+    let n_in = b.cols();
+    for r in 0..a.rows() {
+        let brow = b.row(r);
+        for (o, &dv) in a.row(r).iter().enumerate() {
+            axpy(dv, brow, &mut out[o * n_in..(o + 1) * n_in]);
+        }
+    }
+}
+
+/// `out[j] += Σ_r a[r][j]` accumulated row-ascending — the batched form
+/// of the per-sample bias-gradient `gb[o] += delta[o]` chain.
+///
+/// # Panics
+/// Panics on width mismatch.
+pub fn accum_col_sums(a: &Matrix, out: &mut [f64]) {
+    assert_eq!(a.cols(), out.len(), "column-sum width mismatch");
+    for r in 0..a.rows() {
+        add_assign(out, a.row(r));
+    }
+}
+
 /// Matrix-vector product into a reused output buffer.
 ///
 /// # Panics
@@ -692,5 +1106,135 @@ mod tests {
         let b = Matrix::zeros(3, 4);
         let mut out = Matrix::zeros(2, 3);
         matmul_into(&a, &b, &mut out);
+    }
+
+    /// Matrix of pseudo-random values with a sprinkling of non-finite
+    /// and exact-zero entries, to exercise the no-skip chains on the
+    /// inputs where a skip would be observable.
+    fn lcg_matrix_special(rows: usize, cols: usize, seed: &mut u64) -> Matrix {
+        let mut data = lcg_vec(rows * cols, seed);
+        for (i, v) in data.iter_mut().enumerate() {
+            match i % 13 {
+                4 => *v = 0.0,
+                7 => *v = f64::NAN,
+                11 => *v = f64::INFINITY,
+                _ => {}
+            }
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    fn assert_bits_eq(got: &[f64], want: &[f64], ctx: &str) {
+        assert_eq!(got.len(), want.len(), "{ctx}: length");
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            // NaN payload bits depend on codegen (LLVM may commute fmul
+            // operands), so NaN-vs-NaN is accepted; everything else must
+            // match exactly. Downstream the pipeline treats non-finite
+            // as poison (updates are skipped), so payloads are inert.
+            if g.is_nan() && w.is_nan() {
+                continue;
+            }
+            assert_eq!(g.to_bits(), w.to_bits(), "{ctx}: element {i}");
+        }
+    }
+
+    #[test]
+    fn xwt_bias_matches_reference_bitwise() {
+        let mut seed = 21;
+        for &(m, k, n) in &[(1, 1, 1), (3, 2, 5), (4, 7, 4), (64, 20, 32), (65, 33, 9)] {
+            let x = lcg_matrix_special(m, k, &mut seed);
+            let w = lcg_matrix_special(n, k, &mut seed);
+            let bias = lcg_vec(n, &mut seed);
+            let mut fast = Matrix::zeros(m, n);
+            let mut reference = Matrix::zeros(m, n);
+            matmul_xwt_bias_into(&x, &w, &bias, &mut fast);
+            matmul_xwt_bias_reference_into(&x, &w, &bias, &mut reference);
+            assert_bits_eq(
+                fast.as_slice(),
+                reference.as_slice(),
+                &format!("{m}x{k}x{n}"),
+            );
+        }
+    }
+
+    #[test]
+    fn xwt_bias_seeds_the_chain_at_the_bias() {
+        // Zero-width input (k = 0): the chain is exactly the seed, so the
+        // output must be the bias bit-for-bit, including `-0.0`'s sign.
+        let x = Matrix::zeros(2, 0);
+        let w = Matrix::zeros(4, 0);
+        let bias = [1.5, -0.0, f64::NEG_INFINITY, 2.25];
+        let mut out = Matrix::zeros(2, 4);
+        matmul_xwt_bias_into(&x, &w, &bias, &mut out);
+        for r in 0..2 {
+            assert_bits_eq(out.row(r), &bias, "bias row");
+        }
+    }
+
+    #[test]
+    fn noskip_matmul_matches_reference_bitwise() {
+        let mut seed = 22;
+        for &(m, k, n) in &[(1, 1, 1), (2, 5, 3), (4, 8, 8), (64, 32, 20), (63, 300, 17)] {
+            let a = lcg_matrix_special(m, k, &mut seed);
+            let b = lcg_matrix_special(k, n, &mut seed);
+            let mut fast = Matrix::zeros(m, n);
+            let mut reference = Matrix::zeros(m, n);
+            matmul_noskip_into(&a, &b, &mut fast);
+            matmul_noskip_reference_into(&a, &b, &mut reference);
+            assert_bits_eq(
+                fast.as_slice(),
+                reference.as_slice(),
+                &format!("{m}x{k}x{n}"),
+            );
+        }
+    }
+
+    #[test]
+    fn noskip_matmul_propagates_zero_times_nonfinite() {
+        // The defining difference from matmul_into: an exact-zero A value
+        // against a non-finite B value must contribute NaN, not be skipped.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0]]);
+        let b = Matrix::from_rows(&[vec![f64::INFINITY], vec![2.0]]);
+        let mut out = Matrix::zeros(1, 1);
+        matmul_noskip_into(&a, &b, &mut out);
+        assert!(out[(0, 0)].is_nan(), "0 * inf must poison the chain");
+    }
+
+    #[test]
+    fn atb_accum_matches_reference_bitwise_and_resumes() {
+        let mut seed = 23;
+        for &(m, o, i) in &[
+            (1, 1, 1),
+            (3, 2, 9),
+            (64, 32, 20),
+            (64, 5, 100),
+            (7, 33, 35),
+        ] {
+            let d = lcg_matrix_special(m, o, &mut seed);
+            let act = lcg_matrix_special(m, i, &mut seed);
+            // Seed both outputs with the same nonzero state: the kernel
+            // must resume existing chains, not restart them.
+            let init = lcg_vec(o * i, &mut seed);
+            let mut fast = init.clone();
+            let mut reference = init;
+            matmul_at_b_accum_into(&d, &act, &mut fast);
+            matmul_at_b_accum_reference_into(&d, &act, &mut reference);
+            assert_bits_eq(&fast, &reference, &format!("{m}x{o}x{i}"));
+        }
+    }
+
+    #[test]
+    fn accum_col_sums_matches_per_row_chain() {
+        let mut seed = 24;
+        let a = lcg_matrix_special(9, 5, &mut seed);
+        let mut got = vec![0.0; 5];
+        accum_col_sums(&a, &mut got);
+        let mut want = vec![0.0; 5];
+        for r in 0..a.rows() {
+            for (w, x) in want.iter_mut().zip(a.row(r)) {
+                *w += x;
+            }
+        }
+        assert_bits_eq(&got, &want, "col sums");
     }
 }

@@ -10,8 +10,10 @@
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
-/// A dense row-major matrix of `f64`.
-#[derive(Clone, PartialEq)]
+/// A dense row-major matrix of `f64`. The default value is the empty
+/// `0 x 0` matrix (the natural seed for scratch buffers that are
+/// reshaped with [`Matrix::reset_zeroed`] before use).
+#[derive(Clone, PartialEq, Default)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -88,6 +90,16 @@ impl Matrix {
     #[inline]
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)
+    }
+
+    /// Reshapes in place to `rows x cols`, reusing the allocation, and
+    /// zeroes every entry. The scratch-buffer primitive for batched
+    /// kernels that reuse one matrix across differently-sized batches.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Borrow the underlying row-major buffer.

@@ -8,8 +8,12 @@
 //! network up (loss → ∞) is a behaviour this reproduction must preserve.
 
 use oeb_linalg::{kernels, Matrix};
+use oeb_trace::Counter;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Mini-batches trained through the batched GEMM path.
+static GEMM_BATCHES: Counter = Counter::new("train.mlp.gemm_batches");
 
 /// The learning objective of the output head.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,7 +27,7 @@ pub enum Objective {
 /// One dense layer (row-major `out x in` weights).
 #[derive(Debug, Clone)]
 struct Layer {
-    w: Vec<f64>,
+    w: Matrix,
     b: Vec<f64>,
     n_in: usize,
     n_out: usize,
@@ -41,7 +45,7 @@ impl Layer {
             })
             .collect();
         Layer {
-            w,
+            w: Matrix::from_vec(n_out, n_in, w),
             b: vec![0.0; n_out],
             n_in,
             n_out,
@@ -51,12 +55,37 @@ impl Layer {
     fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
         out.clear();
         for o in 0..self.n_out {
-            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
             // dot_from starts the chain at the bias, preserving the
             // historical `z = b; z += w*x` accumulation order.
-            out.push(kernels::dot_from(self.b[o], row, x));
+            out.push(kernels::dot_from(self.b[o], self.w.row(o), x));
         }
     }
+}
+
+/// Reusable batch buffers for [`Mlp::train_batch`]: gathered inputs,
+/// per-layer activation matrices, delta ping-pong matrices, and the
+/// softmax scratch that replaces the LwF branch's per-sample `collect()`
+/// allocations. Contents are transient; cloning a model resets nothing
+/// observable.
+#[derive(Debug, Clone, Default)]
+struct TrainScratch {
+    /// Post-activation matrices, one per layer boundary (`acts[0]` is the
+    /// gathered input batch).
+    acts: Vec<Matrix>,
+    /// Output-layer delta, swapped backward through the stack.
+    delta: Matrix,
+    /// Delta of the previous (shallower) layer during backprop.
+    prev_delta: Matrix,
+    /// Teacher forward ping-pong buffers for the LwF branch.
+    teacher_a: Matrix,
+    teacher_b: Matrix,
+    /// Temperature-scaled logits for one sample.
+    scaled: Vec<f64>,
+    /// Softmax outputs for one sample (student / teacher).
+    soft_cur: Vec<f64>,
+    soft_prev: Vec<f64>,
+    /// Flat per-layer gradient accumulators `(gw, gb)`.
+    grads: Vec<(Vec<f64>, Vec<f64>)>,
 }
 
 /// Extra terms mixed into a training step.
@@ -77,6 +106,8 @@ pub struct Mlp {
     layers: Vec<Layer>,
     /// Output objective.
     pub objective: Objective,
+    /// Reused batch buffers for the GEMM training path.
+    scratch: TrainScratch,
 }
 
 impl Mlp {
@@ -99,12 +130,19 @@ impl Mlp {
             // oeb-lint: allow(panic-in-library) -- windows(2) yields exactly two elements
             .map(|p| Layer::new(p[0], p[1], &mut rng))
             .collect();
-        Mlp { layers, objective }
+        Mlp {
+            layers,
+            objective,
+            scratch: TrainScratch::default(),
+        }
     }
 
     /// Number of scalar parameters.
     pub fn n_params(&self) -> usize {
-        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+        self.layers
+            .iter()
+            .map(|l| l.w.as_slice().len() + l.b.len())
+            .sum()
     }
 
     /// Approximate in-memory size of the model state in bytes
@@ -127,7 +165,7 @@ impl Mlp {
     pub fn get_params(&self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.n_params());
         for l in &self.layers {
-            out.extend_from_slice(&l.w);
+            out.extend_from_slice(l.w.as_slice());
             out.extend_from_slice(&l.b);
         }
         out
@@ -139,8 +177,8 @@ impl Mlp {
         assert_eq!(flat.len(), self.n_params(), "parameter count mismatch");
         let mut off = 0;
         for l in &mut self.layers {
-            let wl = l.w.len();
-            l.w.copy_from_slice(&flat[off..off + wl]);
+            let wl = l.w.as_slice().len();
+            l.w.as_mut_slice().copy_from_slice(&flat[off..off + wl]);
             off += wl;
             let bl = l.b.len();
             l.b.copy_from_slice(&flat[off..off + bl]);
@@ -206,7 +244,191 @@ impl Mlp {
     /// (before the step, excluding penalty terms).
     ///
     /// `rows` selects the batch rows of `xs`/`ys`.
+    ///
+    /// The whole batch runs through the GEMM kernels in
+    /// `oeb_linalg::kernels`: forward as `X·Wᵀ + bias`
+    /// ([`kernels::matmul_xwt_bias_into`]), the backward delta as a
+    /// no-skip `Δ·W` product, and gradient accumulation as `Δᵀ·A`. Each
+    /// kernel keeps every output element's accumulation chain in the
+    /// historical per-sample order (bias-seeded, k-ascending, row-
+    /// ascending respectively), so the result is bit-identical to
+    /// [`Mlp::train_batch_reference`] — asserted by the proptests in
+    /// `tests/proptests.rs` and re-checked by `bench_train`.
     pub fn train_batch(
+        &mut self,
+        xs: &Matrix,
+        ys: &[f64],
+        rows: &[usize],
+        lr: f64,
+        opts: &TrainOpts<'_>,
+    ) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        GEMM_BATCHES.incr();
+        let n_layers = self.layers.len();
+        let batch = rows.len();
+        // The scratch moves out of `self` for the duration of the step so
+        // the borrows below stay disjoint from the layer borrows.
+        let mut s = std::mem::take(&mut self.scratch);
+        s.acts.resize_with(n_layers + 1, Matrix::default);
+        if s.grads.len() != n_layers {
+            s.grads = self
+                .layers
+                .iter()
+                .map(|l| (vec![0.0; l.w.as_slice().len()], vec![0.0; l.b.len()]))
+                .collect();
+        } else {
+            for (gw, gb) in &mut s.grads {
+                gw.fill(0.0);
+                gb.fill(0.0);
+            }
+        }
+
+        // Gather the batch rows once; the GEMMs then stream them densely.
+        // oeb-lint: allow(panic-in-library) -- acts has n_layers + 1 >= 1 entries by construction
+        s.acts[0].reset_zeroed(batch, self.input_dim());
+        for (bi, &r) in rows.iter().enumerate() {
+            // oeb-lint: allow(panic-in-library) -- acts has n_layers + 1 >= 1 entries by construction
+            s.acts[0].row_mut(bi).copy_from_slice(xs.row(r));
+        }
+
+        // Batched forward with cached post-activations.
+        for li in 0..n_layers {
+            let layer = &self.layers[li];
+            let (done, rest) = s.acts.split_at_mut(li + 1);
+            // oeb-lint: allow(panic-in-library) -- li < n_layers, so rest is non-empty
+            let next = &mut rest[0];
+            next.reset_zeroed(batch, layer.n_out);
+            kernels::matmul_xwt_bias_into(&done[li], &layer.w, &layer.b, next);
+            if li + 1 < n_layers {
+                for v in next.as_mut_slice() {
+                    *v = v.max(0.0);
+                }
+            }
+        }
+
+        // Output-layer delta and data loss, row by row in batch order (the
+        // loss chain accumulates exactly as the per-sample loop did).
+        let mut total_loss = 0.0;
+        {
+            let out = &s.acts[n_layers];
+            s.delta.reset_zeroed(batch, self.output_dim());
+            match self.objective {
+                Objective::CrossEntropy => {
+                    for bi in 0..batch {
+                        softmax_into(out.row(bi), &mut s.soft_cur);
+                        let drow = s.delta.row_mut(bi);
+                        drow.copy_from_slice(&s.soft_cur);
+                        let c = (ys[rows[bi]] as usize).min(drow.len() - 1);
+                        total_loss += -(drow[c].max(1e-12)).ln();
+                        drow[c] -= 1.0;
+                    }
+                }
+                Objective::SquaredError => {
+                    for bi in 0..batch {
+                        let diff = out[(bi, 0)] - ys[rows[bi]];
+                        total_loss += diff * diff;
+                        s.delta[(bi, 0)] = 2.0 * diff;
+                    }
+                }
+            }
+
+            // LwF distillation adds to the output delta. The teacher runs
+            // the same batched forward; temperature scaling and softmax go
+            // through reused scratch instead of per-sample collect()s.
+            if let Some((prev, lambda)) = &opts.distill {
+                // oeb-lint: allow(panic-in-library) -- acts[0] is the input batch, always present
+                prev.forward_batch(&s.acts[0], &mut s.teacher_a, &mut s.teacher_b);
+                let prev_out = &s.teacher_a;
+                match self.objective {
+                    Objective::CrossEntropy => {
+                        const T: f64 = 2.0;
+                        for bi in 0..batch {
+                            s.scaled.clear();
+                            s.scaled.extend(out.row(bi).iter().map(|v| v / T));
+                            softmax_into(&s.scaled, &mut s.soft_cur);
+                            s.scaled.clear();
+                            s.scaled.extend(prev_out.row(bi).iter().map(|v| v / T));
+                            softmax_into(&s.scaled, &mut s.soft_prev);
+                            for ((d, &sc), &sp) in s
+                                .delta
+                                .row_mut(bi)
+                                .iter_mut()
+                                .zip(&s.soft_cur)
+                                .zip(&s.soft_prev)
+                            {
+                                // d/dz of T^2 * CE(soft_prev, softmax(z/T)).
+                                *d += lambda * T * (sc - sp);
+                            }
+                        }
+                    }
+                    Objective::SquaredError => {
+                        for bi in 0..batch {
+                            s.delta[(bi, 0)] += lambda * 2.0 * (out[(bi, 0)] - prev_out[(bi, 0)]);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Batched backward: bias gradients as column sums (row-ascending,
+        // like the per-sample `gb[o] += d`), weight gradients as `Δᵀ·A`
+        // (row-ascending per element, like the per-sample axpy), and the
+        // next delta as a no-skip `Δ·W` (k-ascending from 0.0) followed by
+        // the elementwise ReLU mask.
+        for li in (0..n_layers).rev() {
+            let layer = &self.layers[li];
+            let (gw, gb) = &mut s.grads[li];
+            kernels::accum_col_sums(&s.delta, gb);
+            kernels::matmul_at_b_accum_into(&s.delta, &s.acts[li], gw);
+            if li > 0 {
+                s.prev_delta.reset_zeroed(batch, layer.n_in);
+                kernels::matmul_noskip_into(&s.delta, &layer.w, &mut s.prev_delta);
+                // ReLU mask of the layer input (which was an output of
+                // the previous layer, already rectified).
+                for (pd, &a) in s
+                    .prev_delta
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(s.acts[li].as_slice())
+                {
+                    if a <= 0.0 {
+                        *pd = 0.0;
+                    }
+                }
+                std::mem::swap(&mut s.delta, &mut s.prev_delta);
+            }
+        }
+
+        let loss = self.apply_gradients(&mut s.grads, batch, lr, opts, total_loss);
+        self.scratch = s;
+        loss
+    }
+
+    /// Batched forward through the stack: `input` is a gathered batch,
+    /// `cur`/`next` are ping-pong scratch, and the result lands in `cur`.
+    /// Runs the same bias-seeded GEMM chains as the per-sample
+    /// [`Mlp::forward`].
+    fn forward_batch(&self, input: &Matrix, cur: &mut Matrix, next: &mut Matrix) {
+        cur.reset_zeroed(input.rows(), input.cols());
+        cur.as_mut_slice().copy_from_slice(input.as_slice());
+        for (i, layer) in self.layers.iter().enumerate() {
+            next.reset_zeroed(input.rows(), layer.n_out);
+            kernels::matmul_xwt_bias_into(cur, &layer.w, &layer.b, next);
+            if i + 1 < self.layers.len() {
+                for v in next.as_mut_slice() {
+                    *v = v.max(0.0);
+                }
+            }
+            std::mem::swap(cur, next);
+        }
+    }
+
+    /// The historical per-sample `train_batch` body, retained verbatim as
+    /// the bitwise reference for the batched path (proptested in
+    /// `tests/proptests.rs`, timed by `bench_train`).
+    pub fn train_batch_reference(
         &mut self,
         xs: &Matrix,
         ys: &[f64],
@@ -221,7 +443,7 @@ impl Mlp {
         let mut grads: Vec<(Vec<f64>, Vec<f64>)> = self
             .layers
             .iter()
-            .map(|l| (vec![0.0; l.w.len()], vec![0.0; l.b.len()]))
+            .map(|l| (vec![0.0; l.w.as_slice().len()], vec![0.0; l.b.len()]))
             .collect();
         let mut total_loss = 0.0;
         // Activation and delta scratch reused across the whole batch: the
@@ -305,8 +527,7 @@ impl Mlp {
                     prev_delta.clear();
                     prev_delta.resize(layer.n_in, 0.0);
                     for o in 0..layer.n_out {
-                        let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
-                        kernels::axpy(delta[o], row, &mut prev_delta);
+                        kernels::axpy(delta[o], layer.w.row(o), &mut prev_delta);
                     }
                     // ReLU mask of the layer input (which was an output of
                     // the previous layer, already rectified).
@@ -320,17 +541,32 @@ impl Mlp {
             }
         }
 
-        let inv = 1.0 / rows.len() as f64;
+        self.apply_gradients(&mut grads, rows.len(), lr, opts, total_loss)
+    }
+
+    /// The shared tail of both training paths: EWC penalty gradients,
+    /// the non-finite-gradient step skip, and the SGD update. Operates on
+    /// the already-accumulated data gradients, so batched and reference
+    /// paths agree bitwise iff their gradients do.
+    fn apply_gradients(
+        &mut self,
+        grads: &mut [(Vec<f64>, Vec<f64>)],
+        batch: usize,
+        lr: f64,
+        opts: &TrainOpts<'_>,
+        total_loss: f64,
+    ) -> f64 {
+        let inv = 1.0 / batch as f64;
 
         // EWC penalty gradient on the flat parameter vector.
         if let Some((theta_star, fisher, lambda)) = &opts.ewc {
             let mut off = 0;
             for (li, layer) in self.layers.iter().enumerate() {
                 let (gw, gb) = &mut grads[li];
-                for (i, g) in gw.iter_mut().enumerate() {
-                    *g += lambda * fisher[off + i] * (layer.w[i] - theta_star[off + i]) / inv;
+                for (i, (g, w)) in gw.iter_mut().zip(layer.w.as_slice()).enumerate() {
+                    *g += lambda * fisher[off + i] * (w - theta_star[off + i]) / inv;
                 }
-                off += layer.w.len();
+                off += layer.w.as_slice().len();
                 for (i, g) in gb.iter_mut().enumerate() {
                     *g += lambda * fisher[off + i] * (layer.b[i] - theta_star[off + i]) / inv;
                 }
@@ -347,8 +583,8 @@ impl Mlp {
             .iter()
             .all(|(gw, gb)| gw.iter().chain(gb).all(|g| g.is_finite()));
         if finite {
-            for (layer, (gw, gb)) in self.layers.iter_mut().zip(&grads) {
-                for (w, g) in layer.w.iter_mut().zip(gw) {
+            for (layer, (gw, gb)) in self.layers.iter_mut().zip(grads.iter()) {
+                for (w, g) in layer.w.as_mut_slice().iter_mut().zip(gw) {
                     *w -= lr * g * inv;
                 }
                 for (b, g) in layer.b.iter_mut().zip(gb) {
@@ -412,7 +648,7 @@ impl Mlp {
         let mut off = 0;
         for l in &self.layers {
             offsets.push(off);
-            off += l.w.len() + l.b.len();
+            off += l.w.as_slice().len() + l.b.len();
         }
         for li in (0..self.layers.len()).rev() {
             let layer = &self.layers[li];
@@ -423,13 +659,12 @@ impl Mlp {
                 for (i, &xi) in input.iter().enumerate() {
                     flat[base + o * layer.n_in + i] = d * xi;
                 }
-                flat[base + layer.w.len() + o] = d;
+                flat[base + layer.w.as_slice().len() + o] = d;
             }
             if li > 0 {
                 let mut prev = vec![0.0; layer.n_in];
                 for o in 0..layer.n_out {
-                    let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
-                    kernels::axpy(delta[o], row, &mut prev);
+                    kernels::axpy(delta[o], layer.w.row(o), &mut prev);
                 }
                 for (p, &a) in prev.iter_mut().zip(&acts[li]) {
                     if a <= 0.0 {

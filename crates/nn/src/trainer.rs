@@ -50,8 +50,9 @@ pub enum Regularizer {
     /// Learning without Forgetting: distillation toward the previous
     /// window's model outputs.
     Lwf {
-        /// Snapshot of the model after the previous window.
-        prev: Mlp,
+        /// Snapshot of the model after the previous window (boxed: an
+        /// `Mlp` carries batch scratch and dwarfs the other variants).
+        prev: Box<Mlp>,
         /// Regularisation factor (paper sweeps 1e-3..10).
         lambda: f64,
     },
@@ -66,6 +67,31 @@ pub fn train_window(
     cfg: &SgdConfig,
     reg: &Regularizer,
 ) -> f64 {
+    train_window_impl(model, xs, ys, cfg, reg, false)
+}
+
+/// [`train_window`] driving the retained per-sample
+/// [`Mlp::train_batch_reference`] instead of the batched GEMM path.
+/// Exists so `bench_train` and the equivalence tests can time/compare
+/// whole-window training on both paths with identical shuffling.
+pub fn train_window_reference(
+    model: &mut Mlp,
+    xs: &Matrix,
+    ys: &[f64],
+    cfg: &SgdConfig,
+    reg: &Regularizer,
+) -> f64 {
+    train_window_impl(model, xs, ys, cfg, reg, true)
+}
+
+fn train_window_impl(
+    model: &mut Mlp,
+    xs: &Matrix,
+    ys: &[f64],
+    cfg: &SgdConfig,
+    reg: &Regularizer,
+    reference: bool,
+) -> f64 {
     assert_eq!(xs.rows(), ys.len(), "feature/target length mismatch");
     if xs.rows() == 0 {
         return 0.0;
@@ -73,27 +99,33 @@ pub fn train_window(
     let mut order: Vec<usize> = (0..xs.rows()).collect();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut last_epoch_loss = 0.0;
+    // The regulariser borrows are identical for every mini-batch, so the
+    // options are built once per window, not once per chunk.
+    let opts = match reg {
+        Regularizer::None => TrainOpts::default(),
+        Regularizer::Ewc {
+            anchor,
+            fisher,
+            lambda,
+        } => TrainOpts {
+            ewc: Some((anchor, fisher, *lambda)),
+            ..Default::default()
+        },
+        Regularizer::Lwf { prev, lambda } => TrainOpts {
+            distill: Some((prev, *lambda)),
+            ..Default::default()
+        },
+    };
     for _epoch in 0..cfg.epochs.max(1) {
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
-            let opts = match reg {
-                Regularizer::None => TrainOpts::default(),
-                Regularizer::Ewc {
-                    anchor,
-                    fisher,
-                    lambda,
-                } => TrainOpts {
-                    ewc: Some((anchor, fisher, *lambda)),
-                    ..Default::default()
-                },
-                Regularizer::Lwf { prev, lambda } => TrainOpts {
-                    distill: Some((prev, *lambda)),
-                    ..Default::default()
-                },
+            epoch_loss += if reference {
+                model.train_batch_reference(xs, ys, chunk, cfg.lr, &opts)
+            } else {
+                model.train_batch(xs, ys, chunk, cfg.lr, &opts)
             };
-            epoch_loss += model.train_batch(xs, ys, chunk, cfg.lr, &opts);
             batches += 1;
         }
         last_epoch_loss = epoch_loss / batches.max(1) as f64;

@@ -1,0 +1,159 @@
+//! Deterministic intra-cell parallel window training for the Adaptive
+//! Random Forest.
+//!
+//! ARF's members share one RNG stream, consumed in (sample, member)
+//! order by the error monitors, background-tree subspace draws and
+//! Poisson bag counts — so naively training members on separate threads
+//! would scramble the stream and the results. `oeb-tree` splits each
+//! sample into a cheap serial randomness pre-pass
+//! ([`AdaptiveRandomForest::pre_pass_member`], run here in member order
+//! exactly as the historical fused loop did) and an RNG-free training
+//! step ([`oeb_tree::ArfMember::bagged_train`]); the
+//! [`lockstep_rounds`] executor primitive then runs one round per
+//! sample — serial pre-pass, parallel per-member training — producing a
+//! forest bit-identical to [`AdaptiveRandomForest::learn_window`] at
+//! any thread count.
+
+use crate::executor::{lockstep_rounds, resolve_threads};
+use oeb_linalg::Matrix;
+use oeb_trace::Counter;
+use oeb_tree::{AdaptiveRandomForest, ArfMember};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Members trained through the lockstep window path. Gated only on the
+/// members × rows threshold — never on the resolved thread count — so
+/// the count is schedule-invariant.
+static PARALLEL_MEMBERS: Counter = Counter::new("train.arf.parallel_members");
+
+/// Minimum members × rows before the lockstep path pays for its
+/// per-round barrier synchronisation. Sweep-scale windows (tens of rows)
+/// stay on the plain serial loop.
+const PARALLEL_MIN_WORK: usize = 2048;
+
+/// Trains `forest` on the window `(xs, ys)`, choosing between the plain
+/// serial loop and the lockstep-parallel path purely on window size
+/// (members × rows ≥ `2048`); `threads` resolves through
+/// [`resolve_threads`]. Both paths produce bit-identical forests.
+pub fn arf_train_window(
+    forest: &mut AdaptiveRandomForest,
+    xs: &Matrix,
+    ys: &[f64],
+    threads: Option<usize>,
+) {
+    if xs.rows() == 0 || forest.n_trees() == 0 {
+        return;
+    }
+    if forest.n_trees() * xs.rows() < PARALLEL_MIN_WORK {
+        forest.learn_window(xs, ys);
+        return;
+    }
+    arf_train_window_lockstep(forest, xs, ys, resolve_threads(threads));
+}
+
+/// The lockstep window trainer with no size gate (equivalence tests and
+/// `bench_train` drive it directly at explicit thread counts).
+///
+/// One round per sample: the coordinator runs the serial randomness
+/// pre-pass over every member in order (error monitoring, drift
+/// handling, Poisson bag draw — the complete RNG consumption of the
+/// fused [`AdaptiveRandomForest::learn_one`] loop, in the same order),
+/// then the members train in parallel on their published bag counts.
+/// Member `i`'s training never touches the RNG or member `j`'s state,
+/// which is exactly why hoisting the pre-passes ahead of the round's
+/// training is bit-exact.
+pub fn arf_train_window_lockstep(
+    forest: &mut AdaptiveRandomForest,
+    xs: &Matrix,
+    ys: &[f64],
+    threads: usize,
+) {
+    let rows = xs.rows();
+    let members = forest.take_members();
+    let n_members = members.len();
+    if rows == 0 || n_members == 0 {
+        forest.put_members(members);
+        return;
+    }
+    PARALLEL_MEMBERS.add(n_members as u64);
+    // Bag counts published by the pre-pass of the current round; the
+    // round-publication handshake inside `lockstep_rounds` orders the
+    // stores before the parallel reads, so relaxed atomics suffice.
+    let bags: Vec<AtomicUsize> = (0..n_members).map(|_| AtomicUsize::new(0)).collect();
+    let slots: Vec<Mutex<ArfMember>> = members.into_iter().map(Mutex::new).collect();
+    lockstep_rounds(
+        &slots,
+        threads,
+        rows,
+        |r| {
+            let x = xs.row(r);
+            let y = ys[r] as usize;
+            for (mi, slot) in slots.iter().enumerate() {
+                let mut m = slot.lock().unwrap_or_else(|p| p.into_inner());
+                bags[mi].store(forest.pre_pass_member(&mut m, x, y), Ordering::Relaxed);
+            }
+        },
+        |r, mi, m| {
+            m.bagged_train(xs.row(r), ys[r] as usize, bags[mi].load(Ordering::Relaxed));
+        },
+    );
+    forest.put_members(
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap_or_else(|p| p.into_inner()))
+            .collect(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oeb_tree::ArfConfig;
+
+    /// A stream whose concept flips halfway: exercises warning-triggered
+    /// background trees, drift promotion and detector resets.
+    fn drifting_stream(n: usize) -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 100) as f64, ((i * 13) % 50) as f64, (i % 5) as f64])
+            .collect();
+        let ys: Vec<f64> = (0..n)
+            .map(|i| {
+                let x0 = (i % 100) as f64;
+                let flipped = i >= n / 2;
+                f64::from((x0 >= 50.0) ^ flipped)
+            })
+            .collect();
+        (Matrix::from_rows(&rows), ys)
+    }
+
+    #[test]
+    fn lockstep_window_matches_serial_bitwise() {
+        let (xs, ys) = drifting_stream(6000);
+        let mk = || AdaptiveRandomForest::new(3, 2, ArfConfig::default());
+        let mut serial = mk();
+        serial.learn_window(&xs, &ys);
+        assert!(serial.n_resets > 0, "stream never drifted");
+        for threads in [1, 4] {
+            let mut lockstep = mk();
+            arf_train_window_lockstep(&mut lockstep, &xs, &ys, threads);
+            assert_eq!(
+                serial.digest(),
+                lockstep.digest(),
+                "forest diverged at {threads} threads"
+            );
+            assert_eq!(serial.n_resets, lockstep.n_resets);
+        }
+    }
+
+    #[test]
+    fn size_gate_routes_small_windows_serially() {
+        // Below the threshold the dispatcher must behave exactly like
+        // learn_window (it *is* learn_window).
+        let (xs, ys) = drifting_stream(64);
+        let mut gated = AdaptiveRandomForest::new(3, 2, ArfConfig::default());
+        let mut plain = AdaptiveRandomForest::new(3, 2, ArfConfig::default());
+        arf_train_window(&mut gated, &xs, &ys, Some(4));
+        plain.learn_window(&xs, &ys);
+        assert_eq!(gated.digest(), plain.digest());
+    }
+}

@@ -246,7 +246,7 @@ impl StreamLearner for LwfNn {
     fn train_window(&mut self, xs: &Matrix, ys: &[f64]) {
         let reg = match &self.prev {
             Some(prev) => Regularizer::Lwf {
-                prev: prev.clone(),
+                prev: Box::new(prev.clone()),
                 lambda: self.cfg.lwf_lambda,
             },
             None => Regularizer::None,
@@ -463,7 +463,7 @@ impl StreamLearner for ArfLearner {
     }
 
     fn train_window(&mut self, xs: &Matrix, ys: &[f64]) {
-        self.forest.learn_window(xs, ys);
+        crate::arf_train::arf_train_window(&mut self.forest, xs, ys, None);
     }
 
     fn memory_bytes(&self) -> usize {

@@ -12,6 +12,7 @@
 // chains in these kernels.
 #![allow(clippy::needless_range_loop)]
 
+pub mod arf_train;
 pub mod chaos;
 pub mod error;
 pub mod executor;
@@ -31,6 +32,7 @@ pub mod stats;
 pub mod supervise;
 pub mod sweep;
 
+pub use arf_train::{arf_train_window, arf_train_window_lockstep};
 pub use chaos::{run_chaos_matrix, ChaosCell, ChaosOptions, ChaosReport};
 pub use error::HarnessError;
 pub use executor::{

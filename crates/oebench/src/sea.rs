@@ -27,7 +27,7 @@ pub enum BaseKind {
 }
 
 enum BaseModel {
-    Nn(Mlp),
+    Nn(Box<Mlp>),
     Dt(DecisionTree),
     Gbdt(Gbdt),
 }
@@ -62,7 +62,7 @@ impl BaseModel {
                     },
                     &Regularizer::None,
                 );
-                BaseModel::Nn(mlp)
+                BaseModel::Nn(Box::new(mlp))
             }
             BaseKind::Dt => BaseModel::Dt(DecisionTree::fit(
                 xs,

@@ -6,7 +6,7 @@
 //! gradient). The paper sets the number of boosting rounds to 5 (§6.1)
 //! and sweeps ensemble size in its Figure 19.
 
-use crate::cart::{DecisionTree, TreeConfig, TreeTask};
+use crate::cart::{DecisionTree, FeaturePresort, TreeConfig, TreeTask};
 use oeb_linalg::Matrix;
 use oeb_nn::softmax;
 
@@ -64,11 +64,20 @@ impl Gbdt {
         let base = ys.iter().sum::<f64>() / n as f64;
         let mut preds = vec![base; n];
         let mut trees = Vec::with_capacity(config.n_rounds);
+        // Every round fits the same rows: sort the feature columns once
+        // and share the ordering across all weak learners.
+        let presort = FeaturePresort::new(xs);
         for round in 0..config.n_rounds {
             let residuals: Vec<f64> = ys.iter().zip(&preds).map(|(y, p)| y - p).collect();
             let mut tree_cfg = config.tree;
             tree_cfg.seed = tree_cfg.seed.wrapping_add(round as u64);
-            let tree = DecisionTree::fit(xs, &residuals, TreeTask::Regression, &tree_cfg);
+            let tree = DecisionTree::fit_with_presort(
+                xs,
+                &residuals,
+                TreeTask::Regression,
+                &tree_cfg,
+                &presort,
+            );
             for (r, p) in preds.iter_mut().enumerate() {
                 *p += config.shrinkage * tree.predict(xs.row(r));
             }
@@ -94,6 +103,9 @@ impl Gbdt {
 
         let mut scores: Vec<Vec<f64>> = vec![base.clone(); n];
         let mut trees = Vec::with_capacity(config.n_rounds);
+        // `rounds x classes` weak learners all fit the same rows: one
+        // shared column ordering serves every fit.
+        let presort = FeaturePresort::new(xs);
         for round in 0..config.n_rounds {
             let mut round_trees = Vec::with_capacity(n_classes);
             // Negative gradient of softmax CE per class: onehot - p.
@@ -110,7 +122,13 @@ impl Gbdt {
                 tree_cfg.seed = tree_cfg
                     .seed
                     .wrapping_add((round * n_classes + class) as u64);
-                let tree = DecisionTree::fit(xs, &grad, TreeTask::Regression, &tree_cfg);
+                let tree = DecisionTree::fit_with_presort(
+                    xs,
+                    &grad,
+                    TreeTask::Regression,
+                    &tree_cfg,
+                    &presort,
+                );
                 for (r, s) in scores.iter_mut().enumerate() {
                     s[class] += config.shrinkage * tree.predict(xs.row(r));
                 }

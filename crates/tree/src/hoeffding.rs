@@ -4,6 +4,11 @@
 //! (§4.5 of the paper).
 
 use oeb_linalg::Matrix;
+use oeb_tabular::DeltaStat;
+use oeb_trace::Counter;
+
+/// Grace-period split evaluations performed across all trees.
+static SPLIT_CHECKS: Counter = Counter::new("train.hoeffding.split_checks");
 
 /// Online Gaussian estimator (Welford).
 #[derive(Debug, Clone, Default)]
@@ -30,12 +35,19 @@ impl Gaussian {
 
     /// P(X <= x) under the fitted Gaussian.
     fn cdf(&self, x: f64) -> f64 {
-        let s = self.std();
-        if s <= 1e-12 {
-            return if x >= self.mean { 1.0 } else { 0.0 };
-        }
-        0.5 * (1.0 + erf((x - self.mean) / (s * std::f64::consts::SQRT_2)))
+        cdf_with(self.mean, self.std(), x)
     }
+}
+
+/// [`Gaussian::cdf`] with the standard deviation precomputed: split
+/// evaluation caches `std()` once per (feature, class) instead of
+/// recomputing it for each of the eight candidate thresholds. Same
+/// arithmetic, so the cached path is bit-identical.
+fn cdf_with(mean: f64, s: f64, x: f64) -> f64 {
+    if s <= 1e-12 {
+        return if x >= mean { 1.0 } else { 0.0 };
+    }
+    0.5 * (1.0 + erf((x - mean) / (s * std::f64::consts::SQRT_2)))
 }
 
 /// Abramowitz–Stegun rational approximation of erf (|error| < 1.5e-7).
@@ -51,38 +63,184 @@ fn erf(x: f64) -> f64 {
     sign * y
 }
 
+/// Maintained per-leaf class-count aggregates in the [`DeltaStat`]
+/// spirit: the running total, the presence count (classes with a
+/// nonzero count), and the incrementally tracked majority class.
+///
+/// Exactness contract (each piece is asserted bitwise by
+/// `leaf_totals_snapshot_matches_batch_rescan`):
+/// * `total` — counts only ever change by `±1.0`, so both the running
+///   total and any left-to-right re-sum are exact integer arithmetic
+///   below 2^53 and produce identical bits;
+/// * `majority` — maintained with the first-argmax rule (a class takes
+///   over only when strictly greater, or on an exact tie with a lower
+///   index), matching a full rescan;
+/// * `present` — exact integer bookkeeping on zero transitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafTotals {
+    counts: Vec<f64>,
+    total: f64,
+    majority: usize,
+    present: usize,
+}
+
+impl LeafTotals {
+    /// Empty aggregate over `n_classes` classes.
+    pub fn new(n_classes: usize) -> LeafTotals {
+        LeafTotals {
+            counts: vec![0.0; n_classes],
+            total: 0.0,
+            majority: 0,
+            present: 0,
+        }
+    }
+
+    /// Per-class counts.
+    #[inline]
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Total observations, maintained incrementally (bit-identical to
+    /// re-summing the counts: exact integers below 2^53).
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Majority class (first on ties), maintained incrementally.
+    #[inline]
+    pub fn majority(&self) -> usize {
+        self.majority
+    }
+
+    /// True when at most one class has been observed. A pure leaf's
+    /// split evaluation provably returns no gain (see
+    /// [`LeafStats::best_splits`]), so callers may skip it entirely.
+    #[inline]
+    pub fn is_pure(&self) -> bool {
+        self.present <= 1
+    }
+
+    fn absorb_class(&mut self, y: usize) {
+        // oeb-lint: allow(float-eq) -- counts are exact integers
+        if self.counts[y] == 0.0 {
+            self.present += 1;
+        }
+        self.counts[y] += 1.0;
+        self.total += 1.0;
+        // First-argmax maintenance: `y` takes the majority only when it
+        // strictly exceeds the incumbent, or ties it from a lower index —
+        // exactly the order a left-to-right rescan would prefer.
+        if y != self.majority {
+            let (cy, cm) = (self.counts[y], self.counts[self.majority]);
+            if cy > cm || (cy == cm && y < self.majority) {
+                self.majority = y;
+            }
+        }
+    }
+
+    fn retract_class(&mut self, y: usize) {
+        self.counts[y] -= 1.0;
+        self.total -= 1.0;
+        // oeb-lint: allow(float-eq) -- counts are exact integers
+        if self.counts[y] == 0.0 {
+            self.present -= 1;
+        }
+        // Retraction can demote the incumbent in favour of any class, so
+        // rescan (retraction only happens on the DeltaStat path, never in
+        // the tree's hot loop).
+        self.majority = rescan_majority(&self.counts);
+    }
+}
+
+/// First-index argmax over the counts (the historical majority rule).
+fn rescan_majority(counts: &[f64]) -> usize {
+    let mut best = 0;
+    for (c, &v) in counts.iter().enumerate() {
+        if v > counts[best] {
+            best = c;
+        }
+    }
+    best
+}
+
+impl DeltaStat for LeafTotals {
+    /// `(total, majority, present)`.
+    type Output = (f64, usize, usize);
+
+    /// Absorbs one labelled sample; `row[0]` is the class index.
+    fn absorb(&mut self, row: &[f64]) {
+        let y = (row.first().copied().unwrap_or(0.0) as usize).min(self.counts.len() - 1);
+        self.absorb_class(y);
+    }
+
+    /// Retracts one previously absorbed sample.
+    fn retract(&mut self, row: &[f64]) {
+        let y = (row.first().copied().unwrap_or(0.0) as usize).min(self.counts.len() - 1);
+        self.retract_class(y);
+    }
+
+    fn snapshot(&self) -> (f64, usize, usize) {
+        (self.total, self.majority, self.present)
+    }
+}
+
+/// Reused buffers for split evaluation: the per-class `(n, mean, std)`
+/// cache of the current feature and the projected left/right count
+/// vectors (the historical path allocated both per candidate threshold).
+#[derive(Debug, Clone, Default)]
+struct SplitScratch {
+    per_class: Vec<(f64, f64, f64)>,
+    left: Vec<f64>,
+    right: Vec<f64>,
+}
+
 /// Statistics held at a learning leaf.
 #[derive(Debug, Clone)]
 struct LeafStats {
-    class_counts: Vec<f64>,
-    /// `observers[feature][class]`.
-    observers: Vec<Vec<Gaussian>>,
+    /// Maintained class-count aggregates (counts, total, majority).
+    totals: LeafTotals,
+    /// Flattened Gaussian observers: `observers[feature * n_classes + class]`.
+    /// One contiguous allocation per leaf instead of one per feature, and
+    /// the per-sample update walks it with a constant stride.
+    observers: Vec<Gaussian>,
+    n_classes: usize,
     n_since_check: usize,
 }
 
 impl LeafStats {
     fn new(n_features: usize, n_classes: usize) -> LeafStats {
         LeafStats {
-            class_counts: vec![0.0; n_classes],
-            observers: (0..n_features)
-                .map(|_| (0..n_classes).map(|_| Gaussian::default()).collect())
-                .collect(),
+            totals: LeafTotals::new(n_classes),
+            observers: vec![Gaussian::default(); n_features * n_classes],
+            n_classes,
             n_since_check: 0,
         }
     }
 
-    fn total(&self) -> f64 {
-        self.class_counts.iter().sum()
+    /// Fused per-sample update: class counts, majority and observer row
+    /// in one pass. Bit-identical to the historical nested-Vec loop —
+    /// same Welford updates on the same `(feature, class)` cells in the
+    /// same order.
+    fn learn(&mut self, x: &[f64], y: usize) {
+        self.totals.absorb_class(y);
+        for (g, &xv) in self
+            .observers
+            .iter_mut()
+            .skip(y)
+            .step_by(self.n_classes)
+            .zip(x.iter())
+        {
+            if xv.is_finite() {
+                g.update(xv);
+            }
+        }
+        self.n_since_check += 1;
     }
 
     fn majority(&self) -> usize {
-        let mut best = 0;
-        for (c, &v) in self.class_counts.iter().enumerate() {
-            if v > self.class_counts[best] {
-                best = c;
-            }
-        }
-        best
+        self.totals.majority()
     }
 
     fn entropy(counts: &[f64]) -> f64 {
@@ -108,13 +266,106 @@ impl LeafStats {
     /// Hoeffding test decides between split attributes, and comparing a
     /// feature against its own neighbouring thresholds would make
     /// `best - second` vanish for every informative attribute.
-    fn best_splits(&self, allowed: &[usize]) -> (f64, usize, f64, f64) {
-        let parent = Self::entropy(&self.class_counts);
-        let total = self.total();
+    ///
+    /// This is the maintained-aggregate fast path; it is bit-identical
+    /// to [`LeafStats::best_splits_reference`] (asserted by the in-crate
+    /// equivalence tests and timed by `bench_train`) via three exact
+    /// rewrites of the historical evaluation:
+    /// * **pure-leaf skip** — with at most one observed class the parent
+    ///   entropy is `-0.0` and every admissible child entropy term is
+    ///   `nl * -0.0 = -0.0`, so every candidate gain is exactly
+    ///   `-0.0 - (-0.0) = +0.0`, never `> 0.0`: the historical scan
+    ///   returns `(0.0, 0, 0.0, 0.0)` bit-for-bit, which is returned
+    ///   directly;
+    /// * **maintained total** — exact integer bookkeeping (see
+    ///   [`LeafTotals`]);
+    /// * **cached std and reused buffers** — `std()` is a pure function
+    ///   of the observer, so caching it per (feature, class) and reusing
+    ///   zero-filled left/right vectors replays the identical arithmetic
+    ///   without the per-threshold allocations.
+    fn best_splits(&self, allowed: &[usize], scratch: &mut SplitScratch) -> (f64, usize, f64, f64) {
+        if self.totals.is_pure() {
+            return (0.0, 0, 0.0, 0.0);
+        }
+        let counts = self.totals.counts();
+        let parent = Self::entropy(counts);
+        let total = self.totals.total();
+        let n_classes = self.n_classes;
         let mut best = (0.0, 0, 0.0);
         let mut second = 0.0;
         for &f in allowed {
-            let obs = &self.observers[f];
+            let obs = &self.observers[f * n_classes..(f + 1) * n_classes];
+            // Cache (n, mean, std) per class; std() is recomputed once
+            // instead of once per threshold.
+            scratch.per_class.clear();
+            scratch
+                .per_class
+                .extend(obs.iter().map(|g| (g.n, g.mean, g.std())));
+            // Candidate thresholds spanning the per-class means ± stds.
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &(n, mean, std) in &scratch.per_class {
+                if n > 0.0 {
+                    lo = lo.min(mean - 3.0 * std);
+                    hi = hi.max(mean + 3.0 * std);
+                }
+            }
+            if hi <= lo {
+                continue;
+            }
+            // Best gain over this feature's candidate thresholds.
+            let mut feature_best = (0.0f64, 0.0f64);
+            for t in 1..=8 {
+                let thr = lo + (hi - lo) * t as f64 / 9.0;
+                scratch.left.clear();
+                scratch.left.resize(n_classes, 0.0);
+                scratch.right.clear();
+                scratch.right.resize(n_classes, 0.0);
+                for (c, &(n, mean, std)) in scratch.per_class.iter().enumerate() {
+                    if n <= 0.0 {
+                        continue;
+                    }
+                    let p_left = cdf_with(mean, std, thr);
+                    scratch.left[c] = counts[c] * p_left;
+                    scratch.right[c] = counts[c] * (1.0 - p_left);
+                }
+                let nl: f64 = scratch.left.iter().sum();
+                let nr: f64 = scratch.right.iter().sum();
+                if nl < 1.0 || nr < 1.0 {
+                    continue;
+                }
+                let child = (nl * Self::entropy(&scratch.left)
+                    + nr * Self::entropy(&scratch.right))
+                    / total;
+                let gain = parent - child;
+                if gain > feature_best.0 {
+                    feature_best = (gain, thr);
+                }
+            }
+            if feature_best.0 > best.0 {
+                second = best.0;
+                best = (feature_best.0, f, feature_best.1);
+            } else if feature_best.0 > second {
+                second = feature_best.0;
+            }
+        }
+        (best.0, best.1, best.2, second)
+    }
+
+    /// The historical split evaluation, retained verbatim (adapted only
+    /// to the flattened observer layout, which iterates the same cells
+    /// in the same order): re-sums the total, recomputes every std per
+    /// threshold, and allocates fresh left/right vectors — the bitwise
+    /// reference for [`LeafStats::best_splits`].
+    fn best_splits_reference(&self, allowed: &[usize]) -> (f64, usize, f64, f64) {
+        let counts = self.totals.counts();
+        let parent = Self::entropy(counts);
+        let total: f64 = counts.iter().sum();
+        let n_classes = self.n_classes;
+        let mut best = (0.0, 0, 0.0);
+        let mut second = 0.0;
+        for &f in allowed {
+            let obs = &self.observers[f * n_classes..(f + 1) * n_classes];
             // Candidate thresholds spanning the per-class means ± stds.
             let mut lo = f64::INFINITY;
             let mut hi = f64::NEG_INFINITY;
@@ -131,15 +382,15 @@ impl LeafStats {
             let mut feature_best = (0.0f64, 0.0f64);
             for t in 1..=8 {
                 let thr = lo + (hi - lo) * t as f64 / 9.0;
-                let mut left = vec![0.0; self.class_counts.len()];
-                let mut right = vec![0.0; self.class_counts.len()];
+                let mut left = vec![0.0; counts.len()];
+                let mut right = vec![0.0; counts.len()];
                 for (c, g) in obs.iter().enumerate() {
                     if g.n <= 0.0 {
                         continue;
                     }
                     let p_left = g.cdf(thr);
-                    left[c] = self.class_counts[c] * p_left;
-                    right[c] = self.class_counts[c] * (1.0 - p_left);
+                    left[c] = counts[c] * p_left;
+                    right[c] = counts[c] * (1.0 - p_left);
                 }
                 let nl: f64 = left.iter().sum();
                 let nr: f64 = right.iter().sum();
@@ -209,6 +460,8 @@ pub struct HoeffdingTree {
     /// (ARF's per-tree random subspace).
     allowed_features: Option<Vec<usize>>,
     n_nodes: usize,
+    /// Split-evaluation buffers reused across grace-period checks.
+    scratch: SplitScratch,
 }
 
 impl HoeffdingTree {
@@ -221,6 +474,7 @@ impl HoeffdingTree {
             config,
             allowed_features: None,
             n_nodes: 1,
+            scratch: SplitScratch::default(),
         }
     }
 
@@ -240,10 +494,7 @@ impl HoeffdingTree {
     pub fn memory_bytes(&self) -> usize {
         fn walk(node: &Node) -> usize {
             match node {
-                Node::Leaf(stats) => {
-                    stats.class_counts.len() * 8
-                        + stats.observers.len() * stats.class_counts.len() * 24
-                }
+                Node::Leaf(stats) => stats.n_classes * 8 + stats.observers.len() * 24,
                 Node::Split { left, right, .. } => 40 + walk(left) + walk(right),
             }
         }
@@ -281,12 +532,24 @@ impl HoeffdingTree {
         let config = self.config;
         let n_classes = self.n_classes;
         let n_features = self.n_features;
-        let allowed: Vec<usize> = self
-            .allowed_features
-            .clone()
-            .unwrap_or_else(|| (0..n_features).collect());
+        // Disjoint field borrows: the leaf walk holds `root` mutably while
+        // split evaluation borrows the reusable `scratch`.
+        let Self {
+            root,
+            scratch,
+            allowed_features,
+            ..
+        } = self;
+        let default_allowed: Vec<usize>;
+        let allowed: &[usize] = match allowed_features {
+            Some(f) => f,
+            None => {
+                default_allowed = (0..n_features).collect();
+                &default_allowed
+            }
+        };
 
-        let mut node = &mut self.root;
+        let mut node = root;
         let mut depth = 0;
         let mut new_nodes = 0usize;
         loop {
@@ -306,18 +569,13 @@ impl HoeffdingTree {
                     depth += 1;
                 }
                 Node::Leaf(stats) => {
-                    stats.class_counts[y] += 1.0;
-                    for (f, &xv) in x.iter().enumerate() {
-                        if xv.is_finite() {
-                            stats.observers[f][y].update(xv);
-                        }
-                    }
-                    stats.n_since_check += 1;
+                    stats.learn(x, y);
                     if stats.n_since_check >= config.grace_period && depth < config.max_depth {
                         stats.n_since_check = 0;
+                        SPLIT_CHECKS.incr();
                         let (best_gain, feature, threshold, second_gain) =
-                            stats.best_splits(&allowed);
-                        let n = stats.total();
+                            stats.best_splits(allowed, scratch);
+                        let n = stats.totals.total();
                         // Hoeffding bound with range R = log2(#classes).
                         let range = (n_classes as f64).log2().max(1.0);
                         let eps = (range * range * (1.0 / config.delta).ln() / (2.0 * n)).sqrt();
@@ -340,12 +598,92 @@ impl HoeffdingTree {
         self.n_nodes += new_nodes;
     }
 
+    /// Evaluates split candidates at the root leaf on the fast
+    /// (maintained-aggregate) or retained reference path. Returns `None`
+    /// once the root has split. Bench/test hook for timing and bitwise
+    /// comparison of the two evaluators; not part of the learner API.
+    #[doc(hidden)]
+    pub fn root_split_eval(&mut self, reference: bool) -> Option<(f64, usize, f64, f64)> {
+        let Self {
+            root,
+            scratch,
+            allowed_features,
+            ..
+        } = self;
+        let default_allowed: Vec<usize>;
+        let allowed: &[usize] = match allowed_features {
+            Some(f) => f,
+            None => {
+                default_allowed = (0..self.n_features).collect();
+                &default_allowed
+            }
+        };
+        match root {
+            Node::Leaf(stats) => Some(if reference {
+                stats.best_splits_reference(allowed)
+            } else {
+                SPLIT_CHECKS.incr();
+                stats.best_splits(allowed, scratch)
+            }),
+            Node::Split { .. } => None,
+        }
+    }
+
     /// Learns a whole window sample-by-sample.
     pub fn learn_window(&mut self, xs: &Matrix, ys: &[f64]) {
         for r in 0..xs.rows() {
             self.learn_one(xs.row(r), ys[r] as usize);
         }
     }
+
+    /// Order-sensitive structural digest: node shape, split parameters
+    /// and the bit patterns of every leaf statistic (class counts,
+    /// Welford observer state, grace counter). Equal digests mean two
+    /// training schedules produced bit-identical trees.
+    #[doc(hidden)]
+    pub fn digest(&self) -> u64 {
+        fn walk(node: &Node, mut h: u64) -> u64 {
+            match node {
+                Node::Leaf(stats) => {
+                    h = fnv_mix(h, 0x6c656166); // "leaf"
+                    for &c in stats.totals.counts() {
+                        h = fnv_mix(h, c.to_bits());
+                    }
+                    h = fnv_mix(h, stats.totals.majority() as u64);
+                    h = fnv_mix(h, stats.n_since_check as u64);
+                    for g in &stats.observers {
+                        h = fnv_mix(h, g.n.to_bits());
+                        h = fnv_mix(h, g.mean.to_bits());
+                        h = fnv_mix(h, g.m2.to_bits());
+                    }
+                    h
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    h = fnv_mix(h, 0x73706c69); // "spli"
+                    h = fnv_mix(h, *feature as u64);
+                    h = fnv_mix(h, threshold.to_bits());
+                    walk(right, walk(left, h))
+                }
+            }
+        }
+        walk(&self.root, fnv_mix(0xcbf29ce484222325, self.n_nodes as u64))
+    }
+}
+
+/// FNV-1a style mixing step shared by the structural digests here and in
+/// the ARF ensemble.
+pub(crate) fn fnv_mix(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for shift in [0u32, 32] {
+        h ^= u64::from((v >> shift) as u32);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -449,5 +787,105 @@ mod tests {
         }
         let p = tree.predict(&[f64::NAN, f64::NAN]);
         assert!(p < 2);
+    }
+
+    /// The [`LeafTotals`] delta aggregates (total / majority / presence)
+    /// must match a batch rescan of the raw counts bitwise after any
+    /// absorb/retract sequence.
+    #[test]
+    fn leaf_totals_snapshot_matches_batch_rescan() {
+        let n_classes = 5;
+        let mut totals = LeafTotals::new(n_classes);
+        let mut live: Vec<Vec<f64>> = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for step in 0..4000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let retract = !live.is_empty() && (step % 3 == 2);
+            if retract {
+                let idx = (state >> 33) as usize % live.len();
+                let row = live.swap_remove(idx);
+                totals.retract(&row);
+            } else {
+                let row = vec![((state >> 33) as usize % n_classes) as f64];
+                totals.absorb(&row);
+                live.push(row);
+            }
+            // Batch rescan from the surviving rows.
+            let mut counts = vec![0.0f64; n_classes];
+            for row in &live {
+                counts[row[0] as usize] += 1.0;
+            }
+            let total: f64 = counts.iter().sum();
+            let present = counts.iter().filter(|&&c| c > 0.0).count();
+            let (t, maj, p) = totals.snapshot();
+            assert_eq!(
+                t.to_bits(),
+                total.to_bits(),
+                "total diverged at step {step}"
+            );
+            assert_eq!(
+                maj,
+                rescan_majority(&counts),
+                "majority diverged at step {step}"
+            );
+            assert_eq!(p, present, "presence diverged at step {step}");
+            for (c, (&a, &b)) in totals.counts().iter().zip(&counts).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "count {c} diverged at step {step}"
+                );
+            }
+        }
+    }
+
+    /// The maintained-aggregate split evaluation must be bit-identical
+    /// to the retained reference on leaves fed arbitrary streams —
+    /// including pure leaves (fast-path early return) and leaves with
+    /// NaN features (observers skipped).
+    #[test]
+    fn fast_split_eval_matches_reference_bitwise() {
+        let mut state = 0xdeadbeefcafef00du64;
+        let mut next = |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for (n_features, n_classes, rows, pure) in [
+            (1usize, 2usize, 0usize, false),
+            (2, 2, 500, true), // single observed class: pure-leaf skip
+            (3, 4, 300, false),
+            (6, 3, 1200, false),
+            (4, 2, 2500, false),
+        ] {
+            let cfg = HoeffdingConfig {
+                grace_period: usize::MAX, // keep the root a leaf
+                ..Default::default()
+            };
+            let mut tree = HoeffdingTree::new(n_features, n_classes, cfg);
+            for _ in 0..rows {
+                let x: Vec<f64> = (0..n_features)
+                    .map(|_| match next(11) {
+                        0 => f64::NAN,
+                        v => v as f64 + next(100) as f64 / 100.0,
+                    })
+                    .collect();
+                let y = if pure {
+                    1
+                } else {
+                    next(n_classes as u64) as usize
+                };
+                tree.learn_one(&x, y);
+            }
+            let fast = tree.root_split_eval(false).unwrap();
+            let reference = tree.root_split_eval(true).unwrap();
+            assert_eq!(fast.0.to_bits(), reference.0.to_bits(), "best gain");
+            assert_eq!(fast.1, reference.1, "split feature");
+            assert_eq!(fast.2.to_bits(), reference.2.to_bits(), "threshold");
+            assert_eq!(fast.3.to_bits(), reference.3.to_bits(), "runner-up gain");
+        }
     }
 }
