@@ -66,6 +66,30 @@ grep -Eq 'prepare\.cache\.hit +[1-9]' "$smoke_dir/metrics.txt" \
 diff "$smoke_dir/table4.txt" "$smoke_dir/traced/table4.txt" \
     || { echo "ci: traced run diverged from untraced table4.txt" >&2; exit 1; }
 
+# Smoke: attributed trace profiler. oeb-profile analyses the traced
+# table4 run: the PROFILE.json schema must validate, the per-stage
+# totals must equal the metrics-snapshot span aggregates exactly
+# (--check-metrics), the cell-attribution and per-item latency
+# instruments must have fired, and the cost model fitted from the same
+# trace must parse. PROFILE.json lands next to the bench artifacts in
+# the smoke dir.
+cargo run --release -p oeb-bench --bin oeb-profile -- "$smoke_dir/trace.jsonl" \
+    --out "$smoke_dir/PROFILE.json" --threads 4 \
+    --check-metrics "$smoke_dir/metrics.txt"
+for key in '"schema"' '"stages"' '"timeline"' '"cells"' '"utilization"' \
+           '"lower_bound_ns"'; do
+    grep -q "$key" "$smoke_dir/PROFILE.json" \
+        || { echo "ci: PROFILE.json lacks $key" >&2; exit 1; }
+done
+grep -Eq 'profile\.cells\.attributed +[1-9]' "$smoke_dir/metrics.txt" \
+    || { echo "ci: no profile.cells.attributed in --metrics output" >&2; exit 1; }
+grep -Eq 'evaluate\.window\.latency_us +count=[1-9]' "$smoke_dir/metrics.txt" \
+    || { echo "ci: no evaluate.window.latency_us histogram in --metrics output" >&2; exit 1; }
+cargo run --release -p oeb-bench --bin oeb-profile -- cost-model \
+    "$smoke_dir/trace.jsonl" --out "$smoke_dir/COST_MODEL.json"
+grep -q '"classes"' "$smoke_dir/COST_MODEL.json" \
+    || { echo "ci: COST_MODEL.json lacks fitted classes" >&2; exit 1; }
+
 # Smoke: compute kernels (blocked GEMM, pruned KNN imputation) vs their
 # scalar references — asserts bit-identical outputs while timing, so a
 # kernel regression fails CI here rather than skewing a golden artifact.

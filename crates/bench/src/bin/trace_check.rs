@@ -1,7 +1,10 @@
-//! Validates an oeb-trace JSONL file against the exported schema: every
-//! line is a JSON object with the required keys, `type` is `"span"`,
-//! ids are monotone `0..n`, and the numeric fields are unsigned
-//! integers. Used by `ci.sh` to gate the traced smoke run.
+//! Validates an oeb-trace JSONL file against the exported schema (v2):
+//! every span line is a JSON object with the required keys, `type` is
+//! `"span"`, ids are monotone `0..n`, the numeric fields are unsigned
+//! integers, and optional attribution fields (`dataset`, `learner`,
+//! `cell_seed`, `rows`) are well-typed when present. The last line must
+//! be the schema-v2 footer whose `events` count matches the span count.
+//! Used by `ci.sh` to gate the traced smoke run.
 //!
 //! With `--counters <metrics.txt>` it additionally validates the
 //! counters section of a `--metrics` table against the *generated*
@@ -11,9 +14,13 @@
 //! name fails the gate instead of silently shipping an unknown key.
 //!
 //! Usage: `trace_check [<trace.jsonl>] [--counters <metrics.txt>]`;
-//! exits 0 when valid, 1 with a line-numbered message otherwise. At
-//! least one of the two inputs is required — `--counters` alone gates
-//! a metrics table from an untraced benchmark (e.g. `bench_train`).
+//! exits 0 when valid, 1 with a line-numbered message otherwise, and
+//! 3 — registered in `EXIT_CODES.md` — when the trace is structurally
+//! valid but its footer records silently dropped events (the trace is
+//! truncated and span totals can no longer match the metrics
+//! snapshot). At least one of the two inputs is required —
+//! `--counters` alone gates a metrics table from an untraced benchmark
+//! (e.g. `bench_train`).
 
 use std::process::exit;
 
@@ -99,6 +106,7 @@ fn main() {
         exit(2);
     });
     let mut n = 0u64;
+    let mut footer_dropped: Option<u64> = None;
     for (i, line) in text.lines().enumerate() {
         let line_no = i + 1;
         let v = serde_json::from_str(line)
@@ -106,6 +114,33 @@ fn main() {
         let Some(obj) = v.as_object() else {
             fail(line_no, "record is not an object");
         };
+        if footer_dropped.is_some() {
+            fail(line_no, "record after the footer");
+        }
+        if v["type"].as_str() == Some("footer") {
+            for key in ["schema", "events", "dropped"] {
+                if v[key].as_u64().is_none() {
+                    fail(
+                        line_no,
+                        &format!("footer `{key}` is not an unsigned integer"),
+                    );
+                }
+            }
+            if v["schema"].as_u64() < Some(2) {
+                fail(line_no, "footer `schema` must be >= 2");
+            }
+            if v["events"].as_u64() != Some(n) {
+                fail(
+                    line_no,
+                    &format!(
+                        "footer claims {:?} events but the file holds {n}",
+                        v["events"].as_u64()
+                    ),
+                );
+            }
+            footer_dropped = v["dropped"].as_u64();
+            continue;
+        }
         for key in REQUIRED {
             if obj.get(key).is_none() {
                 fail(line_no, &format!("missing key {key:?}"));
@@ -117,9 +152,33 @@ fn main() {
         if v["name"].as_str().is_none_or(str::is_empty) {
             fail(line_no, "`name` must be a non-empty string");
         }
-        for key in ["slot", "seq", "start_us", "dur_us"] {
+        for key in ["slot", "seq", "start_us", "dur_us", "start_ns", "dur_ns"] {
             if v[key].as_u64().is_none() {
                 fail(line_no, &format!("`{key}` is not an unsigned integer"));
+            }
+        }
+        // Attribution fields are optional but must be well-typed — and
+        // all-or-nothing, since they serialise from one CellCtx.
+        let attributed = obj.get("dataset").is_some();
+        for key in ["dataset", "learner"] {
+            match obj.get(key) {
+                Some(s) if s.as_str().is_none_or(str::is_empty) => {
+                    fail(line_no, &format!("`{key}` must be a non-empty string"));
+                }
+                Some(_) if !attributed => {
+                    fail(line_no, &format!("`{key}` present without `dataset`"));
+                }
+                None if attributed => fail(line_no, &format!("attributed span lacks `{key}`")),
+                _ => {}
+            }
+        }
+        for key in ["cell_seed", "rows"] {
+            match obj.get(key) {
+                Some(x) if x.as_u64().is_none() => {
+                    fail(line_no, &format!("`{key}` is not an unsigned integer"));
+                }
+                None if attributed => fail(line_no, &format!("attributed span lacks `{key}`")),
+                _ => {}
             }
         }
         let id = v["id"]
@@ -137,7 +196,18 @@ fn main() {
         eprintln!("trace_check: {path}: no records (was tracing enabled?)");
         exit(1);
     }
-    println!("trace_check: {path}: {n} spans OK");
+    let Some(dropped) = footer_dropped else {
+        eprintln!("trace_check: {path}: missing footer record");
+        exit(1);
+    };
+    if dropped > 0 {
+        // Exit 3 (see EXIT_CODES.md): structurally valid but silently
+        // truncated — the buffer cap dropped events, so aggregate span
+        // totals no longer match the metrics snapshot.
+        eprintln!("trace_check: {path}: trace truncated: {dropped} events dropped");
+        exit(3);
+    }
+    println!("trace_check: {path}: {n} spans OK, footer OK");
     if let Some(metrics_path) = counters {
         check_counters(metrics_path);
     }

@@ -11,6 +11,7 @@
 //!   prequential pipeline.
 
 pub mod counter_vocab;
+pub mod profile;
 
 use std::fs;
 use std::path::Path;
@@ -128,7 +129,7 @@ pub fn metrics_json(snap: &oeb_trace::MetricsSnapshot) -> serde_json::Value {
             name.clone(),
             serde_json::json!({
                 "count": s.count,
-                "total_seconds": s.total_us as f64 / 1e6,
+                "total_seconds": s.total_ns as f64 / 1e9,
             }),
         );
     }

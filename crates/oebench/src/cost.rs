@@ -1,0 +1,220 @@
+//! Per-learner-class cost model fit from attributed cell spans.
+//!
+//! `oeb-profile cost-model` regresses observed per-cell durations on the
+//! cell's raw row count, one least-squares line `cost ≈ a + b·rows` per
+//! learner class, and writes the result as `COST_MODEL.json`. The sweep
+//! can then claim cells longest-expected-first (see
+//! [`Schedule`](crate::sweep::Schedule)): predictions only permute the
+//! *claim order*, never what a cell computes, so a wildly wrong model
+//! costs utilization but can never change a result.
+//!
+//! Determinism: the fit folds samples in the exact order given (callers
+//! pass the deterministic drained-trace order), classes live in a
+//! `BTreeMap`, and predictions are pure `f64` arithmetic — the same
+//! samples always produce byte-identical `COST_MODEL.json`.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::error::HarnessError;
+
+/// One observed cell execution: which learner class ran, over how many
+/// raw rows, for how long.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostSample {
+    /// Learner class (the algorithm name from the cell context).
+    pub learner: String,
+    /// Raw rows of the cell's dataset.
+    pub rows: u64,
+    /// Observed duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Least-squares line for one learner class: `cost_ns ≈ a + b·rows`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostClass {
+    /// Intercept (nanoseconds).
+    pub a: f64,
+    /// Slope (nanoseconds per row).
+    pub b: f64,
+    /// Number of samples the fit saw.
+    pub samples: u64,
+}
+
+impl CostClass {
+    fn predict(&self, rows: u64) -> f64 {
+        self.a + self.b * rows as f64
+    }
+}
+
+/// A per-learner-class cost model (`COST_MODEL.json`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostModel {
+    /// One fitted line per learner class, keyed by class name.
+    pub classes: BTreeMap<String, CostClass>,
+}
+
+impl CostModel {
+    /// Fit one least-squares line per learner class. A class with a
+    /// single sample (or zero row variance) degenerates to a flat line
+    /// through the mean duration.
+    pub fn fit(samples: &[CostSample]) -> CostModel {
+        let mut grouped: BTreeMap<&str, Vec<(f64, f64)>> = BTreeMap::new();
+        for s in samples {
+            grouped
+                .entry(s.learner.as_str())
+                .or_default()
+                .push((s.rows as f64, s.dur_ns as f64));
+        }
+        let classes = grouped
+            .into_iter()
+            .map(|(learner, points)| {
+                let n = points.len() as f64;
+                let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+                let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+                let sxx: f64 = points
+                    .iter()
+                    .map(|(x, _)| (x - mean_x) * (x - mean_x))
+                    .sum();
+                let sxy: f64 = points
+                    .iter()
+                    .map(|(x, y)| (x - mean_x) * (y - mean_y))
+                    .sum();
+                let b = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+                let a = mean_y - b * mean_x;
+                (
+                    learner.to_string(),
+                    CostClass {
+                        a,
+                        b,
+                        samples: points.len() as u64,
+                    },
+                )
+            })
+            .collect();
+        CostModel { classes }
+    }
+
+    /// Expected duration in nanoseconds for `learner` over `rows` rows.
+    /// An unknown class falls back to the mean prediction across known
+    /// classes (so a partially-fitted model still orders sensibly); an
+    /// empty model predicts 0 for everything, which degenerates to FIFO.
+    pub fn expected_ns(&self, learner: &str, rows: u64) -> f64 {
+        if let Some(class) = self.classes.get(learner) {
+            return class.predict(rows);
+        }
+        if self.classes.is_empty() {
+            return 0.0;
+        }
+        self.classes.values().map(|c| c.predict(rows)).sum::<f64>() / self.classes.len() as f64
+    }
+
+    /// Serialise as the `COST_MODEL.json` document.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut classes = serde_json::Map::new();
+        for (name, c) in &self.classes {
+            classes.insert(
+                name.clone(),
+                serde_json::json!({ "a": c.a, "b": c.b, "samples": c.samples }),
+            );
+        }
+        serde_json::json!({
+            "schema": 1,
+            "unit": "ns",
+            "model": "cost ≈ a + b·rows",
+            "classes": serde_json::Value::Object(classes),
+        })
+    }
+
+    /// Parse a `COST_MODEL.json` document.
+    pub fn from_json(v: &serde_json::Value) -> Result<CostModel, String> {
+        let classes = v
+            .get("classes")
+            .and_then(|c| c.as_object())
+            .ok_or("cost model lacks a `classes` object")?;
+        let mut model = CostModel::default();
+        for (name, c) in classes.iter() {
+            let field = |k: &str| {
+                c.get(k)
+                    .and_then(|x| x.as_f64())
+                    .ok_or_else(|| format!("class {name:?}: `{k}` is not a number"))
+            };
+            model.classes.insert(
+                name.clone(),
+                CostClass {
+                    a: field("a")?,
+                    b: field("b")?,
+                    samples: field("samples")? as u64,
+                },
+            );
+        }
+        Ok(model)
+    }
+
+    /// Load a `COST_MODEL.json` file.
+    pub fn load(path: &Path) -> Result<CostModel, HarnessError> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            HarnessError::InvalidConfig(format!("cannot read cost model {}: {e}", path.display()))
+        })?;
+        let v: serde_json::Value = serde_json::from_str(&text).map_err(|e| {
+            HarnessError::InvalidConfig(format!("cost model {}: invalid JSON: {e}", path.display()))
+        })?;
+        CostModel::from_json(&v)
+            .map_err(|e| HarnessError::InvalidConfig(format!("cost model {}: {e}", path.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(learner: &str, rows: u64, dur_ns: u64) -> CostSample {
+        CostSample {
+            learner: learner.into(),
+            rows,
+            dur_ns,
+        }
+    }
+
+    #[test]
+    fn fit_recovers_an_exact_line() {
+        // dur = 100 + 3·rows, exactly.
+        let samples: Vec<CostSample> = [10u64, 20, 40, 80]
+            .iter()
+            .map(|&r| sample("arf", r, 100 + 3 * r))
+            .collect();
+        let m = CostModel::fit(&samples);
+        let c = m.classes["arf"];
+        assert!((c.a - 100.0).abs() < 1e-6, "intercept {}", c.a);
+        assert!((c.b - 3.0).abs() < 1e-9, "slope {}", c.b);
+        assert_eq!(c.samples, 4);
+        assert!((m.expected_ns("arf", 1000) - 3100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_classes_fall_back_to_means() {
+        let m = CostModel::fit(&[sample("mlp", 50, 900), sample("mlp", 50, 1100)]);
+        let c = m.classes["mlp"];
+        assert_eq!(c.b, 0.0, "zero row variance must give a flat line");
+        assert!((c.a - 1000.0).abs() < 1e-9);
+        // Unknown class: mean prediction across known classes.
+        assert!((m.expected_ns("knn", 50) - 1000.0).abs() < 1e-9);
+        // Empty model: everything costs 0 (pure FIFO).
+        assert_eq!(CostModel::default().expected_ns("arf", 10), 0.0);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let m = CostModel::fit(&[
+            sample("arf", 10, 130),
+            sample("arf", 20, 160),
+            sample("tree", 10, 50),
+        ]);
+        let v = m.to_json();
+        assert_eq!(v["schema"].as_u64(), Some(1));
+        assert_eq!(v["unit"], "ns");
+        let back = CostModel::from_json(&v).unwrap();
+        assert_eq!(back, m);
+        assert!(CostModel::from_json(&serde_json::json!({})).is_err());
+    }
+}

@@ -214,16 +214,49 @@ where
     T: Send,
     F: Fn(usize, &WatchdogSlot) -> T + Sync,
 {
+    parallel_map_watchdog_ordered(n, threads, wall_deadline, None, f)
+}
+
+/// [`parallel_map_watchdog`] with an explicit *claim order*: workers pull
+/// positions from the shared counter as usual but execute
+/// `order[position]` instead of the position itself (a cost-ordered sweep
+/// claims longest-expected-first). Results are still deposited in — and
+/// collected from — per-*task* slots, so the output `Vec` is indexed by
+/// task and bit-identical for every order and thread count whenever
+/// `f(i)` depends only on `i`; the order can only shift wall-clock
+/// utilization. `order`, when given, must be a permutation of `0..n`.
+pub fn parallel_map_watchdog_ordered<T, F>(
+    n: usize,
+    threads: usize,
+    wall_deadline: Option<Duration>,
+    order: Option<&[usize]>,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &WatchdogSlot) -> T + Sync,
+{
+    debug_assert!(order.is_none_or(|o| {
+        let mut seen = vec![false; n];
+        o.len() == n
+            && o.iter()
+                .all(|&i| i < n && !std::mem::replace(&mut seen[i], true))
+    }));
+    let task_at = |position: usize| order.map_or(position, |o| o[position]);
     if threads <= 1 || n <= 1 {
         SEQUENTIAL_RUNS.incr();
         let slot = WatchdogSlot::new(wall_deadline);
         return with_watchdog(wall_deadline, std::slice::from_ref(&slot), || {
-            (0..n)
-                .map(|i| {
-                    let _task = TASK_SPAN.start();
-                    CLAIMS.incr();
-                    f(i, &slot)
-                })
+            let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            for position in 0..n {
+                let i = task_at(position);
+                let _task = TASK_SPAN.start();
+                CLAIMS.incr();
+                results[i] = Some(f(i, &slot));
+            }
+            results
+                .into_iter()
+                .map(|r| r.expect("every index visited exactly once"))
                 .collect()
         });
     }
@@ -247,19 +280,26 @@ where
                     // export is stably ordered however the OS scheduled us.
                     // (The spawning thread keeps slot 0.)
                     oeb_trace::set_thread_slot(w as u32 + 1);
-                    let _worker = WORKER_SPAN.start();
+                    let worker = WORKER_SPAN.start();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let position = next.fetch_add(1, Ordering::Relaxed);
+                        if position >= n {
                             break;
                         }
+                        let i = task_at(position);
                         CLAIMS.incr();
-                        QUEUE_DEPTH.set((n - i.min(n)) as u64);
+                        QUEUE_DEPTH.set((n - position.min(n)) as u64);
                         let _task = TASK_SPAN.start();
                         let result = f(i, dog_slot);
                         dog_slot.disarm();
                         *lock_recover(&slots[i]) = Some(result);
                     }
+                    // Flush before the closure returns: `thread::scope`
+                    // releases the parent when the closure ends, which can
+                    // be before this thread's TLS destructors run — a
+                    // drain on the parent would miss the backstop flush.
+                    drop(worker);
+                    oeb_trace::flush_thread();
                 });
             }
         });
@@ -358,7 +398,7 @@ pub fn lockstep_rounds<T, Pre, Work>(
         for w in 0..workers {
             scope.spawn(move || {
                 oeb_trace::set_thread_slot(w as u32 + 1);
-                let _span = WORKER_SPAN.start();
+                let span = WORKER_SPAN.start();
                 let stripe = w + 1;
                 let mut r = 0usize;
                 loop {
@@ -378,6 +418,10 @@ pub fn lockstep_rounds<T, Pre, Work>(
                     done_ref.fetch_add(1, Ordering::Release);
                     r += 1;
                 }
+                // See parallel_map_watchdog_ordered: flush before the
+                // scope releases the parent, ahead of TLS teardown.
+                drop(span);
+                oeb_trace::flush_thread();
             });
         }
         for r in 0..rounds {

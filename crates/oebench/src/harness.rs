@@ -33,11 +33,20 @@ use oeb_faults::{FaultPlan, FrameSource};
 use oeb_linalg::Matrix;
 use oeb_preprocess::{Imputer, KnnImputer, MeanImputer, RegressionImputer, ZeroImputer};
 use oeb_tabular::{StreamDataset, Task};
-use oeb_trace::Counter;
+use oeb_trace::{CellCtx, Counter, SpanDef};
 use std::sync::Arc;
 
 /// Completed harness runs (one learner over one prepared stream).
 static HARNESS_RUNS: Counter = Counter::new("harness.runs");
+
+/// Cell executions that ran under an installed [`CellCtx`] — i.e. whose
+/// spans are attributable to a (dataset, learner, seed) in the trace.
+static CELLS_ATTRIBUTED: Counter = Counter::new("profile.cells.attributed");
+
+/// One end-to-end cell execution (prepare + evaluate), recorded with the
+/// cell's context attached; `oeb-profile` keys per-cell wall time and the
+/// cost-model fit on these events.
+static CELL_RUN_SPAN: SpanDef = SpanDef::new("cell.run");
 
 /// Which imputer fills missing values before testing/training (§6.6).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -288,8 +297,21 @@ pub fn try_run_stream_supervised(
     budget: &CellBudget,
 ) -> Result<RunResult, HarnessError> {
     config.validate()?;
+    // Ambient attribution for every span this cell records (the sweep
+    // installs the same context around retries; installs nest, so the
+    // innermost — this one — wins for the execution itself).
+    let _ctx = CellCtx {
+        dataset: dataset.name.clone(),
+        learner: algorithm.name().to_string(),
+        seed: config.seed,
+        rows: dataset.n_rows() as u64,
+    }
+    .install();
+    CELLS_ATTRIBUTED.incr();
+    let cell_span = CELL_RUN_SPAN.start();
     let prepared = prepare_cached(dataset, config)?;
     let result = evaluate_supervised(&prepared, algorithm, config, budget);
+    drop(cell_span);
     if result.is_ok() {
         HARNESS_RUNS.incr();
     }

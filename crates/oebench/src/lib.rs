@@ -14,6 +14,7 @@
 
 pub mod arf_train;
 pub mod chaos;
+pub mod cost;
 pub mod error;
 pub mod executor;
 pub mod experiments;
@@ -34,10 +35,11 @@ pub mod sweep;
 
 pub use arf_train::{arf_train_window, arf_train_window_lockstep};
 pub use chaos::{run_chaos_matrix, ChaosCell, ChaosOptions, ChaosReport};
+pub use cost::{CostClass, CostModel, CostSample};
 pub use error::HarnessError;
 pub use executor::{
-    parallel_map, parallel_map_watchdog, resolve_threads, set_default_threads, CancelFlag,
-    WatchdogSlot,
+    parallel_map, parallel_map_watchdog, parallel_map_watchdog_ordered, resolve_threads,
+    set_default_threads, CancelFlag, WatchdogSlot,
 };
 pub use extend::DriftResetLearner;
 pub use harness::{
@@ -63,6 +65,6 @@ pub use supervise::{
     backoff_duration, cell_seed, supervise_cell, CellBudget, SupervisePolicy, Supervised,
 };
 pub use sweep::{
-    load_checkpoint, run_sweep, run_sweep_supervised, set_sweep_progress, RunOutcome,
-    SupervisionSummary, SweepRecord, SweepReport,
+    load_checkpoint, run_sweep, run_sweep_scheduled, run_sweep_supervised, set_sweep_progress,
+    RunOutcome, Schedule, SupervisionSummary, SweepRecord, SweepReport,
 };

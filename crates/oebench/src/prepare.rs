@@ -30,7 +30,7 @@ use oeb_linalg::Matrix;
 use oeb_outlier::{flag_by_sigma, Ecod, IForestConfig, IsolationForest};
 use oeb_preprocess::{Imputer, MeanImputer, StandardScaler, TargetScaler, ZeroImputer};
 use oeb_tabular::{StreamDataset, Task};
-use oeb_trace::{Counter, SpanDef, Stopwatch};
+use oeb_trace::{enabled, Counter, Histogram, SpanDef, Stopwatch};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -53,6 +53,16 @@ static TEST_SPAN: SpanDef = SpanDef::new("evaluate.test");
 static TRAIN_SPAN: SpanDef = SpanDef::new("evaluate.train");
 static WINDOW_UPDATES: Counter = Counter::new("learner.window_updates");
 static ITEMS_TESTED: Counter = Counter::new("learner.items_tested");
+/// Per-window test-then-train latency in microseconds (log buckets) — the
+/// window-level counterpart of `prequential.item.latency_us`, with
+/// deterministic p50/p95/p99 derived from the bucket bounds. Sampled only
+/// while tracing is enabled; the untraced path adds no clock reads.
+static WINDOW_LATENCY: Histogram = Histogram::new(
+    "evaluate.window.latency_us",
+    &[
+        10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000,
+    ],
+);
 
 /// One fully preprocessed window, ready for test-then-train. Feature and
 /// target buffers sit behind [`Arc`]s so every learner evaluating the
@@ -413,6 +423,7 @@ pub fn evaluate_supervised(
         }
 
         let model = learner.as_mut().expect("learner set on warm-up");
+        let window_watch = enabled().then(Stopwatch::start);
         if seen > 0 {
             // Test phase. The stopwatch's value flows into the reported
             // test-seconds metric; the span it records on stop is
@@ -454,6 +465,9 @@ pub fn evaluate_supervised(
         let watch = Stopwatch::start();
         model.train_window(feats, targets);
         train_seconds += watch.stop(&TRAIN_SPAN);
+        if let Some(watch) = window_watch {
+            WINDOW_LATENCY.record(watch.elapsed_micros());
+        }
         WINDOW_UPDATES.incr();
         items += feats.rows();
         memory_peak = memory_peak.max(model.memory_bytes());

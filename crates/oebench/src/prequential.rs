@@ -9,12 +9,22 @@ use crate::error::HarnessError;
 use crate::supervise::CellBudget;
 use oeb_linalg::Matrix;
 use oeb_tabular::{StreamDataset, Task};
-use oeb_trace::Counter;
+use oeb_trace::{enabled, Counter, Histogram, Stopwatch};
 use oeb_tree::{AdaptiveRandomForest, HoeffdingTree};
 
 /// One `learn_one` call per item — the item-level analogue of the
 /// window-level `learner.window_updates` counter.
 static ITEM_UPDATES: Counter = Counter::new("learner.item_updates");
+
+/// Per-item test-then-train latency in microseconds (log buckets), the
+/// groundwork for a serving-style p99 contract: deterministic p50/p95/p99
+/// come from the bucket bounds via [`oeb_trace::HistogramSnapshot`].
+/// Sampled only while tracing is enabled — the untraced loop performs no
+/// clock reads.
+static ITEM_LATENCY: Histogram = Histogram::new(
+    "prequential.item.latency_us",
+    &[1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 5000],
+);
 
 /// A model that can be tested and trained one item at a time.
 pub trait IncrementalClassifier {
@@ -107,10 +117,14 @@ pub fn try_prequential_items_budgeted<M: IncrementalClassifier>(
         budget.check(0, r)?;
         let x = xs.row(r);
         let y = ys[r] as usize;
+        let watch = enabled().then(Stopwatch::start);
         if model.predict_one(x) == y {
             correct += 1;
         }
         model.learn_one(x, y);
+        if let Some(watch) = watch {
+            ITEM_LATENCY.record(watch.elapsed_micros());
+        }
         if (r + 1) % sample_every == 0 {
             curve.push(correct as f64 / (r + 1) as f64);
         }

@@ -11,13 +11,14 @@
 //! so an interrupted sweep resumes from the last completed pair and
 //! produces the same final report as an uninterrupted one.
 
+use crate::cost::CostModel;
 use crate::error::HarnessError;
-use crate::executor::{parallel_map_watchdog, WatchdogSlot};
+use crate::executor::{parallel_map_watchdog_ordered, WatchdogSlot};
 use crate::harness::{try_run_stream_supervised, HarnessConfig, RunResult};
 use crate::learners::Algorithm;
 use crate::supervise::{cell_seed, supervise_cell, SupervisePolicy};
 use oeb_tabular::StreamDataset;
-use oeb_trace::{Counter, SpanDef};
+use oeb_trace::{CellCtx, Counter, SpanDef};
 use serde_json::{json, Value};
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -34,7 +35,28 @@ static CELLS_TOTAL: Counter = Counter::new("sweep.cells.total");
 static CELLS_RESUMED: Counter = Counter::new("sweep.cells.resumed");
 static CELLS_EXECUTED: Counter = Counter::new("sweep.cells.executed");
 static CELLS_FAILED: Counter = Counter::new("sweep.cells.failed");
+/// Cells whose claim order came from a fitted cost model rather than FIFO.
+static COST_SCHEDULED: Counter = Counter::new("profile.cells.cost_scheduled");
 static CELL_SPAN: SpanDef = SpanDef::new("sweep.cell");
+
+/// Claim-order policy for the cells a sweep is about to execute.
+///
+/// The schedule only permutes the order in which workers *claim* cells;
+/// results are deposited per cell index and the report is assembled in
+/// grid order, so every schedule is bit-identical on outputs at any
+/// thread count (proven by the `cost_schedule` proptest) and can only
+/// move wall-clock utilization.
+#[derive(Debug, Clone, Default)]
+pub enum Schedule {
+    /// Grid order (datasets outer, algorithms inner) — the historical
+    /// behaviour.
+    #[default]
+    Fifo,
+    /// Longest-expected-first by the fitted [`CostModel`], FIFO tiebreak
+    /// on cell index. Scheduling the expensive tail first shrinks the
+    /// end-of-sweep straggler window.
+    Cost(CostModel),
+}
 
 /// Whether [`run_sweep`] emits a stderr progress line per finished cell.
 /// Off by default so library callers and tests stay quiet; the CLI sweep
@@ -328,6 +350,36 @@ pub fn run_sweep_supervised(
     threads: usize,
     policy: &SupervisePolicy,
 ) -> Result<SweepReport, HarnessError> {
+    run_sweep_scheduled(
+        datasets,
+        algorithms,
+        config,
+        checkpoint,
+        max_new_runs,
+        threads,
+        policy,
+        &Schedule::Fifo,
+    )
+}
+
+/// [`run_sweep_supervised`] with an explicit claim-order [`Schedule`].
+///
+/// Under [`Schedule::Cost`] the unresolved cells are claimed
+/// longest-expected-first (`cost ≈ a + b·rows` per learner class, FIFO
+/// tiebreak on cell index). Only the claim order — and therefore the
+/// checkpoint line order, which resume never depends on — changes; the
+/// returned report is bit-identical to FIFO's.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_scheduled(
+    datasets: &[StreamDataset],
+    algorithms: &[Algorithm],
+    config: &HarnessConfig,
+    checkpoint: Option<&Path>,
+    max_new_runs: Option<usize>,
+    threads: usize,
+    policy: &SupervisePolicy,
+    schedule: &Schedule,
+) -> Result<SweepReport, HarnessError> {
     config.validate()?;
     let mut done: HashMap<(String, String), RunOutcome> = HashMap::new();
     if let Some(path) = checkpoint {
@@ -381,9 +433,48 @@ pub fn run_sweep_supervised(
         };
         let append_error: Mutex<Option<HarnessError>> = Mutex::new(None);
 
-        let ran: Vec<RunOutcome> =
-            parallel_map_watchdog(to_run.len(), threads, policy.wall_deadline, |slot, dog| {
+        // Claim order: FIFO, or longest-expected-first under a cost model
+        // (stable tiebreak on cell index). Claim positions map to cell
+        // indices; results stay slot-addressed, so the order cannot leak
+        // into outputs.
+        let claim_order: Option<Vec<usize>> = match schedule {
+            Schedule::Fifo => None,
+            Schedule::Cost(model) => {
+                COST_SCHEDULED.add(to_run.len() as u64);
+                let mut order: Vec<usize> = (0..to_run.len()).collect();
+                let expected: Vec<f64> = to_run
+                    .iter()
+                    .map(|&cell| {
+                        let (d, a) = cells[cell];
+                        model.expected_ns(algorithms[a].name(), datasets[d].n_rows() as u64)
+                    })
+                    .collect();
+                order.sort_by(|&x, &y| {
+                    expected[y]
+                        .total_cmp(&expected[x])
+                        .then(to_run[x].cmp(&to_run[y]))
+                });
+                Some(order)
+            }
+        };
+
+        let ran: Vec<RunOutcome> = parallel_map_watchdog_ordered(
+            to_run.len(),
+            threads,
+            policy.wall_deadline,
+            claim_order.as_deref(),
+            |slot, dog| {
                 let (d, a) = cells[to_run[slot]];
+                // Ambient attribution: every span recorded while this cell
+                // runs (prepare stages, evaluate stages, the cell span
+                // itself) carries its (dataset, learner, seed, rows).
+                let _ctx = CellCtx {
+                    dataset: datasets[d].name.clone(),
+                    learner: algorithms[a].name().to_string(),
+                    seed: cell_seed(config.seed, &datasets[d].name, algorithms[a].name()),
+                    rows: datasets[d].n_rows() as u64,
+                }
+                .install();
                 let cell_span = CELL_SPAN.start();
                 let outcome = run_supervised(&datasets[d], algorithms[a], config, policy, dog);
                 drop(cell_span);
@@ -407,7 +498,8 @@ pub fn run_sweep_supervised(
                     }
                 }
                 outcome
-            });
+            },
+        );
         if let Some(e) = append_error
             .into_inner()
             .unwrap_or_else(|poisoned| poisoned.into_inner())

@@ -1,0 +1,140 @@
+//! Cost-ordered claiming must be a pure scheduling decision. For
+//! arbitrary stream seeds and arbitrary (even adversarial) cost models,
+//! [`run_sweep_scheduled`] under `Schedule::Cost` is bit-identical
+//! (modulo wall-clock fields) to the FIFO sweep at both 1 and 4
+//! workers: the model only permutes the claim order, never what a cell
+//! computes.
+//!
+//! This file holds exactly one test on purpose: oeb-trace state is
+//! process-global, so the property owns the whole test binary.
+
+use oeb_core::{
+    run_sweep, run_sweep_scheduled, Algorithm, CostClass, CostModel, HarnessConfig, RunOutcome,
+    Schedule, SupervisePolicy, SweepReport,
+};
+use oeb_synth::{generate, Balance, DriftPattern, LabelMechanism, Level, StreamSpec, TaskSpec};
+use oeb_tabular::Domain;
+use proptest::prelude::*;
+
+fn tiny_spec(classification: bool, seed: u64) -> StreamSpec {
+    StreamSpec {
+        name: if classification {
+            "cost-clf".into()
+        } else {
+            "cost-reg".into()
+        },
+        domain: Domain::Others,
+        n_rows: 240,
+        n_numeric: 3,
+        categorical: vec![],
+        task: if classification {
+            TaskSpec::Classification {
+                n_classes: 2,
+                mechanism: LabelMechanism::XToY,
+                balance: Balance::Balanced,
+                label_noise: 0.02,
+            }
+        } else {
+            TaskSpec::Regression { noise: 0.1 }
+        },
+        drift_pattern: DriftPattern::Gradual,
+        drift_level: Level::MediumLow,
+        anomaly_level: Level::Low,
+        anomaly_events: vec![],
+        missing_level: Level::MediumLow,
+        availability: vec![],
+        seasonal_cycles: 0.0,
+        default_window: 60,
+        seed,
+    }
+}
+
+fn quick_config(seed: u64) -> HarnessConfig {
+    let mut cfg = HarnessConfig {
+        seed,
+        window_factor: 0.25,
+        ..Default::default()
+    };
+    cfg.learner.epochs = 1;
+    cfg.learner.hidden = vec![4];
+    cfg.learner.ensemble_size = 1;
+    cfg.learner.buffer_size = 20;
+    cfg
+}
+
+/// Report equality modulo wall-clock timing fields.
+fn same_modulo_timing(a: &SweepReport, b: &SweepReport) -> bool {
+    a.records.len() == b.records.len()
+        && a.records.iter().zip(&b.records).all(|(x, y)| {
+            x.dataset == y.dataset
+                && x.algorithm == y.algorithm
+                && match (&x.outcome, &y.outcome) {
+                    (RunOutcome::Completed(p), RunOutcome::Completed(q)) => {
+                        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+                        bits(&p.per_window_loss) == bits(&q.per_window_loss)
+                            && p.mean_loss.to_bits() == q.mean_loss.to_bits()
+                            && p.items == q.items
+                            && p.degradations == q.degradations
+                    }
+                    (o1, o2) => o1 == o2,
+                }
+        })
+}
+
+/// An arbitrary cost model over the learner classes in play, including
+/// negative slopes and a class the grid never uses — a wrong or
+/// adversarial model may waste utilization but must not change results.
+fn arb_model() -> impl Strategy<Value = CostModel> {
+    let class = (any::<u32>(), any::<u32>()).prop_map(|(a, b)| CostClass {
+        a: a as f64 - f64::from(u32::MAX / 2),
+        b: f64::from(b % 2_000) - 1_000.0,
+        samples: 1,
+    });
+    proptest::collection::vec(class, 3).prop_map(|classes| {
+        let mut model = CostModel::default();
+        for (name, c) in ["Naive-DT", "Naive-NN", "never-runs"].iter().zip(classes) {
+            model.classes.insert((*name).to_string(), c);
+        }
+        model
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn cost_schedule_only_permutes_the_claim_order(seed in 0u64..16, model in arb_model()) {
+        let datasets = vec![
+            generate(&tiny_spec(true, seed), 0),
+            generate(&tiny_spec(false, seed.wrapping_add(7)), 0),
+        ];
+        let algorithms = [Algorithm::NaiveDt, Algorithm::NaiveNn];
+        let cfg = quick_config(seed);
+        let policy = SupervisePolicy::unsupervised();
+        let schedule = Schedule::Cost(model);
+
+        // FIFO reference (also warms the synth/prepare caches so every
+        // pass sees identical cache state).
+        let fifo =
+            run_sweep(&datasets, &algorithms, &cfg, None, None, 4).expect("valid sweep config");
+
+        for threads in [1usize, 4] {
+            let cost = run_sweep_scheduled(
+                &datasets,
+                &algorithms,
+                &cfg,
+                None,
+                None,
+                threads,
+                &policy,
+                &schedule,
+            )
+            .expect("valid sweep config");
+            prop_assert!(
+                same_modulo_timing(&fifo, &cost),
+                "cost-ordered sweep diverged from FIFO at {} workers",
+                threads
+            );
+        }
+    }
+}

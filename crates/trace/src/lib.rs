@@ -42,8 +42,13 @@ use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Version of the JSON-lines trace schema written by [`write_trace_file`].
+/// v2 added per-event cell context fields, exact `start_ns`/`dur_ns`, and
+/// the mandatory trailing footer record.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // Global state
@@ -78,10 +83,10 @@ static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
 /// trace file share one origin.
 static EPOCH: Mutex<Option<Instant>> = Mutex::new(None);
 
-fn epoch_micros(at: Instant) -> u64 {
+fn epoch_nanos(at: Instant) -> u64 {
     let mut guard = lock(&EPOCH);
     let epoch = guard.get_or_insert(at);
-    at.saturating_duration_since(*epoch).as_micros() as u64
+    at.saturating_duration_since(*epoch).as_nanos() as u64
 }
 
 /// Is recording currently on? One relaxed load — this is the whole cost of
@@ -100,6 +105,65 @@ pub fn enable() {
 /// Turn recording off. Already-recorded values remain until [`reset`].
 pub fn disable() {
     ENABLED.store(false, Ordering::SeqCst);
+}
+
+// ---------------------------------------------------------------------------
+// Cell context (attribution)
+// ---------------------------------------------------------------------------
+
+/// Ambient attribution for span events: which `(dataset, learner, seed)`
+/// cell the current thread is working on, and how many raw rows that cell
+/// covers. Installed by the sweep/harness around each task via
+/// [`CellCtx::install`]; every span event recorded while a context is
+/// active carries an `Arc` to it, so the trace stream can be grouped per
+/// cell after the fact (and the cost model can regress duration on
+/// `rows`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellCtx {
+    pub dataset: String,
+    pub learner: String,
+    pub seed: u64,
+    pub rows: u64,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Arc<CellCtx>>> = const { RefCell::new(None) };
+}
+
+impl CellCtx {
+    /// Install this context on the current thread until the returned guard
+    /// drops (the previous context, if any, is restored — installs nest).
+    /// Disabled path: one relaxed load, the guard is inert and no TLS is
+    /// touched.
+    #[inline]
+    pub fn install(self) -> CellCtxGuard {
+        if !enabled() {
+            return CellCtxGuard(None);
+        }
+        let prev = CTX
+            .try_with(|c| c.borrow_mut().replace(Arc::new(self)))
+            .unwrap_or(None);
+        CellCtxGuard(Some(PrevCtx(prev)))
+    }
+}
+
+struct PrevCtx(Option<Arc<CellCtx>>);
+
+/// RAII guard from [`CellCtx::install`]; restores the previous context on
+/// drop.
+pub struct CellCtxGuard(Option<PrevCtx>);
+
+impl Drop for CellCtxGuard {
+    fn drop(&mut self) {
+        if let Some(PrevCtx(prev)) = self.0.take() {
+            let _ = CTX.try_with(|c| *c.borrow_mut() = prev);
+        }
+    }
+}
+
+/// The context currently installed on this thread, if any.
+pub fn current_cell_ctx() -> Option<Arc<CellCtx>> {
+    CTX.try_with(|c| c.borrow().clone()).unwrap_or(None)
 }
 
 // ---------------------------------------------------------------------------
@@ -258,7 +322,7 @@ impl Histogram {
 pub struct SpanDef {
     name: &'static str,
     count: AtomicU64,
-    total_us: AtomicU64,
+    total_ns: AtomicU64,
     registered: AtomicBool,
 }
 
@@ -267,7 +331,7 @@ impl SpanDef {
         SpanDef {
             name,
             count: AtomicU64::new(0),
-            total_us: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
             registered: AtomicBool::new(false),
         }
     }
@@ -285,12 +349,17 @@ impl SpanDef {
         }))
     }
 
+    // Durations are carried in whole nanoseconds end to end — both in the
+    // per-definition aggregate and in the buffered event — and rounded to
+    // microseconds exactly once, at serialization. Truncating each event
+    // independently (the old behaviour) let summed child spans exceed
+    // their parent by up to 1 µs per child.
     fn record_from(&'static self, start: Instant) {
-        let dur_us = start.elapsed().as_micros() as u64;
+        let dur_ns = start.elapsed().as_nanos() as u64;
         self.ensure_registered();
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_us.fetch_add(dur_us, Ordering::Relaxed);
-        push_event(self.name, epoch_micros(start), dur_us);
+        self.total_ns.fetch_add(dur_ns, Ordering::Relaxed);
+        push_event(self.name, epoch_nanos(start), dur_ns);
     }
 
     fn ensure_registered(&'static self) {
@@ -342,6 +411,12 @@ impl Stopwatch {
         self.start.elapsed().as_secs_f64()
     }
 
+    /// Elapsed whole microseconds — the sanctioned sample source for
+    /// latency [`Histogram`]s (per-item test-then-train timing).
+    pub fn elapsed_micros(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
     /// Stop, returning elapsed seconds; records a span under `def` when
     /// recording is enabled.
     pub fn stop(self, def: &'static SpanDef) -> f64 {
@@ -366,9 +441,10 @@ static DROPPED: AtomicU64 = AtomicU64::new(0);
 #[derive(Clone)]
 struct Event {
     name: &'static str,
-    start_us: u64,
-    dur_us: u64,
+    start_ns: u64,
+    dur_ns: u64,
     seq: u32,
+    ctx: Option<Arc<CellCtx>>,
 }
 
 struct ThreadBuf {
@@ -412,7 +488,8 @@ pub fn set_thread_slot(slot: u32) {
     let _ = BUF.try_with(|b| b.borrow_mut().slot = slot);
 }
 
-fn push_event(name: &'static str, start_us: u64, dur_us: u64) {
+fn push_event(name: &'static str, start_ns: u64, dur_ns: u64) {
+    let ctx = current_cell_ctx();
     // try_with: events arriving during thread teardown are dropped rather
     // than panicking on a destroyed TLS key.
     let pushed = BUF.try_with(|b| {
@@ -424,9 +501,10 @@ fn push_event(name: &'static str, start_us: u64, dur_us: u64) {
         b.seq = b.seq.wrapping_add(1);
         b.events.push(Event {
             name,
-            start_us,
-            dur_us,
+            start_ns,
+            dur_ns,
             seq,
+            ctx,
         });
         true
     });
@@ -436,8 +514,12 @@ fn push_event(name: &'static str, start_us: u64, dur_us: u64) {
 }
 
 /// Move the calling thread's buffered events into the global chunk list.
-/// Worker threads flush automatically on exit (TLS drop); the exporting
-/// thread calls this for itself.
+/// Worker threads flush automatically on exit (TLS drop) as a backstop,
+/// but `std::thread::scope` releases the parent when a worker closure
+/// *returns* — before that worker's TLS destructors run — so scoped
+/// workers must call this explicitly as their closure's last statement
+/// or a parent-side drain can race past their backstop flush. The
+/// exporting thread calls this for itself.
 pub fn flush_thread() {
     let _ = BUF.try_with(|b| b.borrow_mut().flush());
 }
@@ -446,18 +528,34 @@ pub fn flush_thread() {
 // Export: trace stream
 // ---------------------------------------------------------------------------
 
-/// One exported span event, in final deterministic order.
+/// One exported span event, in final deterministic order. Times are exact
+/// nanoseconds; the microsecond fields in the serialized stream are
+/// derived from these once, at write time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     pub name: &'static str,
     pub slot: u32,
     pub seq: u32,
-    pub start_us: u64,
-    pub dur_us: u64,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    /// Cell attribution active when the span was recorded, if any.
+    pub ctx: Option<Arc<CellCtx>>,
+}
+
+impl TraceEvent {
+    /// Epoch-relative start in whole microseconds (serialized form).
+    pub fn start_us(&self) -> u64 {
+        self.start_ns / 1_000
+    }
+
+    /// Duration in whole microseconds (serialized form).
+    pub fn dur_us(&self) -> u64 {
+        self.dur_ns / 1_000
+    }
 }
 
 /// Drain all recorded span events in deterministic order: stable-sorted by
-/// `(slot, start_us, seq)`, so the stream's shape does not depend on which
+/// `(slot, start_ns, seq)`, so the stream's shape does not depend on which
 /// thread's buffer reached the chunk list first. Consumes the events.
 pub fn drain_events() -> Vec<TraceEvent> {
     flush_thread();
@@ -468,43 +566,82 @@ pub fn drain_events() -> Vec<TraceEvent> {
             events.push((slot, ev));
         }
     }
-    events.sort_by_key(|(slot, ev)| (*slot, ev.start_us, ev.seq));
+    events.sort_by_key(|(slot, ev)| (*slot, ev.start_ns, ev.seq));
     events
         .into_iter()
         .map(|(slot, ev)| TraceEvent {
             name: ev.name,
             slot,
             seq: ev.seq,
-            start_us: ev.start_us,
-            dur_us: ev.dur_us,
+            start_ns: ev.start_ns,
+            dur_ns: ev.dur_ns,
+            ctx: ev.ctx,
         })
         .collect()
 }
 
 /// Number of events discarded because a per-thread buffer hit its cap.
+/// Surfaced in every metrics snapshot (`trace.events.dropped`) and in the
+/// trace footer, so silent truncation is always detectable.
 pub fn dropped_events() -> u64 {
     DROPPED.load(Ordering::Relaxed)
 }
 
-/// Write the drained span stream as JSON lines. Each record carries
-/// `type`, a monotone `id` assigned after the deterministic merge, the
-/// owning `slot`, per-thread `seq`, the span `name`, and epoch-relative
-/// `start_us` / `dur_us`.
+/// Serialise one drained event as a schema-v2 span record. Pulled out of
+/// [`write_trace_file`] so tests and in-process consumers share the exact
+/// byte format.
+pub fn render_trace_event(id: usize, ev: &TraceEvent) -> String {
+    let mut line = format!(
+        "{{\"type\":\"span\",\"id\":{id},\"slot\":{},\"seq\":{},\"name\":\"{}\",\"start_us\":{},\"dur_us\":{},\"start_ns\":{},\"dur_ns\":{}",
+        ev.slot,
+        ev.seq,
+        json_escape(ev.name),
+        ev.start_us(),
+        ev.dur_us(),
+        ev.start_ns,
+        ev.dur_ns,
+    );
+    if let Some(ctx) = &ev.ctx {
+        line.push_str(&format!(
+            ",\"dataset\":\"{}\",\"learner\":\"{}\",\"cell_seed\":{},\"rows\":{}",
+            json_escape(&ctx.dataset),
+            json_escape(&ctx.learner),
+            ctx.seed,
+            ctx.rows,
+        ));
+    }
+    line.push('}');
+    line
+}
+
+/// Serialise the schema-v2 trace footer: schema version, number of span
+/// records written, and how many events were silently dropped by the
+/// per-thread buffer cap (so a truncated trace is detectable after the
+/// fact — `trace_check` turns a nonzero `dropped` into a distinct exit
+/// code).
+pub fn render_trace_footer(events: usize, dropped: u64) -> String {
+    format!("{{\"type\":\"footer\",\"schema\":{TRACE_SCHEMA_VERSION},\"events\":{events},\"dropped\":{dropped}}}")
+}
+
+/// Write the drained span stream as JSON lines (schema v2). Each span
+/// record carries `type`, a monotone `id` assigned after the deterministic
+/// merge, the owning `slot`, per-thread `seq`, the span `name`,
+/// epoch-relative `start_us`/`dur_us` (rounded once from the exact
+/// nanosecond fields `start_ns`/`dur_ns`), and — when the span was
+/// recorded under a [`CellCtx`] — the attribution fields `dataset`,
+/// `learner`, `cell_seed`, `rows`. The final line is the footer record.
 pub fn write_trace_file(path: &Path) -> std::io::Result<()> {
     let events = drain_events();
     let file = std::fs::File::create(path)?;
     let mut out = std::io::BufWriter::new(file);
     for (id, ev) in events.iter().enumerate() {
-        writeln!(
-            out,
-            "{{\"type\":\"span\",\"id\":{id},\"slot\":{},\"seq\":{},\"name\":\"{}\",\"start_us\":{},\"dur_us\":{}}}",
-            ev.slot,
-            ev.seq,
-            json_escape(ev.name),
-            ev.start_us,
-            ev.dur_us,
-        )?;
+        writeln!(out, "{}", render_trace_event(id, ev))?;
     }
+    writeln!(
+        out,
+        "{}",
+        render_trace_footer(events.len(), dropped_events())
+    )?;
     out.flush()
 }
 
@@ -527,10 +664,52 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Deterministic quantile estimate from the log buckets: the inclusive
+    /// upper bound of the first bucket whose cumulative count reaches
+    /// `ceil(q * count)`. Conservative by construction (the true value is
+    /// ≤ the returned bound); samples past the last bound report
+    /// `u64::MAX`. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (bound, c) in &self.buckets {
+            cumulative = cumulative.saturating_add(*c);
+            if cumulative >= rank {
+                return *bound;
+            }
+        }
+        u64::MAX
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanSnapshot {
     pub count: u64,
-    pub total_us: u64,
+    /// Exact summed duration in nanoseconds (see `SpanDef::record_from`).
+    pub total_ns: u64,
+}
+
+impl SpanSnapshot {
+    /// Total in whole microseconds, rounded once from the nanosecond sum.
+    pub fn total_us(&self) -> u64 {
+        self.total_ns / 1_000
+    }
 }
 
 /// Point-in-time view of every registered instrument, keyed by name in
@@ -579,15 +758,14 @@ pub fn snapshot() -> MetricsSnapshot {
             s.name.to_string(),
             SpanSnapshot {
                 count: s.count.load(Ordering::Relaxed),
-                total_us: s.total_us.load(Ordering::Relaxed),
+                total_ns: s.total_ns.load(Ordering::Relaxed),
             },
         );
     }
-    let dropped = dropped_events();
-    if dropped > 0 {
-        snap.counters
-            .insert("trace.events.dropped".to_string(), dropped);
-    }
+    // Always surfaced (even at zero) so a truncated trace is visible in
+    // the metrics table, not only in the trace footer.
+    snap.counters
+        .insert("trace.events.dropped".to_string(), dropped_events());
     snap
 }
 
@@ -640,14 +818,22 @@ pub fn render_metrics_table(snap: &MetricsSnapshot) -> String {
         .spans
         .iter()
         .map(|(k, s)| {
-            let mean = s.total_us.checked_div(s.count).unwrap_or(0);
+            let total_us = s.total_us();
+            let mean = total_us.checked_div(s.count).unwrap_or(0);
             (
                 k.clone(),
-                format!("count={} total_us={} mean_us={mean}", s.count, s.total_us),
+                format!("count={} total_us={total_us} mean_us={mean}", s.count),
             )
         })
         .collect();
     section("spans", &span_rows);
+    let bound_str = |b: u64| {
+        if b == u64::MAX {
+            "inf".to_string()
+        } else {
+            b.to_string()
+        }
+    };
     let hist_rows: Vec<(String, String)> = snap
         .histograms
         .iter()
@@ -655,17 +841,19 @@ pub fn render_metrics_table(snap: &MetricsSnapshot) -> String {
             let buckets: Vec<String> = h
                 .buckets
                 .iter()
-                .map(|(b, c)| {
-                    if *b == u64::MAX {
-                        format!("inf:{c}")
-                    } else {
-                        format!("{b}:{c}")
-                    }
-                })
+                .map(|(b, c)| format!("{}:{c}", bound_str(*b)))
                 .collect();
             (
                 k.clone(),
-                format!("count={} sum={} [{}]", h.count, h.sum, buckets.join(" ")),
+                format!(
+                    "count={} sum={} p50={} p95={} p99={} [{}]",
+                    h.count,
+                    h.sum,
+                    bound_str(h.p50()),
+                    bound_str(h.p95()),
+                    bound_str(h.p99()),
+                    buckets.join(" ")
+                ),
             )
         })
         .collect();
@@ -696,7 +884,12 @@ pub fn metrics_to_json(snap: &MetricsSnapshot) -> String {
         snap.spans.iter().map(|(k, s)| {
             (
                 k,
-                format!("{{\"count\":{},\"total_us\":{}}}", s.count, s.total_us),
+                format!(
+                    "{{\"count\":{},\"total_us\":{},\"total_ns\":{}}}",
+                    s.count,
+                    s.total_us(),
+                    s.total_ns
+                ),
             )
         }),
     );
@@ -704,24 +897,27 @@ pub fn metrics_to_json(snap: &MetricsSnapshot) -> String {
     push_entries(
         &mut out,
         snap.histograms.iter().map(|(k, h)| {
+            let bound = |b: u64| {
+                if b == u64::MAX {
+                    "null".to_string()
+                } else {
+                    b.to_string()
+                }
+            };
             let buckets: Vec<String> = h
                 .buckets
                 .iter()
-                .map(|(b, c)| {
-                    let bound = if *b == u64::MAX {
-                        "null".to_string()
-                    } else {
-                        b.to_string()
-                    };
-                    format!("[{bound},{c}]")
-                })
+                .map(|(b, c)| format!("[{},{c}]", bound(*b)))
                 .collect();
             (
                 k,
                 format!(
-                    "{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                    "{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{}]}}",
                     h.count,
                     h.sum,
+                    bound(h.p50()),
+                    bound(h.p95()),
+                    bound(h.p99()),
                     buckets.join(",")
                 ),
             )
@@ -788,7 +984,7 @@ pub fn reset() {
         }
         for s in &reg.spans {
             s.count.store(0, Ordering::Relaxed);
-            s.total_us.store(0, Ordering::Relaxed);
+            s.total_ns.store(0, Ordering::Relaxed);
         }
     }
     lock(&CHUNKS).clear();

@@ -2,9 +2,12 @@
 //! process-global state, so everything runs inside one `#[test]` body with
 //! explicit `reset()` fences between scenarios.
 
+use std::sync::Arc;
+
 use oeb_trace::{
-    drain_events, enable, enabled, metrics_to_json, render_metrics_table, reset, set_thread_slot,
-    snapshot, Counter, Gauge, Histogram, SpanDef, Stopwatch,
+    current_cell_ctx, drain_events, enable, enabled, metrics_to_json, render_metrics_table,
+    render_trace_event, render_trace_footer, reset, set_thread_slot, snapshot, CellCtx, Counter,
+    Gauge, Histogram, SpanDef, Stopwatch, TraceEvent,
 };
 
 static HITS: Counter = Counter::new("t.cache.hit");
@@ -18,8 +21,12 @@ static EXEC_CLAIMS: Counter = Counter::new("executor.t.claims");
 fn end_to_end() {
     disabled_path_records_nothing();
     counters_gauges_histograms();
+    histogram_quantiles_are_bucket_bounds();
     spans_merge_in_slot_order();
+    cell_ctx_attaches_to_events();
     stopwatch_measures_with_tracing_off_and_on();
+    span_totals_accumulate_nanoseconds();
+    trace_lines_follow_schema_v2();
     json_and_table_are_stable();
     deterministic_counter_filter();
 }
@@ -32,8 +39,25 @@ fn disabled_path_records_nothing() {
     {
         let _g = PHASE.start();
     }
+    {
+        let _ctx = CellCtx {
+            dataset: "d".into(),
+            learner: "l".into(),
+            seed: 0,
+            rows: 1,
+        }
+        .install();
+        assert!(
+            current_cell_ctx().is_none(),
+            "disabled install must be inert"
+        );
+    }
     let snap = snapshot();
-    assert!(snap.counters.is_empty());
+    // The dropped-events counter is always surfaced; nothing else records.
+    assert_eq!(
+        snap.counters,
+        [("trace.events.dropped".to_string(), 0u64)].into()
+    );
     assert!(snap.gauges.is_empty());
     assert!(snap.histograms.is_empty());
     assert!(snap.spans.is_empty());
@@ -97,6 +121,83 @@ fn spans_merge_in_slot_order() {
     assert!(drain_events().is_empty(), "drain consumes");
 }
 
+/// p50/p95/p99 come deterministically from the cumulative bucket counts:
+/// each quantile reports the inclusive upper bound of the bucket that
+/// reaches the rank.
+fn histogram_quantiles_are_bucket_bounds() {
+    enable();
+    reset();
+    // 10 samples: 6 in the ≤10 bucket, 3 in ≤100, 1 in overflow.
+    for _ in 0..6 {
+        SIZES.record(4);
+    }
+    for _ in 0..3 {
+        SIZES.record(60);
+    }
+    SIZES.record(9999);
+    let h = snapshot().histograms["t.sizes"].clone();
+    assert_eq!(h.p50(), 10, "rank 5 of 10 lands in the first bucket");
+    assert_eq!(h.p95(), u64::MAX, "rank 10 of 10 lands in overflow");
+    assert_eq!(h.quantile(0.90), 100, "rank 9 of 10 lands in the second");
+    assert_eq!(h.p99(), u64::MAX);
+    let empty = oeb_trace::HistogramSnapshot {
+        count: 0,
+        sum: 0,
+        buckets: vec![(10, 0), (u64::MAX, 0)],
+    };
+    assert_eq!(empty.p50(), 0, "empty histogram quantiles are 0");
+}
+
+/// Spans recorded under an installed `CellCtx` carry it into the drained
+/// stream; installs nest and restore; uncontextualised spans carry none.
+fn cell_ctx_attaches_to_events() {
+    enable();
+    reset();
+    let outer = CellCtx {
+        dataset: "Electricity Prices".into(),
+        learner: "arf".into(),
+        seed: 42,
+        rows: 1000,
+    };
+    let inner = CellCtx {
+        dataset: "Tetouan".into(),
+        learner: "mlp".into(),
+        seed: 7,
+        rows: 500,
+    };
+    {
+        let _outer = outer.clone().install();
+        {
+            let _g = PHASE.start();
+        }
+        {
+            let _inner = inner.clone().install();
+            let _g = WORKER.start();
+        }
+        assert_eq!(
+            current_cell_ctx().as_deref(),
+            Some(&outer),
+            "inner install must restore the outer context on drop"
+        );
+    }
+    assert!(current_cell_ctx().is_none());
+    {
+        let _g = PHASE.start();
+    }
+    let events = drain_events();
+    assert_eq!(events.len(), 3);
+    let by_name = |n: &str| {
+        events
+            .iter()
+            .filter(|e| e.name == n)
+            .collect::<Vec<&TraceEvent>>()
+    };
+    let phases = by_name("t.phase");
+    assert_eq!(phases[0].ctx.as_deref(), Some(&outer));
+    assert_eq!(phases[1].ctx, None, "context must not leak past its guard");
+    assert_eq!(by_name("t.worker")[0].ctx.as_deref(), Some(&inner));
+}
+
 fn stopwatch_measures_with_tracing_off_and_on() {
     oeb_trace::disable();
     reset();
@@ -111,6 +212,68 @@ fn stopwatch_measures_with_tracing_off_and_on() {
     let events = drain_events();
     assert_eq!(events.len(), 1);
     assert_eq!(events[0].name, "t.phase");
+}
+
+/// Span aggregates accumulate exact nanoseconds; the microsecond view is
+/// derived once, so summed children can never exceed a parent by rounding.
+fn span_totals_accumulate_nanoseconds() {
+    enable();
+    reset();
+    for _ in 0..50 {
+        let _g = PHASE.start();
+    }
+    let snap = snapshot();
+    let s = snap.spans["t.phase"];
+    assert_eq!(s.count, 50);
+    assert_eq!(s.total_us(), s.total_ns / 1_000);
+    let events = drain_events();
+    let summed_ns: u64 = events.iter().map(|e| e.dur_ns).sum();
+    assert_eq!(
+        summed_ns, s.total_ns,
+        "event nanoseconds must sum exactly to the span aggregate"
+    );
+    for e in &events {
+        assert_eq!(e.dur_us(), e.dur_ns / 1_000);
+        assert_eq!(e.start_us(), e.start_ns / 1_000);
+    }
+}
+
+/// The serialized line format: v1 keys preserved, exact ns fields added,
+/// ctx fields present iff attributed, and the footer carries schema,
+/// event count and dropped count.
+fn trace_lines_follow_schema_v2() {
+    let plain = TraceEvent {
+        name: "t.phase",
+        slot: 1,
+        seq: 0,
+        start_ns: 1_234_567,
+        dur_ns: 9_876,
+        ctx: None,
+    };
+    assert_eq!(
+        render_trace_event(0, &plain),
+        "{\"type\":\"span\",\"id\":0,\"slot\":1,\"seq\":0,\"name\":\"t.phase\",\
+         \"start_us\":1234,\"dur_us\":9,\"start_ns\":1234567,\"dur_ns\":9876}"
+    );
+    let attributed = TraceEvent {
+        ctx: Some(Arc::new(CellCtx {
+            dataset: "d\"x".into(),
+            learner: "arf".into(),
+            seed: 3,
+            rows: 120,
+        })),
+        ..plain
+    };
+    assert_eq!(
+        render_trace_event(5, &attributed),
+        "{\"type\":\"span\",\"id\":5,\"slot\":1,\"seq\":0,\"name\":\"t.phase\",\
+         \"start_us\":1234,\"dur_us\":9,\"start_ns\":1234567,\"dur_ns\":9876,\
+         \"dataset\":\"d\\\"x\",\"learner\":\"arf\",\"cell_seed\":3,\"rows\":120}"
+    );
+    assert_eq!(
+        render_trace_footer(13, 0),
+        "{\"type\":\"footer\",\"schema\":2,\"events\":13,\"dropped\":0}"
+    );
 }
 
 fn json_and_table_are_stable() {

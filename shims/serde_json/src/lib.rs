@@ -17,6 +17,8 @@ pub use print::{to_string, to_string_pretty};
 pub enum Number {
     /// A signed integer (covers every u32/usize this workspace emits).
     Int(i64),
+    /// An unsigned integer above `i64::MAX` (full-range u64 seeds).
+    UInt(u64),
     /// A double-precision float.
     Float(f64),
 }
@@ -26,6 +28,7 @@ impl Number {
     pub fn as_f64(&self) -> f64 {
         match *self {
             Number::Int(i) => i as f64,
+            Number::UInt(u) => u as f64,
             Number::Float(f) => f,
         }
     }
@@ -141,6 +144,7 @@ impl Value {
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Value::Number(Number::Int(i)) if *i >= 0 => Some(*i as u64),
+            Value::Number(Number::UInt(u)) => Some(*u),
             _ => None,
         }
     }
@@ -262,7 +266,22 @@ macro_rules! impl_from_int {
     )*};
 }
 
-impl_from_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+impl_from_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+macro_rules! impl_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Value {
+                match i64::try_from(x) {
+                    Ok(i) => Value::Number(Number::Int(i)),
+                    Err(_) => Value::Number(Number::UInt(x as u64)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_from_uint!(u64, usize);
 
 impl From<&str> for Value {
     fn from(s: &str) -> Value {
@@ -565,6 +584,20 @@ mod tests {
         }
         // Integers print without a decimal point.
         assert!(to_string(&json!([13, 17])).unwrap().contains("[13,17]"));
+    }
+
+    #[test]
+    fn full_range_u64_survives_parse_and_print() {
+        // Seeds hash to the full u64 range; values above i64::MAX must
+        // not degrade to floats.
+        let text = format!("{{\"seed\":{}}}", u64::MAX);
+        let v = from_str(&text).unwrap();
+        assert_eq!(v["seed"].as_u64(), Some(u64::MAX));
+        assert_eq!(v["seed"].as_i64(), None);
+        assert_eq!(to_string(&v).unwrap(), text);
+        assert_eq!(json!({ "seed": u64::MAX }), v);
+        // Small unsigned values still take the signed representation.
+        assert_eq!(json!(3u64).as_i64(), Some(3));
     }
 
     #[test]

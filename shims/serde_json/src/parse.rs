@@ -157,6 +157,9 @@ impl Parser<'_> {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Value::Number(Number::Int(i)));
             }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::UInt(u)));
+            }
         }
         text.parse::<f64>()
             .map(|f| Value::Number(Number::Float(f)))

@@ -24,6 +24,7 @@ pub(crate) fn to_compact_string(value: &Value) -> String {
 fn write_number(n: &Number, out: &mut String) {
     match *n {
         Number::Int(i) => out.push_str(&i.to_string()),
+        Number::UInt(u) => out.push_str(&u.to_string()),
         Number::Float(f) => {
             if f.is_finite() {
                 // `{:?}` prints the shortest representation that parses
